@@ -1,0 +1,99 @@
+"""Benches for the design-choice ablations called out in DESIGN.md §6.
+
+* cold-start mitigation by the reserve price (the paper's headline qualitative
+  finding, quantified over the first rounds),
+* the uncertainty buffer δ versus the realised noise scale,
+* the ellipsoid mechanism versus the SGD contextual-pricing baseline discussed
+  in the related-work section.
+"""
+
+import numpy as np
+from conftest import bench_scale, run_once
+
+from repro.core.baselines import RiskAversePricer
+from repro.core.models import LinearModel
+from repro.core.pricing import EllipsoidPricer, PricerConfig
+from repro.core.sgd_pricer import SGDContextualPricer
+from repro.core.simulation import QueryArrival, compare_pricers
+from repro.experiments.cold_start import run_cold_start
+from repro.experiments.noise_robustness import format_noise_robustness, run_noise_robustness
+
+
+def test_cold_start_mitigation(benchmark):
+    """Reserve price reduces the regret accumulated over the first rounds."""
+    scale = bench_scale()
+    result = run_once(
+        benchmark,
+        run_cold_start,
+        dimension=20,
+        rounds=int(3_000 * scale),
+        window=200,
+        owner_count=200,
+        seed=41,
+    )
+    print()
+    print(result.format())
+    assert result.reserve_cold_start_reduction_percent() > 0.0
+    assert (
+        result.early_regret_ratio["with reserve price"]
+        <= result.early_regret_ratio["pure version"] + 1e-9
+    )
+    benchmark.extra_info["early_regret_ratio"] = result.early_regret_ratio
+
+
+def test_noise_robustness(benchmark):
+    """The δ buffer keeps θ* in the knowledge set as the market noise grows."""
+    scale = bench_scale()
+    results = run_once(
+        benchmark,
+        run_noise_robustness,
+        sigmas=(0.0, 0.002, 0.01),
+        use_buffer=True,
+        dimension=10,
+        rounds=int(3_000 * scale),
+        seed=43,
+    )
+    print()
+    print(format_noise_robustness(results))
+    assert all(result.theta_retained for result in results)
+    noiseless = results[0]
+    noisiest = results[-1]
+    assert noisiest.cumulative_regret >= 0.8 * noiseless.cumulative_regret
+    benchmark.extra_info["regret_by_sigma"] = {r.sigma: r.cumulative_regret for r in results}
+
+
+def test_ellipsoid_vs_sgd_baseline(benchmark):
+    """The ellipsoid mechanism beats the SGD contextual-pricing baseline."""
+    scale = bench_scale()
+    rounds = int(4_000 * scale)
+    dimension = 10
+    rng = np.random.default_rng(47)
+    theta = np.abs(rng.standard_normal(dimension))
+    theta *= np.sqrt(2 * dimension) / np.linalg.norm(theta)
+    model = LinearModel(theta)
+    arrivals = []
+    for _ in range(rounds):
+        features = np.abs(rng.standard_normal(dimension))
+        features /= np.linalg.norm(features)
+        arrivals.append(
+            QueryArrival(features=features, reserve_value=0.6 * float(features @ theta), noise=0.0)
+        )
+    radius = 2.0 * np.sqrt(dimension)
+    pricers = [
+        EllipsoidPricer(PricerConfig(dimension=dimension, radius=radius, epsilon=dimension**2 / rounds)),
+        SGDContextualPricer(dimension=dimension, radius=radius),
+        RiskAversePricer(),
+    ]
+
+    results = run_once(benchmark, compare_pricers, model, pricers, arrivals)
+
+    print()
+    for result in results:
+        print(
+            "  %-28s cumulative regret %10.2f   regret ratio %6.2f%%"
+            % (result.pricer_name, result.cumulative_regret, 100 * result.regret_ratio)
+        )
+    ellipsoid, sgd, risk_averse = results
+    assert ellipsoid.cumulative_regret < sgd.cumulative_regret
+    assert ellipsoid.cumulative_regret < risk_averse.cumulative_regret
+    benchmark.extra_info["regret"] = {r.pricer_name: r.cumulative_regret for r in results}

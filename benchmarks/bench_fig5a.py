@@ -1,0 +1,44 @@
+"""Bench for Fig. 5(a): regret ratios of the four versions + risk-averse baseline."""
+
+from conftest import bench_scale, run_once
+
+from repro.experiments.fig5 import run_fig5a
+
+
+def test_fig5a_regret_ratios(benchmark):
+    """Fig. 5(a): noisy linear query, all versions against the risk-averse baseline."""
+    scale = bench_scale()
+    rounds = int(6_000 * scale)
+    dimension = 40 if scale < 3 else 100
+    result = run_once(
+        benchmark,
+        run_fig5a,
+        dimension=dimension,
+        rounds=rounds,
+        owner_count=200,
+        delta=0.01,
+        seed=11,
+    )
+
+    print()
+    print(result.format())
+    print(
+        "reduction vs risk-averse baseline: with reserve price %.1f%%, "
+        "with reserve price and uncertainty %.1f%%"
+        % (
+            result.reduction_vs_risk_averse("with reserve price"),
+            result.reduction_vs_risk_averse("with reserve price and uncertainty"),
+        )
+    )
+
+    finals = result.final_ratio
+    # The paper's Fig. 5(a) claims: the ellipsoid versions beat the risk-averse
+    # baseline, and the reserve price mitigates the cold start (lower ratio at
+    # small t than the corresponding version without reserve).
+    assert finals["with reserve price"] < finals["risk-averse baseline"]
+    assert finals["with reserve price and uncertainty"] < finals["risk-averse baseline"]
+    early_index = 0
+    reserve_early = result.regret_ratio["with reserve price"][early_index]
+    pure_early = result.regret_ratio["pure version"][early_index]
+    assert reserve_early <= pure_early + 1e-9
+    benchmark.extra_info["final_ratio"] = finals

@@ -1,0 +1,38 @@
+"""Bench for Fig. 5(c): impression-pricing regret ratios (logistic model)."""
+
+from conftest import bench_scale, run_once
+
+from repro.experiments.fig5 import run_fig5c
+
+
+def test_fig5c_impressions(benchmark):
+    """Fig. 5(c): sparse vs dense cases of the CTR-priced impression stream."""
+    scale = bench_scale()
+    impressions = int(5_000 * scale)
+    dimensions = (128,) if scale < 3 else (128, 1024)
+    result = run_once(
+        benchmark,
+        run_fig5c,
+        impression_count=impressions,
+        training_count=impressions,
+        dimensions=dimensions,
+        seed=17,
+    )
+
+    print()
+    print(result.format())
+
+    # Paper claims reproduced in shape: the learned CTR model is sparse, the
+    # dense case prices in a much smaller dimension than the hashing modulus,
+    # and its regret ratio decreases at least as fast as the sparse case's.
+    for dimension in dimensions:
+        sparse_label = "n=%d (sparse)" % dimension
+        dense_label = "n=%d (dense)" % dimension
+        assert result.nonzero_weights[dense_label] < dimension
+        assert (
+            result.final_ratio[dense_label]
+            <= result.final_ratio[sparse_label] + 0.05
+        )
+        assert result.regret_ratio[sparse_label][-1] <= result.regret_ratio[sparse_label][0] + 1e-9
+    benchmark.extra_info["final_ratio"] = result.final_ratio
+    benchmark.extra_info["nonzero_weights"] = result.nonzero_weights

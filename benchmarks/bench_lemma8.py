@@ -1,0 +1,28 @@
+"""Bench for Lemma 8 / Fig. 6: the conservative-price-cut ablation."""
+
+from conftest import bench_scale, run_once
+
+from repro.experiments.adversarial import run_adversarial_example
+
+
+def test_lemma8_adversarial_example(benchmark):
+    """Allowing conservative-price cuts lets the adversary force Ω(T) regret."""
+    scale = bench_scale()
+    rounds = int(2_000 * scale)
+    results = run_once(benchmark, run_adversarial_example, rounds=rounds)
+
+    print()
+    for result in results.values():
+        print(result.format())
+
+    forbidden = results["forbidden"]
+    allowed = results["allowed"]
+    # The paper's Lemma 8: the ablated broker (cutting on conservative prices)
+    # suffers regret that grows linearly in T, while the correct broker's
+    # regret stays bounded by the (logarithmic) exploration budget.
+    assert allowed.cumulative_regret > 10.0 * max(forbidden.cumulative_regret, 1.0)
+    assert allowed.width_along_second_axis_at_half_time > 10.0 * max(
+        forbidden.width_along_second_axis_at_half_time, 1e-9
+    )
+    benchmark.extra_info["forbidden_regret"] = forbidden.cumulative_regret
+    benchmark.extra_info["allowed_regret"] = allowed.cumulative_regret

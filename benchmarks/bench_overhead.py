@@ -1,0 +1,77 @@
+"""Bench for Section V-D: per-round online latency and memory overhead.
+
+Unlike the figure benches (which time a whole experiment once), the per-round
+latency is also measured directly with pytest-benchmark on a single
+propose/update cycle of the n = 100 ellipsoid pricer — the quantity the paper
+reports in milliseconds per query.
+"""
+
+import numpy as np
+from conftest import bench_scale, run_once
+
+from repro.core.pricing import PricerConfig, EllipsoidPricer
+from repro.experiments.overhead import format_overhead, run_overhead
+
+
+def test_overhead_report(benchmark):
+    """Latency / memory table for the three applications (plus polytope ablation)."""
+    scale = bench_scale()
+    reports = run_once(
+        benchmark,
+        run_overhead,
+        noisy_query_rounds=int(1_000 * scale),
+        noisy_query_dimension=100,
+        listing_count=int(1_000 * scale),
+        impression_count=int(1_000 * scale),
+        impression_dimension=1024,
+        owner_count=200,
+        include_polytope_ablation=True,
+        polytope_rounds=int(100 * scale),
+        seed=23,
+    )
+
+    print()
+    print(format_overhead(reports))
+
+    ellipsoid_reports = [r for r in reports if "[polytope]" not in r.version]
+    polytope_reports = [r for r in reports if "[polytope]" in r.version]
+    for report in ellipsoid_reports:
+        # The paper reports millisecond-scale latencies and an O(n^2) state;
+        # generous ceilings so the assertion is about magnitude, not machine.
+        assert report.mean_latency_ms < 50.0
+        assert report.state_megabytes < 160.0
+    if polytope_reports:
+        # The exact polytope (two LPs per round) must be far slower than the
+        # ellipsoid representation — the paper's argument for using ellipsoids.
+        ellipsoid_small = [r for r in ellipsoid_reports if r.dimension <= 20]
+        if ellipsoid_small:
+            assert polytope_reports[0].mean_latency_ms > 2.0 * ellipsoid_small[0].mean_latency_ms
+    benchmark.extra_info["reports"] = [r.as_cells() for r in reports]
+
+
+def test_single_round_latency_n100(benchmark):
+    """Per-round propose+update latency of the n = 100 pricer (paper: ~0.1 ms)."""
+    dimension = 100
+    pricer = EllipsoidPricer(
+        PricerConfig(dimension=dimension, radius=2.0 * np.sqrt(dimension), epsilon=1e-4)
+    )
+    rng = np.random.default_rng(0)
+    features = np.abs(rng.standard_normal(dimension))
+    features /= np.linalg.norm(features)
+
+    def one_round():
+        decision = pricer.propose(features, reserve=0.5)
+        pricer.update(decision, accepted=True)
+        return decision
+
+    benchmark(one_round)
+    report = pricer.memory_report()
+    print()
+    print(
+        "n=100 pricer state: %.3f MB (process RSS %s MB)"
+        % (
+            report.state_megabytes,
+            "%.0f" % report.process_megabytes if report.process_megabytes else "n/a",
+        )
+    )
+    assert report.state_megabytes < 1.0

@@ -1,0 +1,78 @@
+"""Bench for the regret-scaling sweeps backing Theorems 1 and 3 (plus ε ablation)."""
+
+from conftest import bench_scale, run_once
+
+from repro.experiments.regret_scaling import (
+    format_scaling,
+    run_dimension_scaling,
+    run_epsilon_ablation,
+    run_horizon_scaling,
+)
+
+
+def test_horizon_scaling(benchmark):
+    """Cumulative regret grows sub-linearly in the horizon T (Theorem 1 shape)."""
+    scale = bench_scale()
+    horizons = tuple(int(h * scale) for h in (1_000, 2_000, 4_000, 8_000))
+    results = run_once(
+        benchmark, run_horizon_scaling, horizons=horizons, dimension=20, owner_count=200, seed=29
+    )
+
+    print()
+    print(format_scaling(results))
+
+    # Sub-linearity: doubling T must multiply the cumulative regret by clearly
+    # less than 2 once past the initial exploration phase.
+    first, last = results[0], results[-1]
+    growth = last.cumulative_regret / max(first.cumulative_regret, 1e-9)
+    horizon_growth = last.rounds / first.rounds
+    assert growth < horizon_growth
+    # The regret ratio improves with longer horizons.
+    assert last.regret_ratio < first.regret_ratio
+    benchmark.extra_info["regret"] = {r.rounds: r.cumulative_regret for r in results}
+
+
+def test_dimension_scaling(benchmark):
+    """Cumulative regret grows with the feature dimension n (Theorem 1 shape)."""
+    scale = bench_scale()
+    rounds = int(4_000 * scale)
+    results = run_once(
+        benchmark,
+        run_dimension_scaling,
+        dimensions=(10, 20, 40),
+        rounds=rounds,
+        owner_count=200,
+        seed=31,
+    )
+
+    print()
+    print(format_scaling(results))
+
+    regrets = [r.cumulative_regret for r in results]
+    assert regrets[0] < regrets[-1]
+    benchmark.extra_info["regret"] = {r.dimension: r.cumulative_regret for r in results}
+
+
+def test_epsilon_ablation(benchmark):
+    """Regret as ε is scaled around the theoretical max(n²/T, 4nδ) setting."""
+    scale = bench_scale()
+    rounds = int(4_000 * scale)
+    results = run_once(
+        benchmark,
+        run_epsilon_ablation,
+        epsilon_multipliers=(0.25, 1.0, 4.0, 16.0),
+        dimension=20,
+        rounds=rounds,
+        owner_count=200,
+        seed=37,
+    )
+
+    print()
+    print(format_scaling(results))
+
+    # A hugely inflated ε must not beat the theoretical setting by much: it
+    # stops exploration too early and pays the conservative-price gap forever.
+    theoretical = next(r for r in results if r.parameter_value == 1.0)
+    inflated = next(r for r in results if r.parameter_value == 16.0)
+    assert inflated.cumulative_regret > 0.8 * theoretical.cumulative_regret
+    benchmark.extra_info["regret"] = {r.parameter_value: r.cumulative_regret for r in results}

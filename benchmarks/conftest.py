@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark suite.
+
+Each bench regenerates one table or figure of the paper at a laptop-scale
+size (the ``SCALE`` environment variable enlarges the workloads, e.g.
+``REPRO_BENCH_SCALE=5 pytest benchmarks/ --benchmark-only`` for runs closer to
+the paper's horizons) and prints the reproduced rows / series so the output
+can be compared with the paper directly (run with ``-s`` to see it live).
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> float:
+    """Multiplier applied to benchmark workload sizes (default 1)."""
+    try:
+        return max(0.1, float(os.environ.get("REPRO_BENCH_SCALE", "1")))
+    except ValueError:
+        return 1.0
+
+
+@pytest.fixture
+def scale() -> float:
+    """Workload scale multiplier fixture."""
+    return bench_scale()
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

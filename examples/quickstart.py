@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Quickstart: price a stream of queries with the ellipsoid posted price mechanism.
+
+This example builds a tiny linear market by hand (no dataset substrate), runs
+the four algorithm versions of the paper over the same arrival sequence, and
+prints their cumulative regrets and regret ratios — the core loop behind
+Fig. 4.  It also plots (as text) the single-round regret function of Fig. 1.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    GaussianNoise,
+    LinearModel,
+    PricerConfig,
+    QueryArrival,
+    compare_pricers,
+    make_pricer,
+    single_round_regret_curve,
+)
+
+DIMENSION = 10
+ROUNDS = 3_000
+SEED = 42
+
+
+def build_market(rng: np.random.Generator):
+    """A hand-rolled linear market: non-negative features, reserve = 0.8 × Σx."""
+    theta = np.abs(rng.standard_normal(DIMENSION))
+    theta *= np.sqrt(2 * DIMENSION) / np.linalg.norm(theta)
+    model = LinearModel(theta)
+
+    noise = GaussianNoise(sigma=0.002)
+    arrivals = []
+    for _ in range(ROUNDS):
+        features = np.abs(rng.standard_normal(DIMENSION))
+        features /= np.linalg.norm(features)
+        arrivals.append(
+            QueryArrival(
+                features=features,
+                reserve_value=0.8 * float(np.sum(features)),
+                noise=float(noise.sample(rng)),
+            )
+        )
+    return model, arrivals
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    model, arrivals = build_market(rng)
+
+    radius = 2.0 * np.sqrt(DIMENSION)
+    epsilon = PricerConfig.theoretical_epsilon(DIMENSION, ROUNDS, delta=0.01)
+
+    pricers = [
+        make_pricer(DIMENSION, radius, epsilon, delta=0.0, use_reserve=False),  # pure version
+        make_pricer(DIMENSION, radius, epsilon, delta=0.01, use_reserve=False),  # with uncertainty
+        make_pricer(DIMENSION, radius, epsilon, delta=0.0, use_reserve=True),  # with reserve price
+        make_pricer(DIMENSION, radius, epsilon, delta=0.01, use_reserve=True),  # reserve + uncertainty
+    ]
+
+    print("Fig. 1 — single-round regret as a function of the posted price")
+    market_value, reserve = 10.0, 6.0
+    prices = np.linspace(0.0, 14.0, 8)
+    regrets = single_round_regret_curve(market_value, reserve, prices)
+    for price, regret in zip(prices, regrets):
+        bar = "#" * int(round(regret))
+        print("  posted price %5.2f -> regret %5.2f  %s" % (price, regret, bar))
+    print()
+
+    print("Four algorithm versions over the same %d-round market (n = %d)" % (ROUNDS, DIMENSION))
+    results = compare_pricers(model, pricers, arrivals)
+    for result in results:
+        print(
+            "  %-38s cumulative regret %9.2f   regret ratio %6.2f%%   sale rate %5.1f%%"
+            % (
+                result.pricer_name,
+                result.cumulative_regret,
+                100.0 * result.regret_ratio,
+                100.0 * result.sale_rate(),
+            )
+        )
+
+
+if __name__ == "__main__":
+    main()

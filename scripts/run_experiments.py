@@ -1,0 +1,223 @@
+#!/usr/bin/env python3
+"""Run every experiment at (near-)paper scale and write the results report.
+
+This is the script behind EXPERIMENTS.md: it regenerates each table and figure
+at the largest scale that is practical on a laptop, prints the series, and
+stores everything in ``results/experiments_report.txt`` plus a machine-readable
+``results/experiments_report.json``.
+
+Run:  python scripts/run_experiments.py [--quick]
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.experiments.adversarial import run_adversarial_example
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.overhead import format_overhead, run_overhead
+from repro.experiments.regret_scaling import (
+    format_scaling,
+    run_dimension_scaling,
+    run_epsilon_ablation,
+    run_horizon_scaling,
+)
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="run a fast, scaled-down pass")
+    parser.add_argument("--output-dir", default="results")
+    args = parser.parse_args()
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    lines = []
+    summary = {}
+
+    def emit(text=""):
+        print(text, flush=True)
+        lines.append(text)
+
+    start = time.time()
+    quick = args.quick
+
+    # ------------------------------------------------------------------ Fig. 4
+    emit("=" * 78)
+    emit("Fig. 4 — cumulative regret, noisy linear query, four algorithm versions")
+    emit("=" * 78)
+    fig4 = run_fig4(
+        dimensions=(1, 20, 40, 60, 80, 100) if not quick else (1, 20),
+        rounds=None if not quick else 2_000,
+        owner_count=300 if not quick else 150,
+        seed=7,
+    )
+    summary["fig4"] = {}
+    for dimension, result in fig4.items():
+        emit()
+        emit(result.format())
+        summary["fig4"][dimension] = {
+            "rounds": result.rounds,
+            "final_regret": result.final_regret,
+            "reserve_reduction_percent": result.reserve_reduction_percent,
+            "uncertainty_increase_percent": result.uncertainty_increase_percent,
+        }
+    emit("[fig4 done at %.0fs]" % (time.time() - start))
+
+    # ---------------------------------------------------------------- Table I
+    emit()
+    emit("=" * 78)
+    emit("Table I — per-round statistics, version with reserve price")
+    emit("=" * 78)
+    table1 = run_table1(
+        dimensions=(1, 20, 40, 60, 80, 100) if not quick else (1, 20),
+        rounds=None if not quick else 2_000,
+        owner_count=300 if not quick else 150,
+        seed=7,
+    )
+    emit(format_table1(table1))
+    summary["table1"] = [row.as_cells() for row in table1]
+    emit("[table1 done at %.0fs]" % (time.time() - start))
+
+    # --------------------------------------------------------------- Fig. 5(a)
+    emit()
+    emit("=" * 78)
+    emit("Fig. 5(a) — regret ratios, noisy linear query, n = 100")
+    emit("=" * 78)
+    fig5a = run_fig5a(
+        dimension=100 if not quick else 20,
+        rounds=20_000 if not quick else 2_000,
+        owner_count=300 if not quick else 150,
+        seed=11,
+    )
+    emit(fig5a.format())
+    emit(
+        "reduction vs risk-averse: reserve %.1f%%, reserve+uncertainty %.1f%%"
+        % (
+            fig5a.reduction_vs_risk_averse("with reserve price"),
+            fig5a.reduction_vs_risk_averse("with reserve price and uncertainty"),
+        )
+    )
+    summary["fig5a"] = fig5a.final_ratio
+    emit("[fig5a done at %.0fs]" % (time.time() - start))
+
+    # --------------------------------------------------------------- Fig. 5(b)
+    emit()
+    emit("=" * 78)
+    emit("Fig. 5(b) — regret ratios, accommodation rental, log-linear model")
+    emit("=" * 78)
+    fig5b = run_fig5b(
+        listing_count=74_111 if not quick else 3_000,
+        reserve_log_ratios=(0.4, 0.6, 0.8),
+        seed=13,
+    )
+    emit(fig5b.format())
+    summary["fig5b"] = {
+        "final_ratio": fig5b.final_ratio,
+        "risk_averse_ratio": fig5b.risk_averse_ratio,
+        "test_mse": fig5b.test_mse,
+    }
+    emit("[fig5b done at %.0fs]" % (time.time() - start))
+
+    # --------------------------------------------------------------- Fig. 5(c)
+    emit()
+    emit("=" * 78)
+    emit("Fig. 5(c) — regret ratios, impression pricing, logistic model")
+    emit("=" * 78)
+    fig5c = run_fig5c(
+        impression_count=20_000 if not quick else 3_000,
+        training_count=20_000 if not quick else 3_000,
+        dimensions=(128, 1024) if not quick else (64,),
+        seed=17,
+    )
+    emit(fig5c.format())
+    summary["fig5c"] = {
+        "final_ratio": fig5c.final_ratio,
+        "nonzero_weights": fig5c.nonzero_weights,
+    }
+    emit("[fig5c done at %.0fs]" % (time.time() - start))
+
+    # ------------------------------------------------------- Section V-D
+    emit()
+    emit("=" * 78)
+    emit("Section V-D — online latency and memory overhead")
+    emit("=" * 78)
+    overhead = run_overhead(
+        noisy_query_rounds=2_000 if not quick else 300,
+        noisy_query_dimension=100,
+        listing_count=2_000 if not quick else 300,
+        impression_count=2_000 if not quick else 300,
+        impression_dimension=1024 if not quick else 128,
+        owner_count=300 if not quick else 100,
+        include_polytope_ablation=True,
+        polytope_rounds=200 if not quick else 50,
+        seed=23,
+    )
+    emit(format_overhead(overhead))
+    summary["overhead"] = [report.as_cells() for report in overhead]
+    emit("[overhead done at %.0fs]" % (time.time() - start))
+
+    # ------------------------------------------------------- Lemma 8 / Fig. 6
+    emit()
+    emit("=" * 78)
+    emit("Lemma 8 / Fig. 6 — conservative-price-cut ablation")
+    emit("=" * 78)
+    adversarial = run_adversarial_example(rounds=4_000 if not quick else 800)
+    for result in adversarial.values():
+        emit(result.format())
+    summary["lemma8"] = {
+        key: value.cumulative_regret for key, value in adversarial.items()
+    }
+    emit("[lemma8 done at %.0fs]" % (time.time() - start))
+
+    # ------------------------------------------------------- scaling sweeps
+    emit()
+    emit("=" * 78)
+    emit("Theorem 1 / 3 — regret scaling sweeps and epsilon ablation")
+    emit("=" * 78)
+    horizon = run_horizon_scaling(
+        horizons=(1_000, 2_000, 5_000, 10_000, 20_000) if not quick else (500, 1_000),
+        dimension=20,
+        owner_count=300 if not quick else 100,
+        seed=29,
+    )
+    emit(format_scaling(horizon))
+    emit()
+    dimension_sweep = run_dimension_scaling(
+        dimensions=(10, 20, 40, 60, 80) if not quick else (5, 10),
+        rounds=10_000 if not quick else 1_000,
+        owner_count=300 if not quick else 100,
+        seed=31,
+    )
+    emit(format_scaling(dimension_sweep))
+    emit()
+    epsilon = run_epsilon_ablation(
+        epsilon_multipliers=(0.1, 0.5, 1.0, 2.0, 10.0) if not quick else (1.0, 5.0),
+        dimension=20,
+        rounds=10_000 if not quick else 1_000,
+        owner_count=300 if not quick else 100,
+        seed=37,
+    )
+    emit(format_scaling(epsilon))
+    summary["scaling"] = {
+        "horizon": {r.rounds: r.cumulative_regret for r in horizon},
+        "dimension": {r.dimension: r.cumulative_regret for r in dimension_sweep},
+        "epsilon": {r.parameter_value: r.cumulative_regret for r in epsilon},
+    }
+
+    emit()
+    emit("total wall-clock: %.0f seconds" % (time.time() - start))
+
+    report_path = os.path.join(args.output_dir, "experiments_report.txt")
+    with open(report_path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with open(os.path.join(args.output_dir, "experiments_report.json"), "w") as handle:
+        json.dump(summary, handle, indent=2, default=str)
+    print("\nreport written to %s" % report_path)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

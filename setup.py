@@ -1,0 +1,24 @@
+"""Setuptools entry point.
+
+Kept as an explicit ``setup.py`` (rather than a PEP 517 ``[build-system]``
+table) so that editable installs work in offline environments that lack the
+``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Online Pricing with Reserve Price Constraint for "
+        "Personal Data Markets' (ICDE 2020)"
+    ),
+    author="Reproduction authors",
+    license="MIT",
+    python_requires=">=3.9",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.21", "scipy>=1.7"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,98 @@
+"""repro — reproduction of "Online Pricing with Reserve Price Constraint for Personal Data Markets".
+
+The package implements the paper's contextual dynamic pricing mechanism with
+reserve price constraint (ICDE 2020, Niu et al.) together with every substrate
+its evaluation depends on: the personal data market model (owners, queries,
+privacy compensation, feature construction), synthetic stand-ins for the three
+evaluation datasets, the offline learning pipelines that fit market value
+models, and an experiment harness that regenerates every table and figure.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import LinearModel, PricerConfig, EllipsoidPricer
+>>> theta = np.array([1.0, 2.0, 0.5])
+>>> model = LinearModel(theta)
+>>> pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=4.0, epsilon=0.01))
+>>> decision = pricer.propose(np.array([0.5, 0.5, 0.5]), reserve=1.0)
+>>> decision.posted
+True
+"""
+
+from repro.core import (
+    ConstantMarkupPricer,
+    Ellipsoid,
+    EllipsoidKnowledge,
+    EllipsoidPricer,
+    FixedPricePricer,
+    GaussianNoise,
+    GeneralizedLinearMarketModel,
+    IntervalKnowledge,
+    KernelizedModel,
+    KnowledgeSet,
+    LinearModel,
+    LogLinearModel,
+    LogLogModel,
+    LogisticModel,
+    MarketSimulator,
+    MarketValueModel,
+    NoNoise,
+    OneDimensionalPricer,
+    OraclePricer,
+    PolytopeKnowledge,
+    PricerConfig,
+    PricingDecision,
+    RegretAccumulator,
+    RiskAversePricer,
+    SGDContextualPricer,
+    SimulationResult,
+    SubGaussianNoise,
+    UniformNoise,
+    make_pricer,
+    regret_ratio,
+    single_round_regret,
+    single_round_regret_curve,
+    uncertainty_buffer,
+)
+from repro.core.simulation import QueryArrival, compare_pricers
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Ellipsoid",
+    "KnowledgeSet",
+    "EllipsoidKnowledge",
+    "IntervalKnowledge",
+    "PolytopeKnowledge",
+    "MarketValueModel",
+    "GeneralizedLinearMarketModel",
+    "LinearModel",
+    "LogLinearModel",
+    "LogLogModel",
+    "LogisticModel",
+    "KernelizedModel",
+    "SubGaussianNoise",
+    "GaussianNoise",
+    "UniformNoise",
+    "NoNoise",
+    "uncertainty_buffer",
+    "EllipsoidPricer",
+    "OneDimensionalPricer",
+    "PricerConfig",
+    "PricingDecision",
+    "make_pricer",
+    "RiskAversePricer",
+    "OraclePricer",
+    "FixedPricePricer",
+    "ConstantMarkupPricer",
+    "SGDContextualPricer",
+    "single_round_regret",
+    "single_round_regret_curve",
+    "regret_ratio",
+    "RegretAccumulator",
+    "MarketSimulator",
+    "SimulationResult",
+    "QueryArrival",
+    "compare_pricers",
+]

@@ -1,0 +1,147 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Provides quick access to the experiment harness without writing any code:
+
+.. code-block:: console
+
+   python -m repro fig4 --dimensions 1 20 --rounds 2000
+   python -m repro fig5a --dimension 40 --rounds 5000
+   python -m repro fig5b --listings 5000
+   python -m repro fig5c --impressions 5000 --dimensions 128
+   python -m repro table1 --dimensions 1 20 40
+   python -m repro overhead
+   python -m repro lemma8 --rounds 2000
+   python -m repro cold-start --dimension 40
+   python -m repro noise-robustness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.adversarial import run_adversarial_example
+from repro.experiments.cold_start import run_cold_start
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.noise_robustness import format_noise_robustness, run_noise_robustness
+from repro.experiments.overhead import format_overhead, run_overhead
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of the personal-data-market pricing paper.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    fig4 = subparsers.add_parser("fig4", help="cumulative regret of the four algorithm versions")
+    fig4.add_argument("--dimensions", type=int, nargs="+", default=[1, 20])
+    fig4.add_argument("--rounds", type=int, default=4000)
+    fig4.add_argument("--owners", type=int, default=300)
+    fig4.add_argument("--seed", type=int, default=7)
+
+    fig5a = subparsers.add_parser("fig5a", help="regret ratios, noisy linear query")
+    fig5a.add_argument("--dimension", type=int, default=40)
+    fig5a.add_argument("--rounds", type=int, default=6000)
+    fig5a.add_argument("--owners", type=int, default=300)
+    fig5a.add_argument("--seed", type=int, default=11)
+
+    fig5b = subparsers.add_parser("fig5b", help="regret ratios, accommodation rental")
+    fig5b.add_argument("--listings", type=int, default=8000)
+    fig5b.add_argument("--seed", type=int, default=13)
+
+    fig5c = subparsers.add_parser("fig5c", help="regret ratios, impression pricing")
+    fig5c.add_argument("--impressions", type=int, default=8000)
+    fig5c.add_argument("--dimensions", type=int, nargs="+", default=[128])
+    fig5c.add_argument("--seed", type=int, default=17)
+
+    table1 = subparsers.add_parser("table1", help="per-round statistics (version with reserve)")
+    table1.add_argument("--dimensions", type=int, nargs="+", default=[1, 20, 40])
+    table1.add_argument("--rounds", type=int, default=4000)
+    table1.add_argument("--owners", type=int, default=300)
+    table1.add_argument("--seed", type=int, default=7)
+
+    overhead = subparsers.add_parser("overhead", help="online latency and memory overhead")
+    overhead.add_argument("--rounds", type=int, default=1000)
+    overhead.add_argument("--polytope", action="store_true", help="include the polytope ablation")
+
+    lemma8 = subparsers.add_parser("lemma8", help="conservative-price-cut adversarial example")
+    lemma8.add_argument("--rounds", type=int, default=2000)
+
+    cold = subparsers.add_parser("cold-start", help="reserve price cold-start mitigation")
+    cold.add_argument("--dimension", type=int, default=40)
+    cold.add_argument("--rounds", type=int, default=4000)
+    cold.add_argument("--window", type=int, default=200)
+
+    noise = subparsers.add_parser("noise-robustness", help="uncertainty buffer ablation")
+    noise.add_argument("--rounds", type=int, default=4000)
+    noise.add_argument("--no-buffer", action="store_true", help="run without the δ buffer")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig4":
+        results = run_fig4(
+            dimensions=tuple(args.dimensions),
+            rounds=args.rounds,
+            owner_count=args.owners,
+            seed=args.seed,
+        )
+        for result in results.values():
+            print(result.format())
+            print()
+    elif args.command == "fig5a":
+        result = run_fig5a(
+            dimension=args.dimension, rounds=args.rounds, owner_count=args.owners, seed=args.seed
+        )
+        print(result.format())
+    elif args.command == "fig5b":
+        print(run_fig5b(listing_count=args.listings, seed=args.seed).format())
+    elif args.command == "fig5c":
+        print(
+            run_fig5c(
+                impression_count=args.impressions,
+                training_count=args.impressions,
+                dimensions=tuple(args.dimensions),
+                seed=args.seed,
+            ).format()
+        )
+    elif args.command == "table1":
+        rows = run_table1(
+            dimensions=tuple(args.dimensions),
+            rounds=args.rounds,
+            owner_count=args.owners,
+            seed=args.seed,
+        )
+        print(format_table1(rows))
+    elif args.command == "overhead":
+        reports = run_overhead(
+            noisy_query_rounds=args.rounds,
+            listing_count=args.rounds,
+            impression_count=args.rounds,
+            include_polytope_ablation=args.polytope,
+        )
+        print(format_overhead(reports))
+    elif args.command == "lemma8":
+        for result in run_adversarial_example(rounds=args.rounds).values():
+            print(result.format())
+    elif args.command == "cold-start":
+        print(run_cold_start(dimension=args.dimension, rounds=args.rounds, window=args.window).format())
+    elif args.command == "noise-robustness":
+        results = run_noise_robustness(use_buffer=not args.no_buffer, rounds=args.rounds)
+        print(format_noise_robustness(results))
+    else:  # pragma: no cover - argparse enforces the choices
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The paper's three application instances.
+
+* :mod:`repro.apps.noisy_linear_query` — pricing noisy linear queries over a
+  personal data market (linear market value model; Section V-A),
+* :mod:`repro.apps.accommodation` — pricing accommodation rentals on a booking
+  platform (log-linear model; Section V-B),
+* :mod:`repro.apps.impression` — pricing ad impressions on a web publisher
+  (logistic model; Section V-C).
+
+Each module builds a market environment (model + arrival sequence) from its
+substrate and runs the requested algorithm versions over it via
+:mod:`repro.apps.common`.
+"""
+
+from repro.apps.common import (
+    ALGORITHM_VERSIONS,
+    AppEnvironment,
+    build_pricer_for_version,
+    run_versions,
+)
+from repro.apps.noisy_linear_query import (
+    NoisyLinearQueryConfig,
+    build_noisy_query_environment,
+    run_noisy_query_experiment,
+)
+from repro.apps.accommodation import (
+    AccommodationConfig,
+    build_accommodation_environment,
+    run_accommodation_experiment,
+)
+from repro.apps.impression import (
+    ImpressionConfig,
+    build_impression_environment,
+    run_impression_experiment,
+)
+
+__all__ = [
+    "ALGORITHM_VERSIONS",
+    "AppEnvironment",
+    "build_pricer_for_version",
+    "run_versions",
+    "NoisyLinearQueryConfig",
+    "build_noisy_query_environment",
+    "run_noisy_query_experiment",
+    "AccommodationConfig",
+    "build_accommodation_environment",
+    "run_accommodation_experiment",
+    "ImpressionConfig",
+    "build_impression_environment",
+    "run_impression_experiment",
+]

@@ -1,0 +1,148 @@
+"""Shared plumbing for the three application instances.
+
+An application prepares an :class:`AppEnvironment` — a market value model, a
+materialised arrival sequence (so every algorithm version sees the same
+market), and the pricer hyper-parameters derived from the paper's setup — and
+then asks :func:`run_versions` to simulate any subset of the four algorithm
+versions plus the risk-averse baseline over it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import PostedPriceMechanism
+from repro.core.baselines import RiskAversePricer
+from repro.core.models import MarketValueModel
+from repro.core.pricing import make_pricer
+from repro.core.simulation import MarketSimulator, QueryArrival, SimulationResult
+
+#: The four algorithm versions evaluated throughout Section V, keyed by the
+#: names used in the paper's figures.
+ALGORITHM_VERSIONS = (
+    "pure version",
+    "with uncertainty",
+    "with reserve price",
+    "with reserve price and uncertainty",
+)
+
+#: The paper's risk-averse comparison baseline (post the reserve every round).
+RISK_AVERSE = "risk-averse baseline"
+
+
+@dataclass
+class AppEnvironment:
+    """A fully materialised market environment for one application instance.
+
+    Attributes
+    ----------
+    model:
+        Market value model generating ``v_t`` (holds the true ``θ*``).
+    arrivals:
+        The query arrival sequence, with reserve prices and pre-drawn noise.
+    dimension:
+        Link-space feature dimension ``n`` seen by the pricer.
+    radius:
+        Radius ``R`` of the initial knowledge ball.
+    epsilon:
+        Exploration threshold ``ε``.
+    delta:
+        Uncertainty buffer ``δ`` used by the "...with uncertainty" versions.
+    feature_norm_bound:
+        The bound ``S`` on the link-space feature norms (reported for context).
+    name:
+        Application name used in reports.
+    initial_ellipsoid:
+        Optional warm-start knowledge ellipsoid shared by all pricer versions;
+        ``None`` (the paper's setting) means the origin-centered ball of
+        radius ``radius``.
+    """
+
+    model: MarketValueModel
+    arrivals: List[QueryArrival]
+    dimension: int
+    radius: float
+    epsilon: float
+    delta: float
+    feature_norm_bound: float
+    name: str
+    metadata: dict = field(default_factory=dict)
+    initial_ellipsoid: object = None
+
+    @property
+    def rounds(self) -> int:
+        """Number of arrivals in the environment."""
+        return len(self.arrivals)
+
+
+def build_pricer_for_version(
+    environment: AppEnvironment,
+    version: str,
+    allow_conservative_cuts: bool = False,
+    knowledge: str = "ellipsoid",
+) -> PostedPriceMechanism:
+    """Instantiate the pricer corresponding to one of the paper's versions."""
+    if version == RISK_AVERSE:
+        return RiskAversePricer()
+    if version not in ALGORITHM_VERSIONS:
+        raise ValueError(
+            "unknown version %r; expected one of %s or %r"
+            % (version, list(ALGORITHM_VERSIONS), RISK_AVERSE)
+        )
+    use_reserve = "reserve" in version
+    delta = environment.delta if "uncertainty" in version else 0.0
+    return make_pricer(
+        dimension=environment.dimension,
+        radius=environment.radius,
+        epsilon=environment.epsilon,
+        delta=delta,
+        use_reserve=use_reserve,
+        allow_conservative_cuts=allow_conservative_cuts,
+        knowledge=knowledge,
+        initial_ellipsoid=environment.initial_ellipsoid,
+    )
+
+
+def run_versions(
+    environment: AppEnvironment,
+    versions: Sequence[str] = ALGORITHM_VERSIONS,
+    include_risk_averse: bool = False,
+    track_latency: bool = False,
+    allow_conservative_cuts: bool = False,
+    knowledge: str = "ellipsoid",
+) -> Dict[str, SimulationResult]:
+    """Simulate the requested algorithm versions over one environment.
+
+    Every version replays exactly the same arrival sequence (queries, reserve
+    prices, and noise realisation), which is the comparison protocol of the
+    paper's Fig. 4 / Fig. 5.
+    """
+    names = list(versions)
+    if include_risk_averse:
+        names.append(RISK_AVERSE)
+    results: Dict[str, SimulationResult] = {}
+    for version in names:
+        pricer = build_pricer_for_version(
+            environment,
+            version,
+            allow_conservative_cuts=allow_conservative_cuts,
+            knowledge=knowledge,
+        )
+        simulator = MarketSimulator(
+            model=environment.model, pricer=pricer, track_latency=track_latency
+        )
+        result = simulator.run(environment.arrivals)
+        result.pricer_name = version
+        results[version] = result
+    return results
+
+
+def scale_to_norm(vector: np.ndarray, norm: float) -> np.ndarray:
+    """Rescale ``vector`` so its L2 norm equals ``norm`` (no-op for zero vectors)."""
+    current = float(np.linalg.norm(vector))
+    if current == 0.0:
+        return vector.copy()
+    return vector * (norm / current)

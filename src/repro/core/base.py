@@ -1,0 +1,108 @@
+"""Shared interface of all posted price mechanisms.
+
+Every pricer in this package — the ellipsoid pricers of Algorithms 1/2, the
+one-dimensional bisection pricer, and the baselines — exposes the same two-step
+protocol used by the online market simulator:
+
+1. :meth:`PostedPriceMechanism.propose` receives the query's (link-space)
+   feature vector and reserve price and returns a :class:`PricingDecision`;
+2. :meth:`PostedPriceMechanism.update` receives the same decision together with
+   the consumer's accept/reject feedback and refines the pricer's state.
+
+All quantities live in the *link space* of the market value model (see
+:mod:`repro.core.models`); for the fundamental linear model the link space and
+the real price space coincide.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.memory import PricerMemoryReport, report_for_arrays
+
+
+@dataclass
+class PricingDecision:
+    """The outcome of one call to :meth:`PostedPriceMechanism.propose`.
+
+    Attributes
+    ----------
+    features:
+        The (link-space) feature vector ``φ(x_t)`` the decision was made for.
+    reserve:
+        The reserve price in link space, or ``None`` when the pricer ignores
+        reserve prices (the starred algorithm versions).
+    lower_bound / upper_bound:
+        The pricer's bounds ``p̲_t`` / ``p̄_t`` on the link-space market value.
+        Baselines that do not track bounds report ``-inf`` / ``+inf``.
+    price:
+        The posted link-space price, or ``None`` when the round is skipped.
+    exploratory:
+        Whether the price is the exploratory price (midpoint-based) rather
+        than the conservative price.
+    skipped:
+        ``True`` when the pricer declines to post (certain no-deal because the
+        reserve price exceeds the maximum possible market value).
+    round_index:
+        Sequential index assigned by the pricer (0-based).
+    """
+
+    features: np.ndarray
+    reserve: Optional[float]
+    lower_bound: float
+    upper_bound: float
+    price: Optional[float]
+    exploratory: bool
+    skipped: bool
+    round_index: int
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def width(self) -> float:
+        """Width ``p̄_t - p̲_t`` of the value bounds."""
+        return self.upper_bound - self.lower_bound
+
+    @property
+    def posted(self) -> bool:
+        """Whether a price was actually posted this round."""
+        return not self.skipped and self.price is not None
+
+
+class PostedPriceMechanism(abc.ABC):
+    """Abstract posted price mechanism (seller side of one data trading round)."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "posted-price-mechanism"
+
+    def __init__(self) -> None:
+        self._round_index = 0
+
+    @property
+    def rounds_seen(self) -> int:
+        """Number of propose() calls so far."""
+        return self._round_index
+
+    @abc.abstractmethod
+    def propose(self, features, reserve: Optional[float] = None) -> PricingDecision:
+        """Choose a posted price for the query with link-space features ``features``."""
+
+    @abc.abstractmethod
+    def update(self, decision: PricingDecision, accepted: bool) -> None:
+        """Incorporate the consumer's accept/reject feedback for ``decision``."""
+
+    def state_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Arrays making up the pricer's state (for memory accounting)."""
+        return ()
+
+    def memory_report(self) -> PricerMemoryReport:
+        """Memory footprint of this pricer (Section V-D style accounting)."""
+        return report_for_arrays(self.state_arrays())
+
+    def _next_round(self) -> int:
+        index = self._round_index
+        self._round_index += 1
+        return index

@@ -1,0 +1,118 @@
+"""Baseline posted price mechanisms used for comparison in the evaluation.
+
+The paper's main comparator is the *risk-averse* baseline which posts the
+reserve price in every round (Section V-A / V-B); the oracle pricer plays the
+adversary's optimal price and therefore achieves zero regret, which makes it a
+useful reference and test fixture.  Two simple additional baselines (fixed
+price and constant markup over the reserve) round out the comparison set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.base import PostedPriceMechanism, PricingDecision
+from repro.utils.validation import ensure_finite_scalar, ensure_positive
+
+_NEGATIVE_INFINITY = float("-inf")
+_POSITIVE_INFINITY = float("inf")
+
+
+class _StatelessPricer(PostedPriceMechanism):
+    """Common plumbing for baselines that never learn from feedback."""
+
+    def update(self, decision: PricingDecision, accepted: bool) -> None:  # noqa: D401
+        """Baselines ignore feedback."""
+
+    def _decision(self, features, reserve: Optional[float], price: Optional[float]) -> PricingDecision:
+        features = np.atleast_1d(np.asarray(features, dtype=float))
+        skipped = price is None
+        return PricingDecision(
+            features=features,
+            reserve=reserve,
+            lower_bound=_NEGATIVE_INFINITY,
+            upper_bound=_POSITIVE_INFINITY,
+            price=price,
+            exploratory=False,
+            skipped=skipped,
+            round_index=self._next_round(),
+        )
+
+
+class RiskAversePricer(_StatelessPricer):
+    """The paper's risk-averse baseline: always post the reserve price.
+
+    Posting the reserve guarantees a sale whenever a sale is possible at all
+    (the reserve is a lower bound on any admissible price), but leaves the
+    whole markup between reserve and market value on the table; the paper
+    reports regret ratios of 9–23% for this baseline.
+    """
+
+    name = "risk-averse (post reserve)"
+
+    def propose(self, features, reserve: Optional[float] = None) -> PricingDecision:
+        if reserve is None:
+            raise ValueError("RiskAversePricer requires a reserve price each round")
+        reserve = ensure_finite_scalar(reserve, name="reserve")
+        return self._decision(features, reserve, reserve)
+
+
+class OraclePricer(_StatelessPricer):
+    """The adversary's pricer: knows the market value and posts it.
+
+    With the reserve price constraint the oracle posts
+    ``max(reserve, market value)`` when the reserve does not exceed the market
+    value (selling at full value) and skips otherwise; its regret is zero in
+    every round, matching the benchmark used in Equation (1).
+    """
+
+    name = "oracle"
+
+    def __init__(self, value_function: Callable[[np.ndarray], float]) -> None:
+        super().__init__()
+        self._value_function = value_function
+
+    def propose(self, features, reserve: Optional[float] = None) -> PricingDecision:
+        features_arr = np.atleast_1d(np.asarray(features, dtype=float))
+        value = float(self._value_function(features_arr))
+        if reserve is not None and reserve > value:
+            return self._decision(features_arr, reserve, None)
+        price = value if reserve is None else max(float(reserve), value)
+        return self._decision(features_arr, reserve, price)
+
+
+class FixedPricePricer(_StatelessPricer):
+    """Posts the same constant price in every round (respecting the reserve)."""
+
+    def __init__(self, price: float) -> None:
+        super().__init__()
+        self.price = ensure_finite_scalar(price, name="price")
+        self.name = "fixed price (%g)" % self.price
+
+    def propose(self, features, reserve: Optional[float] = None) -> PricingDecision:
+        price = self.price
+        if reserve is not None:
+            price = max(price, ensure_finite_scalar(reserve, name="reserve"))
+        return self._decision(features, reserve, price)
+
+
+class ConstantMarkupPricer(_StatelessPricer):
+    """Posts ``markup × reserve`` — the cost-plus pricing rule with a fixed markup.
+
+    This captures the static cost-plus strategy discussed in Section II-B
+    (the reserve price is the cost; a fixed multiplicative markup is applied),
+    without any learning of the actual revenue-to-cost ratio.
+    """
+
+    def __init__(self, markup: float) -> None:
+        super().__init__()
+        self.markup = ensure_positive(markup, name="markup")
+        self.name = "constant markup (x%g)" % self.markup
+
+    def propose(self, features, reserve: Optional[float] = None) -> PricingDecision:
+        if reserve is None:
+            raise ValueError("ConstantMarkupPricer requires a reserve price each round")
+        reserve = ensure_finite_scalar(reserve, name="reserve")
+        return self._decision(features, reserve, max(reserve, self.markup * reserve))

@@ -1,0 +1,260 @@
+"""Market value models.
+
+The paper assumes the market value of a query is a deterministic function of
+its feature vector plus some uncertainty (Section II-B).  The fundamental model
+is linear, ``v_t = x_t^T θ*``; Section IV unifies the non-linear extensions
+(log-linear, log-log, logistic, kernelized) into the general form
+
+.. math::
+
+   v_t = g(\\phi(x_t)^T \\theta^*)
+
+where ``g`` is a public non-decreasing continuous *link* function and ``φ`` is
+a public feature map; only the weight vector ``θ*`` is unknown.  The pricing
+mechanism operates entirely in the *link space* ``z = φ(x)^T θ`` and posts the
+real price ``g(z)``.
+
+A deliberate deviation from the paper: its logistic model is written
+``v = 1 / (1 + exp(x^T θ))``, which is *decreasing* in ``x^T θ`` and therefore
+contradicts the paper's own requirement that ``g`` be non-decreasing.  We use
+the standard non-decreasing sigmoid ``g(z) = 1 / (1 + exp(-z))``; the mechanism
+is identical up to the sign of ``θ`` (documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelSpecificationError
+from repro.utils.validation import ensure_vector
+
+
+def _sigmoid(z: float) -> float:
+    """Numerically stable logistic sigmoid."""
+    if z >= 0:
+        return 1.0 / (1.0 + math.exp(-z))
+    expz = math.exp(z)
+    return expz / (1.0 + expz)
+
+
+def _logit(p: float) -> float:
+    """Inverse of the logistic sigmoid; requires ``p`` strictly inside (0, 1)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("logit is only defined on (0, 1), got %g" % p)
+    return math.log(p / (1.0 - p))
+
+
+class MarketValueModel(abc.ABC):
+    """Interface of a market value model ``v = g(φ(x)^T θ*)``."""
+
+    @property
+    @abc.abstractmethod
+    def weight_dimension(self) -> int:
+        """Dimension of the weight vector ``θ*`` (and of ``φ(x)``)."""
+
+    @property
+    @abc.abstractmethod
+    def theta(self) -> np.ndarray:
+        """The true weight vector ``θ*`` used to generate market values."""
+
+    @abc.abstractmethod
+    def feature_map(self, features) -> np.ndarray:
+        """The feature map ``φ`` applied to a raw feature vector."""
+
+    @abc.abstractmethod
+    def link(self, z: float) -> float:
+        """The outer link function ``g`` (non-decreasing, continuous)."""
+
+    @abc.abstractmethod
+    def link_inverse(self, value: float) -> float:
+        """The inverse of ``g`` (used to express real reserve prices in link space)."""
+
+    def link_value(self, features) -> float:
+        """The deterministic link-space value ``φ(x)^T θ*``."""
+        mapped = self.feature_map(features)
+        return float(mapped @ self.theta)
+
+    def value(self, features) -> float:
+        """The deterministic market value ``g(φ(x)^T θ*)``."""
+        return self.link(self.link_value(features))
+
+
+class GeneralizedLinearMarketModel(MarketValueModel):
+    """A concrete market value model with pluggable link and feature map.
+
+    Parameters
+    ----------
+    theta:
+        The weight vector ``θ*``.
+    link / link_inverse:
+        The outer function ``g`` and its inverse.  ``g`` must be non-decreasing.
+    feature_map:
+        The map ``φ``; defaults to the identity.
+    name:
+        Human-readable model name used in reports.
+    """
+
+    def __init__(
+        self,
+        theta,
+        link: Callable[[float], float],
+        link_inverse: Callable[[float], float],
+        feature_map: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        name: str = "generalized-linear",
+    ) -> None:
+        self._theta = ensure_vector(theta, name="theta")
+        self._link = link
+        self._link_inverse = link_inverse
+        self._feature_map = feature_map
+        self.name = name
+
+    @property
+    def weight_dimension(self) -> int:
+        return self._theta.shape[0]
+
+    @property
+    def theta(self) -> np.ndarray:
+        return self._theta
+
+    def feature_map(self, features) -> np.ndarray:
+        raw = np.asarray(features, dtype=float)
+        if self._feature_map is None:
+            mapped = raw
+        else:
+            mapped = np.asarray(self._feature_map(raw), dtype=float)
+        return ensure_vector(mapped, dimension=self.weight_dimension, name="mapped features")
+
+    def link(self, z: float) -> float:
+        return float(self._link(float(z)))
+
+    def link_inverse(self, value: float) -> float:
+        return float(self._link_inverse(float(value)))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "%s(name=%r, weight_dimension=%d)" % (
+            type(self).__name__,
+            self.name,
+            self.weight_dimension,
+        )
+
+
+class LinearModel(GeneralizedLinearMarketModel):
+    """The fundamental linear model ``v = x^T θ*`` (Section III)."""
+
+    def __init__(self, theta) -> None:
+        super().__init__(
+            theta,
+            link=lambda z: z,
+            link_inverse=lambda v: v,
+            feature_map=None,
+            name="linear",
+        )
+
+
+class LogLinearModel(GeneralizedLinearMarketModel):
+    """The log-linear hedonic model ``log v = x^T θ*`` (Section IV-A)."""
+
+    def __init__(self, theta) -> None:
+        super().__init__(
+            theta,
+            link=math.exp,
+            link_inverse=_safe_log,
+            feature_map=None,
+            name="log-linear",
+        )
+
+
+class LogLogModel(GeneralizedLinearMarketModel):
+    """The log-log hedonic model ``log v = Σ_i log(x_i) θ*_i`` (Section IV-A).
+
+    The feature map applies an element-wise natural logarithm, so raw features
+    must be strictly positive.
+    """
+
+    def __init__(self, theta) -> None:
+        super().__init__(
+            theta,
+            link=math.exp,
+            link_inverse=_safe_log,
+            feature_map=_elementwise_log,
+            name="log-log",
+        )
+
+
+class LogisticModel(GeneralizedLinearMarketModel):
+    """The logistic (CTR-style) model ``v = sigmoid(x^T θ*)`` (Section IV-A)."""
+
+    def __init__(self, theta) -> None:
+        super().__init__(
+            theta,
+            link=_sigmoid,
+            link_inverse=_logit,
+            feature_map=None,
+            name="logistic",
+        )
+
+
+class KernelizedModel(GeneralizedLinearMarketModel):
+    """A kernelized model over a fixed dictionary of anchor points.
+
+    The paper's kernelized model ``v_t = Σ_{k<t} K(x_t, x_k) θ*_k`` has a weight
+    dimension that grows with the round index, which is incompatible with a
+    fixed-dimension ellipsoid.  We use the standard practical variant: a fixed
+    dictionary of ``m`` anchor points ``a_1..a_m`` and the feature map
+    ``φ(x) = (K(x, a_1), ..., K(x, a_m))`` (documented substitution; see
+    DESIGN.md §4).
+
+    Parameters
+    ----------
+    theta:
+        Weight vector over the anchors, length ``m``.
+    anchors:
+        Matrix of anchor points, shape ``(m, d)`` where ``d`` is the raw
+        feature dimension.
+    bandwidth:
+        Bandwidth of the radial basis function kernel
+        ``K(x, a) = exp(-||x - a||² / (2 · bandwidth²))``.
+    """
+
+    def __init__(self, theta, anchors, bandwidth: float = 1.0) -> None:
+        anchors = np.asarray(anchors, dtype=float)
+        if anchors.ndim != 2:
+            raise ModelSpecificationError("anchors must be a 2-D array, got shape %s" % (anchors.shape,))
+        theta = ensure_vector(theta, dimension=anchors.shape[0], name="theta")
+        if bandwidth <= 0:
+            raise ModelSpecificationError("bandwidth must be positive, got %g" % bandwidth)
+        self.anchors = anchors
+        self.bandwidth = float(bandwidth)
+        super().__init__(
+            theta,
+            link=lambda z: z,
+            link_inverse=lambda v: v,
+            feature_map=self._kernel_features,
+            name="kernelized",
+        )
+
+    def _kernel_features(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 1 or features.shape[0] != self.anchors.shape[1]:
+            raise ModelSpecificationError(
+                "raw features must have dimension %d, got shape %s"
+                % (self.anchors.shape[1], features.shape)
+            )
+        squared_distances = np.sum((self.anchors - features) ** 2, axis=1)
+        return np.exp(-squared_distances / (2.0 * self.bandwidth**2))
+
+
+def _safe_log(value: float) -> float:
+    if value <= 0:
+        raise ValueError("log-link models require strictly positive values, got %g" % value)
+    return math.log(value)
+
+
+def _elementwise_log(features: np.ndarray) -> np.ndarray:
+    if np.any(features <= 0):
+        raise ValueError("the log-log model requires strictly positive features")
+    return np.log(features)

@@ -1,0 +1,153 @@
+"""Sub-Gaussian uncertainty in market values and the buffer ``δ``.
+
+The paper models the market value of a query as ``v_t = f(x_t) + δ_t`` where
+``δ_t`` is a σ-sub-Gaussian random variable: there is a constant ``C`` with
+``Pr(|δ_t| > z) <= C exp(-z² / (2σ²))`` for all ``z > 0`` (Equation (4)).
+Setting ``δ = sqrt(2 log C) · σ · log T`` yields ``Pr(|δ_t| <= δ) >= 1 - 1/T``
+for all rounds simultaneously (Equation (6)), so the pricing mechanism can use
+``δ`` as a buffer around posted prices when refining its knowledge set.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import ensure_positive
+
+
+def uncertainty_buffer(sigma: float, total_rounds: int, constant: float = 2.0) -> float:
+    """The buffer ``δ = sqrt(2 log C) · σ · log T`` from Algorithm 2's input.
+
+    Parameters
+    ----------
+    sigma:
+        Sub-Gaussian scale of the per-round uncertainty.
+    total_rounds:
+        The horizon ``T``.
+    constant:
+        The sub-Gaussian constant ``C`` (``2`` for the normal distribution).
+    """
+    sigma = ensure_positive(sigma, name="sigma", strict=False)
+    if total_rounds < 1:
+        raise ValueError("total_rounds must be at least 1, got %d" % total_rounds)
+    constant = ensure_positive(constant, name="constant")
+    if constant <= 1.0:
+        # log C <= 0 would yield a non-real buffer; the paper uses C >= 2.
+        raise ValueError("the sub-Gaussian constant must exceed 1, got %g" % constant)
+    if total_rounds == 1:
+        return 0.0
+    return math.sqrt(2.0 * math.log(constant)) * sigma * math.log(total_rounds)
+
+
+def sigma_for_buffer(delta: float, total_rounds: int, constant: float = 2.0) -> float:
+    """Invert :func:`uncertainty_buffer`: the σ that yields a given buffer ``δ``.
+
+    The paper's evaluation fixes ``δ = 0.01`` and draws the per-round noise
+    from a normal distribution with ``σ = δ / (sqrt(2 log 2) · log T)``; this
+    helper reproduces that choice.
+    """
+    delta = ensure_positive(delta, name="delta", strict=False)
+    if total_rounds < 2:
+        return 0.0
+    constant = ensure_positive(constant, name="constant")
+    if constant <= 1.0:
+        raise ValueError("the sub-Gaussian constant must exceed 1, got %g" % constant)
+    return delta / (math.sqrt(2.0 * math.log(constant)) * math.log(total_rounds))
+
+
+class SubGaussianNoise(abc.ABC):
+    """A σ-sub-Gaussian zero-mean noise distribution."""
+
+    def __init__(self, sigma: float, constant: float = 2.0) -> None:
+        self.sigma = ensure_positive(sigma, name="sigma", strict=False)
+        self.constant = ensure_positive(constant, name="constant")
+
+    @abc.abstractmethod
+    def sample(self, rng: RngLike = None, size: Optional[int] = None):
+        """Draw one sample (``size=None``) or an array of samples."""
+
+    def buffer(self, total_rounds: int) -> float:
+        """The buffer δ appropriate for this noise over ``total_rounds`` rounds."""
+        if self.sigma == 0.0:
+            return 0.0
+        return uncertainty_buffer(self.sigma, total_rounds, self.constant)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "%s(sigma=%g)" % (type(self).__name__, self.sigma)
+
+
+class NoNoise(SubGaussianNoise):
+    """The deterministic setting: no uncertainty in market values."""
+
+    def __init__(self) -> None:
+        super().__init__(sigma=0.0)
+
+    def sample(self, rng: RngLike = None, size: Optional[int] = None):
+        if size is None:
+            return 0.0
+        return np.zeros(size)
+
+
+class GaussianNoise(SubGaussianNoise):
+    """Normal noise with standard deviation σ (sub-Gaussian with ``C = 2``)."""
+
+    def sample(self, rng: RngLike = None, size: Optional[int] = None):
+        rng = as_rng(rng)
+        return rng.normal(0.0, self.sigma, size=size)
+
+
+class UniformNoise(SubGaussianNoise):
+    """Uniform noise on ``[-half_width, half_width]``.
+
+    A bounded random variable on ``[-b, b]`` is sub-Gaussian with σ = b.
+    """
+
+    def __init__(self, half_width: float) -> None:
+        half_width = ensure_positive(half_width, name="half_width", strict=False)
+        super().__init__(sigma=half_width)
+        self.half_width = half_width
+
+    def sample(self, rng: RngLike = None, size: Optional[int] = None):
+        rng = as_rng(rng)
+        return rng.uniform(-self.half_width, self.half_width, size=size)
+
+
+class RademacherNoise(SubGaussianNoise):
+    """Rademacher noise: ±scale with equal probability (sub-Gaussian, σ = scale)."""
+
+    def __init__(self, scale: float) -> None:
+        scale = ensure_positive(scale, name="scale", strict=False)
+        super().__init__(sigma=scale)
+        self.scale = scale
+
+    def sample(self, rng: RngLike = None, size: Optional[int] = None):
+        rng = as_rng(rng)
+        signs = rng.integers(0, 2, size=size if size is not None else 1) * 2 - 1
+        values = self.scale * signs.astype(float)
+        if size is None:
+            return float(values[0])
+        return values
+
+
+class BoundedNoise(SubGaussianNoise):
+    """Truncated normal noise, hard-clipped to ``[-bound, bound]``.
+
+    Useful for stress tests: the realized noise never exceeds the buffer when
+    ``bound <= δ``, so the knowledge set provably never loses ``θ*``.
+    """
+
+    def __init__(self, sigma: float, bound: float) -> None:
+        super().__init__(sigma=sigma)
+        self.bound = ensure_positive(bound, name="bound", strict=False)
+
+    def sample(self, rng: RngLike = None, size: Optional[int] = None):
+        rng = as_rng(rng)
+        raw = rng.normal(0.0, self.sigma, size=size)
+        return np.clip(raw, -self.bound, self.bound) if size is not None else float(
+            np.clip(raw, -self.bound, self.bound)
+        )

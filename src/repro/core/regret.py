@@ -1,0 +1,153 @@
+"""Regret accounting (Equation (1) of the paper) and derived metrics.
+
+In round ``t`` with market value ``v_t``, reserve price ``q_t``, and posted
+price ``p_t``:
+
+* if ``q_t > v_t`` the query cannot be sold by anyone, so the regret is 0;
+* otherwise the regret is ``v_t - p_t·1{p_t <= v_t}`` — the adversary would
+  have sold at the full market value, the broker earns ``p_t`` on a sale and
+  nothing on a rejection.
+
+The *regret ratio* used throughout Section V is the cumulative regret divided
+by the cumulative market value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_finite_scalar
+
+
+def single_round_regret(
+    market_value: float,
+    reserve: Optional[float],
+    price: Optional[float],
+    sold: Optional[bool] = None,
+) -> float:
+    """The single-round regret of Equation (1).
+
+    Parameters
+    ----------
+    market_value:
+        The realized market value ``v_t``.
+    reserve:
+        The reserve price ``q_t``; ``None`` means no reserve constraint, in
+        which case the formula degenerates to Equation (7).
+    price:
+        The posted price ``p_t``; ``None`` means no price was posted this
+        round (the pricer skipped), which counts as a rejection.
+    sold:
+        Whether the deal happened.  When ``None`` it is derived from
+        ``price <= market_value``.
+    """
+    market_value = ensure_finite_scalar(market_value, name="market_value")
+    if reserve is not None and reserve > market_value:
+        return 0.0
+    if price is None:
+        return market_value
+    price = ensure_finite_scalar(price, name="price")
+    if sold is None:
+        sold = price <= market_value
+    return market_value - (price if sold else 0.0)
+
+
+def single_round_regret_without_reserve(
+    market_value: float, price: Optional[float], sold: Optional[bool] = None
+) -> float:
+    """The single-round regret without the reserve constraint (Equation (7))."""
+    return single_round_regret(market_value, None, price, sold)
+
+
+def single_round_regret_curve(
+    market_value: float, reserve: float, prices: Sequence[float]
+) -> np.ndarray:
+    """Regret as a function of the posted price — the shape plotted in Fig. 1.
+
+    For ``reserve <= market_value`` the regret decreases linearly in the posted
+    price up to the market value and jumps to the full market value beyond it.
+    """
+    return np.array(
+        [single_round_regret(market_value, reserve, float(p)) for p in prices], dtype=float
+    )
+
+
+def regret_ratio(regrets: Sequence[float], market_values: Sequence[float]) -> float:
+    """Cumulative regret divided by cumulative market value (Section V-A)."""
+    regrets = np.asarray(regrets, dtype=float)
+    market_values = np.asarray(market_values, dtype=float)
+    if regrets.shape != market_values.shape:
+        raise ValueError(
+            "regrets and market values must have the same length, got %s vs %s"
+            % (regrets.shape, market_values.shape)
+        )
+    total_value = float(np.sum(market_values))
+    if total_value <= 0.0:
+        return 0.0
+    return float(np.sum(regrets)) / total_value
+
+
+@dataclass
+class RegretAccumulator:
+    """Accumulates per-round regrets, revenues and market values during a simulation."""
+
+    regrets: List[float] = field(default_factory=list)
+    revenues: List[float] = field(default_factory=list)
+    market_values: List[float] = field(default_factory=list)
+
+    def record(self, market_value: float, reserve: Optional[float], price: Optional[float], sold: bool) -> float:
+        """Record one round and return its regret."""
+        regret = single_round_regret(market_value, reserve, price, sold)
+        revenue = float(price) if (sold and price is not None) else 0.0
+        self.regrets.append(regret)
+        self.revenues.append(revenue)
+        self.market_values.append(float(market_value))
+        return regret
+
+    @property
+    def rounds(self) -> int:
+        """Number of recorded rounds."""
+        return len(self.regrets)
+
+    @property
+    def cumulative_regret(self) -> float:
+        """Total regret so far."""
+        return float(np.sum(self.regrets))
+
+    @property
+    def cumulative_revenue(self) -> float:
+        """Total broker revenue so far."""
+        return float(np.sum(self.revenues))
+
+    @property
+    def cumulative_market_value(self) -> float:
+        """Total market value so far."""
+        return float(np.sum(self.market_values))
+
+    @property
+    def ratio(self) -> float:
+        """Current regret ratio."""
+        return regret_ratio(self.regrets, self.market_values)
+
+    def cumulative_regret_curve(self) -> np.ndarray:
+        """Cumulative regret after each round (the curves of Fig. 4)."""
+        return np.cumsum(np.asarray(self.regrets, dtype=float))
+
+    def regret_ratio_curve(self) -> np.ndarray:
+        """Regret ratio after each round (the curves of Fig. 5)."""
+        regrets = np.cumsum(np.asarray(self.regrets, dtype=float))
+        values = np.cumsum(np.asarray(self.market_values, dtype=float))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(values > 0, regrets / values, 0.0)
+        return ratios
+
+    def ratio_at(self, round_count: int) -> float:
+        """Regret ratio at the end of ``round_count`` rounds."""
+        if round_count < 1 or round_count > self.rounds:
+            raise ValueError(
+                "round_count must be in [1, %d], got %d" % (self.rounds, round_count)
+            )
+        return regret_ratio(self.regrets[:round_count], self.market_values[:round_count])

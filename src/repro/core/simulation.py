@@ -1,0 +1,292 @@
+"""Online market simulation loop.
+
+The simulator plays the repeated game of Section II-B between a posted price
+mechanism (the broker) and a stream of query arrivals (the consumers chosen by
+the adversary):
+
+1. a query arrives with a raw feature vector and a reserve price,
+2. the market value model produces its link-space value ``φ(x)^T θ*``; a
+   sub-Gaussian noise term may be added in link space,
+3. the pricer proposes a link-space price (or skips), which is translated to a
+   real price through the model's link function ``g``,
+4. the consumer accepts iff the real posted price does not exceed the real
+   market value,
+5. the pricer receives the accept/reject feedback and the regret of
+   Equation (1) is recorded.
+
+All per-round information is kept in :class:`RoundOutcome` records so the
+experiment harness can regenerate every curve and table of the paper from a
+single simulation transcript.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import PostedPriceMechanism
+from repro.core.models import MarketValueModel
+from repro.core.noise import NoNoise, SubGaussianNoise
+from repro.core.regret import RegretAccumulator
+from repro.exceptions import SimulationError
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.timing import OnlineLatencyTracker
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """One consumer arrival: a query's raw features, reserve price, and noise.
+
+    Attributes
+    ----------
+    features:
+        Raw feature vector of the query (before the model's feature map).
+    reserve_value:
+        Reserve price in *real* price space, or ``None`` when the scenario has
+        no reserve price (e.g. the impression application).
+    noise:
+        Optional pre-drawn link-space noise δ_t.  Pre-drawing the noise in the
+        arrival sequence lets several algorithm versions be compared on an
+        identical realization of the market (as in Fig. 4).
+    metadata:
+        Free-form extra information (query id, owner ids, ...).
+    """
+
+    features: np.ndarray
+    reserve_value: Optional[float] = None
+    noise: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class RoundOutcome:
+    """Everything that happened in one round of data trading."""
+
+    round_index: int
+    link_value: float
+    market_value: float
+    reserve_value: Optional[float]
+    posted_price: Optional[float]
+    link_price: Optional[float]
+    sold: bool
+    skipped: bool
+    exploratory: bool
+    regret: float
+    latency_seconds: float = 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Transcript of a full simulation run."""
+
+    pricer_name: str
+    outcomes: List[RoundOutcome]
+    accumulator: RegretAccumulator
+    latency: OnlineLatencyTracker
+
+    @property
+    def rounds(self) -> int:
+        """Number of simulated rounds."""
+        return len(self.outcomes)
+
+    @property
+    def cumulative_regret(self) -> float:
+        """Total regret over the run."""
+        return self.accumulator.cumulative_regret
+
+    @property
+    def cumulative_revenue(self) -> float:
+        """Total broker revenue over the run."""
+        return self.accumulator.cumulative_revenue
+
+    @property
+    def regret_ratio(self) -> float:
+        """Final regret ratio (cumulative regret / cumulative market value)."""
+        return self.accumulator.ratio
+
+    def cumulative_regret_curve(self) -> np.ndarray:
+        """Cumulative regret after each round (Fig. 4 series)."""
+        return self.accumulator.cumulative_regret_curve()
+
+    def regret_ratio_curve(self) -> np.ndarray:
+        """Regret ratio after each round (Fig. 5 series)."""
+        return self.accumulator.regret_ratio_curve()
+
+    def sale_rate(self) -> float:
+        """Fraction of rounds in which a deal occurred."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if o.sold) / len(self.outcomes)
+
+    def summary_statistics(self) -> dict:
+        """Mean/standard deviation of per-round quantities (Table I columns)."""
+        market_values = np.array([o.market_value for o in self.outcomes], dtype=float)
+        reserves = np.array(
+            [o.reserve_value for o in self.outcomes if o.reserve_value is not None], dtype=float
+        )
+        posted = np.array(
+            [o.posted_price for o in self.outcomes if o.posted_price is not None], dtype=float
+        )
+        regrets = np.array([o.regret for o in self.outcomes], dtype=float)
+
+        def _mean_std(values: np.ndarray) -> tuple:
+            if values.size == 0:
+                return (0.0, 0.0)
+            return (float(np.mean(values)), float(np.std(values)))
+
+        return {
+            "rounds": self.rounds,
+            "market_value": _mean_std(market_values),
+            "reserve_price": _mean_std(reserves),
+            "posted_price": _mean_std(posted),
+            "regret": _mean_std(regrets),
+            "regret_ratio": self.regret_ratio,
+            "cumulative_regret": self.cumulative_regret,
+            "cumulative_revenue": self.cumulative_revenue,
+            "sale_rate": self.sale_rate(),
+        }
+
+
+class MarketSimulator:
+    """Drives one posted price mechanism through a sequence of query arrivals.
+
+    Parameters
+    ----------
+    model:
+        The market value model generating ``v_t`` from raw features.
+    pricer:
+        The posted price mechanism under evaluation.
+    noise:
+        Per-round link-space uncertainty; used only for arrivals that do not
+        carry a pre-drawn noise value.  Defaults to no noise.
+    rng:
+        Random source for on-the-fly noise sampling.
+    track_latency:
+        When true, the per-round wall-clock time spent inside the pricer is
+        recorded (the Section V-D latency measurement).
+    """
+
+    def __init__(
+        self,
+        model: MarketValueModel,
+        pricer: PostedPriceMechanism,
+        noise: Optional[SubGaussianNoise] = None,
+        rng: RngLike = None,
+        track_latency: bool = False,
+    ) -> None:
+        self.model = model
+        self.pricer = pricer
+        self.noise = noise if noise is not None else NoNoise()
+        self.rng = as_rng(rng)
+        self.track_latency = bool(track_latency)
+
+    def run(self, arrivals: Iterable[QueryArrival]) -> SimulationResult:
+        """Simulate the full sequence of arrivals and return the transcript."""
+        accumulator = RegretAccumulator()
+        latency = OnlineLatencyTracker()
+        outcomes: List[RoundOutcome] = []
+
+        for round_index, arrival in enumerate(arrivals):
+            outcome = self._play_round(round_index, arrival, accumulator, latency)
+            outcomes.append(outcome)
+
+        return SimulationResult(
+            pricer_name=getattr(self.pricer, "name", type(self.pricer).__name__),
+            outcomes=outcomes,
+            accumulator=accumulator,
+            latency=latency,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def _play_round(
+        self,
+        round_index: int,
+        arrival: QueryArrival,
+        accumulator: RegretAccumulator,
+        latency: OnlineLatencyTracker,
+    ) -> RoundOutcome:
+        mapped_features = self.model.feature_map(arrival.features)
+        link_value = float(mapped_features @ self.model.theta)
+        noise_value = arrival.noise
+        if noise_value is None:
+            noise_value = float(self.noise.sample(self.rng))
+        market_value = self.model.link(link_value + noise_value)
+
+        reserve_value = arrival.reserve_value
+        link_reserve = None
+        if reserve_value is not None:
+            link_reserve = self.model.link_inverse(reserve_value)
+
+        start = time.perf_counter() if self.track_latency else 0.0
+        decision = self.pricer.propose(mapped_features, reserve=link_reserve)
+        elapsed_propose = (time.perf_counter() - start) if self.track_latency else 0.0
+
+        if decision.skipped or decision.price is None:
+            posted_price = None
+            link_price = None
+            sold = False
+        else:
+            link_price = float(decision.price)
+            posted_price = self.model.link(link_price)
+            sold = posted_price <= market_value
+
+        start = time.perf_counter() if self.track_latency else 0.0
+        self.pricer.update(decision, accepted=sold)
+        elapsed_update = (time.perf_counter() - start) if self.track_latency else 0.0
+
+        if self.track_latency:
+            latency.record(elapsed_propose + elapsed_update)
+
+        regret = accumulator.record(
+            market_value=market_value,
+            reserve=reserve_value,
+            price=posted_price,
+            sold=sold,
+        )
+
+        if not np.isfinite(regret):
+            raise SimulationError(
+                "non-finite regret %r in round %d; inconsistent market state" % (regret, round_index)
+            )
+
+        return RoundOutcome(
+            round_index=round_index,
+            link_value=link_value,
+            market_value=market_value,
+            reserve_value=reserve_value,
+            posted_price=posted_price,
+            link_price=link_price,
+            sold=sold,
+            skipped=decision.skipped,
+            exploratory=decision.exploratory,
+            regret=regret,
+            latency_seconds=(elapsed_propose + elapsed_update) if self.track_latency else 0.0,
+        )
+
+
+def compare_pricers(
+    model: MarketValueModel,
+    pricers: Sequence[PostedPriceMechanism],
+    arrivals: Sequence[QueryArrival],
+    noise: Optional[SubGaussianNoise] = None,
+    rng: RngLike = None,
+    track_latency: bool = False,
+) -> List[SimulationResult]:
+    """Run several pricers over the *same* arrival sequence.
+
+    The arrivals are materialised once so every pricer faces exactly the same
+    queries, reserve prices, and noise realization — the comparison protocol
+    used for the four algorithm versions in Fig. 4 and Fig. 5.
+    """
+    materialised = list(arrivals)
+    results = []
+    for pricer in pricers:
+        simulator = MarketSimulator(
+            model=model, pricer=pricer, noise=noise, rng=rng, track_latency=track_latency
+        )
+        results.append(simulator.run(materialised))
+    return results

@@ -1,0 +1,33 @@
+"""Synthetic stand-ins for the paper's three evaluation datasets.
+
+The paper evaluates on MovieLens 20M, Airbnb listings in U.S. major cities,
+and the Avazu mobile ad click dataset.  None of these is available offline, so
+each is replaced by a synthetic generator that exercises exactly the same code
+path (see DESIGN.md §4 for the substitution rationale):
+
+* :mod:`repro.datasets.synthetic_ratings` — a user × item rating matrix with
+  heterogeneous per-user activity (MovieLens stand-in),
+* :mod:`repro.datasets.listings` — accommodation listings with categorical and
+  numeric attributes and log-linear prices (Airbnb stand-in),
+* :mod:`repro.datasets.ad_clicks` — a categorical ad impression log whose
+  click probabilities follow a sparse logistic model (Avazu stand-in).
+"""
+
+from repro.datasets.synthetic_ratings import RatingsDataset, generate_ratings
+from repro.datasets.listings import Listing, ListingsDataset, generate_listings
+from repro.datasets.ad_clicks import AdImpression, AdClickDataset, generate_ad_clicks
+from repro.datasets.loans import LoanApplication, LoanDataset, generate_loans
+
+__all__ = [
+    "RatingsDataset",
+    "generate_ratings",
+    "Listing",
+    "ListingsDataset",
+    "generate_listings",
+    "AdImpression",
+    "AdClickDataset",
+    "generate_ad_clicks",
+    "LoanApplication",
+    "LoanDataset",
+    "generate_loans",
+]

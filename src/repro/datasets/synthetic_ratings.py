@@ -1,0 +1,134 @@
+"""Synthetic user × item rating data (MovieLens 20M stand-in).
+
+The noisy-linear-query application only uses the rating data through the
+per-owner records a linear query aggregates, so the stand-in needs to provide
+
+* a population of users ("data owners") with heterogeneous activity levels,
+* per-user numeric records derived from their ratings,
+* integer ratings on the MovieLens 0.5–5.0 star scale.
+
+Ratings are generated from a simple latent-factor model (user bias + item bias
++ low-rank interaction, clipped to the star scale), and the number of ratings
+per user follows a heavy-tailed distribution, mirroring the long-tailed
+activity profile of the real dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.rng import RngLike, as_rng
+
+
+@dataclass
+class RatingsDataset:
+    """A synthetic ratings dataset.
+
+    Attributes
+    ----------
+    user_ids / item_ids / ratings:
+        Parallel arrays, one entry per rating event.
+    user_count / item_count:
+        Population sizes.
+    """
+
+    user_ids: np.ndarray
+    item_ids: np.ndarray
+    ratings: np.ndarray
+    user_count: int
+    item_count: int
+
+    @property
+    def rating_count(self) -> int:
+        """Total number of rating events."""
+        return int(self.ratings.shape[0])
+
+    def ratings_per_user(self) -> np.ndarray:
+        """Number of ratings each user contributed."""
+        counts = np.bincount(self.user_ids, minlength=self.user_count)
+        return counts.astype(int)
+
+    def mean_rating_per_user(self, fill_value: float = 3.0) -> np.ndarray:
+        """Each user's mean rating (``fill_value`` for users with no ratings)."""
+        sums = np.bincount(self.user_ids, weights=self.ratings, minlength=self.user_count)
+        counts = np.bincount(self.user_ids, minlength=self.user_count)
+        means = np.full(self.user_count, float(fill_value))
+        mask = counts > 0
+        means[mask] = sums[mask] / counts[mask]
+        return means
+
+    def owner_records(self, kind: str = "mean_rating") -> np.ndarray:
+        """Per-user numeric records used as the owners' private data.
+
+        ``kind='mean_rating'`` uses each user's mean rating;
+        ``kind='activity'`` uses the user's (log-scaled) rating count.
+        """
+        if kind == "mean_rating":
+            return self.mean_rating_per_user()
+        if kind == "activity":
+            return np.log1p(self.ratings_per_user().astype(float))
+        raise DatasetError("unknown owner record kind %r" % kind)
+
+
+def generate_ratings(
+    user_count: int = 1000,
+    item_count: int = 200,
+    mean_ratings_per_user: float = 20.0,
+    latent_rank: int = 8,
+    seed: RngLike = None,
+) -> RatingsDataset:
+    """Generate a synthetic ratings dataset.
+
+    Parameters
+    ----------
+    user_count / item_count:
+        Population sizes (the real MovieLens 20M has 138,493 users and 27,278
+        movies; defaults are scaled down for laptop-scale simulation).
+    mean_ratings_per_user:
+        Mean of the heavy-tailed per-user activity distribution.
+    latent_rank:
+        Rank of the latent user/item interaction factors.
+    seed:
+        Random source.
+    """
+    if user_count < 1 or item_count < 1:
+        raise DatasetError("user_count and item_count must be positive")
+    if mean_ratings_per_user <= 0:
+        raise DatasetError("mean_ratings_per_user must be positive")
+    if latent_rank < 1:
+        raise DatasetError("latent_rank must be positive")
+    rng = as_rng(seed)
+
+    # Heavy-tailed per-user activity: log-normal with the requested mean.
+    sigma = 1.0
+    mu = np.log(mean_ratings_per_user) - sigma**2 / 2.0
+    activity = rng.lognormal(mean=mu, sigma=sigma, size=user_count)
+    counts = np.maximum(1, np.minimum(item_count, np.round(activity))).astype(int)
+
+    user_bias = rng.normal(0.0, 0.4, size=user_count)
+    item_bias = rng.normal(0.0, 0.4, size=item_count)
+    user_factors = rng.normal(0.0, 0.3, size=(user_count, latent_rank))
+    item_factors = rng.normal(0.0, 0.3, size=(item_count, latent_rank))
+
+    user_ids = np.repeat(np.arange(user_count), counts)
+    item_ids = np.concatenate(
+        [rng.choice(item_count, size=c, replace=False) for c in counts]
+    )
+    base = 3.5 + user_bias[user_ids] + item_bias[item_ids]
+    interaction = np.sum(user_factors[user_ids] * item_factors[item_ids], axis=1)
+    noise = rng.normal(0.0, 0.3, size=user_ids.shape[0])
+    raw = base + interaction + noise
+    # Clip to the 0.5–5.0 star scale and round to half stars like MovieLens.
+    ratings = np.clip(np.round(raw * 2.0) / 2.0, 0.5, 5.0)
+
+    return RatingsDataset(
+        user_ids=user_ids.astype(int),
+        item_ids=item_ids.astype(int),
+        ratings=ratings.astype(float),
+        user_count=int(user_count),
+        item_count=int(item_count),
+    )

@@ -1,0 +1,39 @@
+"""Exception types used across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class DimensionMismatchError(ReproError):
+    """A vector or matrix does not have the expected dimension."""
+
+
+class NotPositiveDefiniteError(ReproError):
+    """An ellipsoid shape matrix is not (numerically) positive definite."""
+
+
+class InvalidCutError(ReproError):
+    """A requested ellipsoid cut has a position parameter outside [-1/n, 1]."""
+
+
+class InvalidPriceError(ReproError):
+    """A posted or reserve price is invalid (negative, NaN, or infinite)."""
+
+
+class ModelSpecificationError(ReproError):
+    """A market value model was configured inconsistently."""
+
+
+class SimulationError(ReproError):
+    """The online market simulation was driven into an inconsistent state."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""
+
+
+class LearningError(ReproError):
+    """An offline learning routine (OLS, FTRL, PCA, ...) failed."""

@@ -1,0 +1,165 @@
+"""Lemma 8 / Fig. 6: why conservative prices must not refine the knowledge set.
+
+The paper proves that if the broker is allowed to cut the ellipsoid with
+conservative posted prices, an adversary can force Ω(T) regret: in the first
+half of the horizon it sends queries along the first coordinate with the
+reserve price pinned to the broker's current midpoint, which (if cuts are
+allowed) repeatedly halves the ellipsoid along that coordinate while the other
+axes blow up by a factor ``n/√(n²-1)`` per round; in the second half it sends
+queries along the second coordinate, where the inflated knowledge set forces
+an exploration phase whose length grows linearly in T.
+
+This experiment plays that adversary against the pricer with and without the
+``allow_conservative_cuts`` ablation switch and reports both cumulative regrets
+and the width of the knowledge set along the second coordinate at half time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.pricing import EllipsoidPricer, PricerConfig
+from repro.core.regret import single_round_regret
+
+
+@dataclass
+class AdversarialResult:
+    """Outcome of the Lemma 8 adversarial game for one pricer variant."""
+
+    allow_conservative_cuts: bool
+    rounds: int
+    dimension: int
+    cumulative_regret: float
+    second_half_regret: float
+    exploratory_rounds_second_half: int
+    width_along_second_axis_at_half_time: float
+
+    def format(self) -> str:
+        """One-line summary used by the bench output."""
+        label = "conservative cuts ALLOWED" if self.allow_conservative_cuts else "conservative cuts forbidden"
+        return (
+            "%s: total regret %.2f, second-half regret %.2f, "
+            "second-half exploratory rounds %d, width along e2 at T/2 = %.3g"
+            % (
+                label,
+                self.cumulative_regret,
+                self.second_half_regret,
+                self.exploratory_rounds_second_half,
+                self.width_along_second_axis_at_half_time,
+            )
+        )
+
+
+def run_adversarial_example(
+    rounds: int = 2_000,
+    dimension: int = 2,
+    theta_first: float = 0.6,
+    theta_second: float = 0.5,
+    epsilon: float = 1e-3,
+) -> Dict[str, AdversarialResult]:
+    """Play the Lemma 8 adversary against both pricer variants.
+
+    Parameters
+    ----------
+    rounds:
+        Total horizon ``T`` (split in half between the two phases).
+    dimension:
+        Ambient dimension ``n`` (2 in the paper's illustration, Fig. 6).
+    theta_first / theta_second:
+        The true weights along the first two coordinates (the market values of
+        the two phases).  Both must lie inside the unit ball so that the
+        initial knowledge set (radius 1) contains ``θ*``.
+    epsilon:
+        Exploration threshold; small so the second-phase exploration length is
+        governed by the knowledge set's width rather than by ε.
+    """
+    if rounds < 4:
+        raise ValueError("rounds must be at least 4, got %d" % rounds)
+    if dimension < 2:
+        raise ValueError("dimension must be at least 2, got %d" % dimension)
+    results: Dict[str, AdversarialResult] = {}
+    for allow in (False, True):
+        results["allowed" if allow else "forbidden"] = _play(
+            rounds, dimension, theta_first, theta_second, epsilon, allow
+        )
+    return results
+
+
+def _play(
+    rounds: int,
+    dimension: int,
+    theta_first: float,
+    theta_second: float,
+    epsilon: float,
+    allow_conservative_cuts: bool,
+) -> AdversarialResult:
+    theta = np.zeros(dimension)
+    theta[0] = theta_first
+    theta[1] = theta_second
+
+    config = PricerConfig(
+        dimension=dimension,
+        radius=1.0,
+        epsilon=epsilon,
+        delta=0.0,
+        use_reserve=True,
+        allow_conservative_cuts=allow_conservative_cuts,
+    )
+    pricer = EllipsoidPricer(config)
+
+    first_axis = np.zeros(dimension)
+    first_axis[0] = 1.0
+    second_axis = np.zeros(dimension)
+    second_axis[1] = 1.0
+
+    half = rounds // 2
+    total_regret = 0.0
+    second_half_regret = 0.0
+    exploratory_second_half = 0
+    width_at_half = 0.0
+
+    for round_index in range(rounds):
+        if round_index < half:
+            features = first_axis
+            market_value = float(features @ theta)
+            # Adversarial reserve: pinned to the broker's current midpoint so a
+            # cut along this direction is always available to a broker that
+            # (wrongly) refines on conservative prices.
+            lower, upper = pricer.value_bounds(features)
+            reserve = 0.5 * (lower + upper)
+        else:
+            features = second_axis
+            market_value = float(features @ theta)
+            reserve = None
+
+        if round_index == half:
+            width_at_half = pricer.knowledge.width_along(second_axis)
+
+        decision = pricer.propose(features, reserve=reserve)
+        if decision.skipped or decision.price is None:
+            sold = False
+            price = None
+        else:
+            price = float(decision.price)
+            sold = price <= market_value
+        pricer.update(decision, accepted=sold)
+
+        regret = single_round_regret(market_value, reserve, price, sold)
+        total_regret += regret
+        if round_index >= half:
+            second_half_regret += regret
+            if decision.exploratory and not decision.skipped:
+                exploratory_second_half += 1
+
+    return AdversarialResult(
+        allow_conservative_cuts=allow_conservative_cuts,
+        rounds=rounds,
+        dimension=dimension,
+        cumulative_regret=total_regret,
+        second_half_regret=second_half_regret,
+        exploratory_rounds_second_half=exploratory_second_half,
+        width_along_second_axis_at_half_time=width_at_half,
+    )

@@ -1,0 +1,88 @@
+"""Cold-start zoom-in: the reserve price's effect on the first rounds.
+
+The paper's headline qualitative finding is that the reserve price mitigates
+the cold-start problem of a posted price mechanism: in the first rounds the
+knowledge set is wide, the exploratory prices are frequently rejected, and the
+additional lower bound supplied by the reserve price both lifts the accepted
+prices and deepens the cuts.  This experiment quantifies that effect by
+comparing the algorithm versions with and without the reserve constraint over
+the earliest rounds only (the left end of Fig. 4 / Fig. 5 curves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.apps.common import ALGORITHM_VERSIONS, run_versions
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class ColdStartResult:
+    """Early-round regret ratios of each algorithm version."""
+
+    dimension: int
+    window: int
+    rounds: int
+    early_regret_ratio: Dict[str, float]
+    early_cumulative_regret: Dict[str, float]
+    final_regret_ratio: Dict[str, float]
+
+    def reserve_cold_start_reduction_percent(self) -> float:
+        """Early-window regret reduction of the reserve version vs the pure version."""
+        pure = self.early_cumulative_regret.get("pure version", 0.0)
+        reserve = self.early_cumulative_regret.get("with reserve price", 0.0)
+        if pure <= 0.0:
+            return 0.0
+        return 100.0 * (pure - reserve) / pure
+
+    def format(self) -> str:
+        """Printable rendering of the early-vs-final comparison."""
+        headers = ["version", "regret ratio @ %d" % self.window, "regret ratio @ %d" % self.rounds]
+        rows = [
+            [name, "%.4f" % self.early_regret_ratio[name], "%.4f" % self.final_regret_ratio[name]]
+            for name in self.early_regret_ratio
+        ]
+        table = format_table(headers, rows)
+        summary = "reserve price reduces the first-%d-round regret by %.1f%%" % (
+            self.window,
+            self.reserve_cold_start_reduction_percent(),
+        )
+        return "Cold start (n = %d)\n%s\n%s" % (self.dimension, table, summary)
+
+
+def run_cold_start(
+    dimension: int = 40,
+    rounds: int = 4_000,
+    window: int = 200,
+    owner_count: int = 300,
+    delta: float = 0.01,
+    seed: int = 41,
+    versions: Sequence[str] = ALGORITHM_VERSIONS,
+) -> ColdStartResult:
+    """Compare the versions over the first ``window`` rounds and the full horizon."""
+    if not 1 <= window <= rounds:
+        raise ValueError("window must lie in [1, rounds]")
+    config = NoisyLinearQueryConfig(
+        dimension=dimension, rounds=rounds, owner_count=owner_count, delta=delta, seed=seed
+    )
+    environment = build_noisy_query_environment(config)
+    simulations = run_versions(environment, versions=versions)
+
+    early_ratio: Dict[str, float] = {}
+    early_regret: Dict[str, float] = {}
+    final_ratio: Dict[str, float] = {}
+    for name, result in simulations.items():
+        early_ratio[name] = result.accumulator.ratio_at(window)
+        early_regret[name] = float(result.cumulative_regret_curve()[window - 1])
+        final_ratio[name] = result.regret_ratio
+    return ColdStartResult(
+        dimension=dimension,
+        window=window,
+        rounds=rounds,
+        early_regret_ratio=early_ratio,
+        early_cumulative_regret=early_regret,
+        final_regret_ratio=final_ratio,
+    )

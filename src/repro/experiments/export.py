@@ -1,0 +1,77 @@
+"""Exporting experiment outputs to CSV / JSON files.
+
+The figure/table modules return plain dataclasses; these helpers persist them
+so downstream plotting or spreadsheet tooling can consume the reproduced
+series without re-running the simulations.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Mapping, Sequence
+
+
+def write_series_csv(
+    path: str,
+    checkpoints: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    index_label: str = "rounds",
+) -> str:
+    """Write named series sampled at common checkpoints as a CSV file.
+
+    Returns the path written (directories are created as needed).
+    """
+    _ensure_parent(path)
+    names = list(series.keys())
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([index_label] + names)
+        for index, checkpoint in enumerate(checkpoints):
+            row = [checkpoint]
+            for name in names:
+                values = series[name]
+                row.append(values[index] if index < len(values) else "")
+            writer.writerow(row)
+    return path
+
+
+def write_rows_csv(path: str, headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Write a plain table (headers + rows) as a CSV file."""
+    _ensure_parent(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def write_json(path: str, payload) -> str:
+    """Write any JSON-serialisable payload (floats/ints/strings/dicts/lists)."""
+    _ensure_parent(path)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def read_series_csv(path: str):
+    """Read a CSV written by :func:`write_series_csv` back into (checkpoints, series)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        names = header[1:]
+        checkpoints = []
+        series = {name: [] for name in names}
+        for row in reader:
+            checkpoints.append(int(float(row[0])))
+            for name, cell in zip(names, row[1:]):
+                series[name].append(float(cell) if cell != "" else float("nan"))
+    return checkpoints, series
+
+
+def _ensure_parent(path: str) -> None:
+    parent = os.path.dirname(os.path.abspath(path))
+    if parent:
+        os.makedirs(parent, exist_ok=True)

@@ -1,0 +1,115 @@
+"""Fig. 4: cumulative regret of the four algorithm versions (noisy linear query).
+
+The paper plots the cumulative regret of the pure version, the version with
+uncertainty, the version with reserve price, and the version with reserve
+price and uncertainty, for feature dimensions ``n ∈ {1, 20, 40, 60, 80, 100}``
+with horizons of ``10²``–``10⁵`` rounds.  :func:`run_fig4` regenerates those
+series (at a configurable scale) and reports the cumulative regret of each
+version at logarithmically spaced checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.apps.common import ALGORITHM_VERSIONS
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, run_noisy_query_experiment
+from repro.experiments.reporting import checkpoints_for, format_series_table
+
+#: The horizons the paper pairs with each dimension in Fig. 4 / Table I.
+PAPER_ROUNDS_BY_DIMENSION = {1: 100, 20: 10_000, 40: 10_000, 60: 100_000, 80: 100_000, 100: 100_000}
+
+
+@dataclass
+class Fig4Result:
+    """Cumulative-regret series for one feature dimension."""
+
+    dimension: int
+    rounds: int
+    checkpoints: List[int]
+    cumulative_regret: Dict[str, List[float]]
+    final_regret: Dict[str, float]
+    reserve_reduction_percent: float
+    uncertainty_increase_percent: float
+
+    def format(self) -> str:
+        """Printable rendering of the series (one column per version)."""
+        header = "Fig. 4, n = %d (T = %d)" % (self.dimension, self.rounds)
+        body = format_series_table(
+            self.checkpoints, self.cumulative_regret, value_label="cumulative regret"
+        )
+        summary = (
+            "reserve price reduces cumulative regret by %.2f%% (vs pure); "
+            "uncertainty increases it by %.2f%% (vs pure)"
+            % (self.reserve_reduction_percent, self.uncertainty_increase_percent)
+        )
+        return "\n".join([header, body, summary])
+
+
+def run_fig4(
+    dimensions: Sequence[int] = (1, 20, 40, 60, 80, 100),
+    rounds: Optional[int] = None,
+    owner_count: int = 300,
+    delta: float = 0.01,
+    seed: int = 7,
+    checkpoint_count: int = 12,
+) -> Dict[int, Fig4Result]:
+    """Regenerate the Fig. 4 series.
+
+    Parameters
+    ----------
+    dimensions:
+        Feature dimensions to sweep (the paper uses 1, 20, 40, 60, 80, 100).
+    rounds:
+        Common horizon for every dimension; when ``None`` the paper's
+        per-dimension horizon (capped at 20,000 for laptop-scale runs) is used.
+    owner_count / delta / seed:
+        Passed through to :class:`NoisyLinearQueryConfig`.
+    checkpoint_count:
+        Number of logarithmically spaced checkpoints per series.
+    """
+    results: Dict[int, Fig4Result] = {}
+    for dimension in dimensions:
+        horizon = rounds if rounds is not None else min(
+            PAPER_ROUNDS_BY_DIMENSION.get(dimension, 10_000), 20_000
+        )
+        config = NoisyLinearQueryConfig(
+            dimension=dimension,
+            rounds=horizon,
+            owner_count=owner_count,
+            delta=delta,
+            seed=seed + dimension,
+        )
+        simulations = run_noisy_query_experiment(config, versions=ALGORITHM_VERSIONS)
+        checkpoints = checkpoints_for(horizon, checkpoint_count)
+        series: Dict[str, List[float]] = {}
+        finals: Dict[str, float] = {}
+        for version, result in simulations.items():
+            curve = result.cumulative_regret_curve()
+            series[version] = [float(curve[c - 1]) for c in checkpoints]
+            finals[version] = float(curve[-1])
+        reserve_reduction = _percent_reduction(
+            finals["pure version"], finals["with reserve price"]
+        )
+        uncertainty_increase = -_percent_reduction(
+            finals["pure version"], finals["with uncertainty"]
+        )
+        results[dimension] = Fig4Result(
+            dimension=dimension,
+            rounds=horizon,
+            checkpoints=checkpoints,
+            cumulative_regret=series,
+            final_regret=finals,
+            reserve_reduction_percent=reserve_reduction,
+            uncertainty_increase_percent=uncertainty_increase,
+        )
+    return results
+
+
+def _percent_reduction(baseline: float, value: float) -> float:
+    if baseline == 0.0:
+        return 0.0
+    return 100.0 * (baseline - value) / baseline

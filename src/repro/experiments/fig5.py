@@ -1,0 +1,267 @@
+"""Fig. 5: regret ratios for the three application instances.
+
+* Fig. 5(a): regret ratios of the four algorithm versions and the risk-averse
+  baseline for the noisy-linear-query application at ``n = 100``,
+* Fig. 5(b): regret ratios of the pure version and the versions with reserve
+  price for the accommodation-rental application at reserve/market log ratios
+  ``r ∈ {0.4, 0.6, 0.8}``, plus the risk-averse baseline at each ratio,
+* Fig. 5(c): regret ratios of the pure version for the impression application
+  in the sparse and dense cases at hashing dimensions 128 and 1024.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.accommodation import AccommodationConfig, build_accommodation_environment
+from repro.apps.common import ALGORITHM_VERSIONS, run_versions
+from repro.apps.impression import ImpressionConfig, build_impression_environment
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
+from repro.experiments.reporting import checkpoints_for, format_series_table
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5(a): noisy linear query, n = 100
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig5aResult:
+    """Regret-ratio series of the noisy-linear-query application."""
+
+    dimension: int
+    rounds: int
+    checkpoints: List[int]
+    regret_ratio: Dict[str, List[float]]
+    final_ratio: Dict[str, float]
+
+    def reduction_vs_risk_averse(self, version: str = "with reserve price") -> float:
+        """Percent regret-ratio reduction of ``version`` vs the risk-averse baseline."""
+        baseline = self.final_ratio.get("risk-averse baseline", 0.0)
+        if baseline == 0.0:
+            return 0.0
+        return 100.0 * (baseline - self.final_ratio[version]) / baseline
+
+    def format(self) -> str:
+        """Printable rendering of the series."""
+        header = "Fig. 5(a): noisy linear query, n = %d (T = %d)" % (self.dimension, self.rounds)
+        body = format_series_table(self.checkpoints, self.regret_ratio, value_label="regret ratio")
+        return header + "\n" + body
+
+
+def run_fig5a(
+    dimension: int = 100,
+    rounds: int = 20_000,
+    owner_count: int = 300,
+    delta: float = 0.01,
+    seed: int = 11,
+    checkpoint_count: int = 12,
+) -> Fig5aResult:
+    """Regenerate the Fig. 5(a) regret-ratio series."""
+    config = NoisyLinearQueryConfig(
+        dimension=dimension, rounds=rounds, owner_count=owner_count, delta=delta, seed=seed
+    )
+    environment = build_noisy_query_environment(config)
+    simulations = run_versions(
+        environment, versions=ALGORITHM_VERSIONS, include_risk_averse=True
+    )
+    checkpoints = checkpoints_for(rounds, checkpoint_count)
+    series: Dict[str, List[float]] = {}
+    finals: Dict[str, float] = {}
+    for version, result in simulations.items():
+        curve = result.regret_ratio_curve()
+        series[version] = [float(curve[c - 1]) for c in checkpoints]
+        finals[version] = float(curve[-1])
+    return Fig5aResult(
+        dimension=dimension,
+        rounds=rounds,
+        checkpoints=checkpoints,
+        regret_ratio=series,
+        final_ratio=finals,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5(b): accommodation rental, log-linear model
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig5bResult:
+    """Regret-ratio series of the accommodation-rental application."""
+
+    rounds: int
+    checkpoints: List[int]
+    regret_ratio: Dict[str, List[float]]
+    final_ratio: Dict[str, float]
+    risk_averse_ratio: Dict[float, float]
+    test_mse: float
+
+    def format(self) -> str:
+        """Printable rendering of the series."""
+        header = "Fig. 5(b): accommodation rental (T = %d, OLS test MSE %.3f)" % (
+            self.rounds,
+            self.test_mse,
+        )
+        body = format_series_table(self.checkpoints, self.regret_ratio, value_label="regret ratio")
+        baseline_lines = [
+            "risk-averse baseline at log-ratio %.1f: regret ratio %.4f" % (ratio, value)
+            for ratio, value in sorted(self.risk_averse_ratio.items())
+        ]
+        return "\n".join([header, body] + baseline_lines)
+
+
+def run_fig5b(
+    listing_count: int = 10_000,
+    reserve_log_ratios: Sequence[float] = (0.4, 0.6, 0.8),
+    dimension: int = 55,
+    seed: int = 13,
+    checkpoint_count: int = 12,
+    low_dimension_variant: Optional[int] = 16,
+) -> Fig5bResult:
+    """Regenerate the Fig. 5(b) regret-ratio series.
+
+    Parameters
+    ----------
+    low_dimension_variant:
+        When set, an additional series is produced with the listing feature
+        dimension reduced to this value (amenity indicator columns dropped).
+        The paper's few-percent final regret ratios require the exploration
+        phase to be a small fraction of the horizon, which at ``n = 55`` and
+        laptop-scale horizons it is not; the low-dimension variant shows the
+        mechanism does reach that regime once exploration fits the horizon
+        (see EXPERIMENTS.md for the discussion).
+    """
+    series: Dict[str, List[float]] = {}
+    finals: Dict[str, float] = {}
+    risk_averse: Dict[float, float] = {}
+    checkpoints = checkpoints_for(listing_count, checkpoint_count)
+    test_mse = float("nan")
+
+    # Pure version: the reserve price is ignored by the pricer but kept in the
+    # environment (it defines the regret of Equation (1)); the paper plots one
+    # pure curve, generated on the same listings stream.
+    pure_config = AccommodationConfig(
+        listing_count=listing_count,
+        dimension=dimension,
+        reserve_log_ratio=min(reserve_log_ratios),
+        seed=seed,
+    )
+    pure_env = build_accommodation_environment(pure_config)
+    test_mse = float(pure_env.metadata["test_mse"])
+    pure_result = run_versions(pure_env, versions=("pure version",))["pure version"]
+    curve = pure_result.regret_ratio_curve()
+    series["pure version"] = [float(curve[c - 1]) for c in checkpoints]
+    finals["pure version"] = float(curve[-1])
+
+    for ratio in reserve_log_ratios:
+        config = AccommodationConfig(
+            listing_count=listing_count,
+            dimension=dimension,
+            reserve_log_ratio=ratio,
+            seed=seed,
+        )
+        environment = build_accommodation_environment(config)
+        simulations = run_versions(
+            environment, versions=("with reserve price",), include_risk_averse=True
+        )
+        label = "with reserve price (r=%.1f)" % ratio
+        curve = simulations["with reserve price"].regret_ratio_curve()
+        series[label] = [float(curve[c - 1]) for c in checkpoints]
+        finals[label] = float(curve[-1])
+        risk_averse[ratio] = float(simulations["risk-averse baseline"].regret_ratio)
+
+    if low_dimension_variant is not None:
+        config = AccommodationConfig(
+            listing_count=listing_count,
+            dimension=low_dimension_variant,
+            include_amenities=False,
+            reserve_log_ratio=0.6,
+            seed=seed,
+        )
+        environment = build_accommodation_environment(config)
+        result = run_versions(environment, versions=("with reserve price",))["with reserve price"]
+        label = "with reserve price (r=0.6, n=%d)" % low_dimension_variant
+        curve = result.regret_ratio_curve()
+        series[label] = [float(curve[c - 1]) for c in checkpoints]
+        finals[label] = float(curve[-1])
+
+    return Fig5bResult(
+        rounds=listing_count,
+        checkpoints=checkpoints,
+        regret_ratio=series,
+        final_ratio=finals,
+        risk_averse_ratio=risk_averse,
+        test_mse=test_mse,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Fig. 5(c): impression pricing, logistic model
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Fig5cResult:
+    """Regret-ratio series of the impression application."""
+
+    rounds: int
+    checkpoints: List[int]
+    regret_ratio: Dict[str, List[float]]
+    final_ratio: Dict[str, float]
+    nonzero_weights: Dict[str, int]
+    holdout_log_loss: Dict[str, float]
+
+    def format(self) -> str:
+        """Printable rendering of the series."""
+        header = "Fig. 5(c): impression pricing (T = %d)" % self.rounds
+        body = format_series_table(self.checkpoints, self.regret_ratio, value_label="regret ratio")
+        extras = [
+            "%s: %d non-zero weights, holdout log loss %.3f"
+            % (label, self.nonzero_weights[label], self.holdout_log_loss[label])
+            for label in self.regret_ratio
+        ]
+        return "\n".join([header, body] + extras)
+
+
+def run_fig5c(
+    impression_count: int = 20_000,
+    training_count: int = 20_000,
+    dimensions: Sequence[int] = (128, 1024),
+    seed: int = 17,
+    checkpoint_count: int = 12,
+) -> Fig5cResult:
+    """Regenerate the Fig. 5(c) regret-ratio series (sparse and dense cases)."""
+    series: Dict[str, List[float]] = {}
+    finals: Dict[str, float] = {}
+    nonzeros: Dict[str, int] = {}
+    losses: Dict[str, float] = {}
+    checkpoints = checkpoints_for(impression_count, checkpoint_count)
+
+    for dimension in dimensions:
+        for dense in (False, True):
+            config = ImpressionConfig(
+                impression_count=impression_count,
+                training_count=training_count,
+                dimension=dimension,
+                dense=dense,
+                seed=seed,
+            )
+            environment = build_impression_environment(config)
+            result = run_versions(environment, versions=("pure version",))["pure version"]
+            label = "n=%d (%s)" % (dimension, "dense" if dense else "sparse")
+            curve = result.regret_ratio_curve()
+            series[label] = [float(curve[c - 1]) for c in checkpoints]
+            finals[label] = float(curve[-1])
+            nonzeros[label] = int(environment.metadata["nonzero_weights"])
+            losses[label] = float(environment.metadata["holdout_log_loss"])
+
+    return Fig5cResult(
+        rounds=impression_count,
+        checkpoints=checkpoints,
+        regret_ratio=series,
+        final_ratio=finals,
+        nonzero_weights=nonzeros,
+        holdout_log_loss=losses,
+    )

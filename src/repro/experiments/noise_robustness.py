@@ -1,0 +1,118 @@
+"""Noise-robustness ablation: how the buffer δ copes with market value noise.
+
+Algorithm 2 circumvents σ-sub-Gaussian uncertainty by buffering the cuts with
+``δ = √(2 log C) σ log T``.  This ablation sweeps the *realised* noise scale
+against the *assumed* buffer and reports (a) whether the true weight vector is
+still inside the knowledge set at the end of the run and (b) the cumulative
+regret, substantiating two claims:
+
+* with the correctly sized buffer the mechanism is robust (θ* survives and the
+  regret degrades gracefully as σ grows),
+* ignoring the uncertainty (δ = 0) while the market is noisy risks cutting θ*
+  away, after which the regret can stop improving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.models import LinearModel
+from repro.core.noise import GaussianNoise, uncertainty_buffer
+from repro.core.pricing import EllipsoidPricer, PricerConfig
+from repro.core.simulation import MarketSimulator, QueryArrival
+from repro.experiments.reporting import format_table
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass
+class NoiseRobustnessResult:
+    """One sweep point: realised noise σ, assumed buffer δ, and outcomes."""
+
+    sigma: float
+    delta: float
+    rounds: int
+    dimension: int
+    cumulative_regret: float
+    regret_ratio: float
+    theta_retained: bool
+
+    def as_cells(self) -> List:
+        """Row cells for the printable table."""
+        return [
+            "%.4g" % self.sigma,
+            "%.4g" % self.delta,
+            "%.2f" % self.cumulative_regret,
+            "%.4f" % self.regret_ratio,
+            "yes" if self.theta_retained else "NO",
+        ]
+
+
+def run_noise_robustness(
+    sigmas: Sequence[float] = (0.0, 0.001, 0.005, 0.02),
+    use_buffer: bool = True,
+    dimension: int = 10,
+    rounds: int = 4_000,
+    seed: int = 43,
+) -> List[NoiseRobustnessResult]:
+    """Sweep the realised noise scale with (or without) the matched buffer δ."""
+    results: List[NoiseRobustnessResult] = []
+    for sigma in sigmas:
+        results.append(
+            _run_single(sigma=sigma, use_buffer=use_buffer, dimension=dimension, rounds=rounds, seed=seed)
+        )
+    return results
+
+
+def _run_single(
+    sigma: float, use_buffer: bool, dimension: int, rounds: int, seed: int
+) -> NoiseRobustnessResult:
+    rng_theta, rng_features, rng_noise = spawn_rngs(seed, 3)
+    theta = np.abs(rng_theta.standard_normal(dimension))
+    theta *= np.sqrt(2 * dimension) / np.linalg.norm(theta)
+    model = LinearModel(theta)
+
+    delta = uncertainty_buffer(sigma, rounds) if (use_buffer and sigma > 0) else 0.0
+    noise = GaussianNoise(sigma) if sigma > 0 else None
+
+    epsilon = max(dimension**2 / rounds, 4 * dimension * delta, 1e-6)
+    pricer = EllipsoidPricer(
+        PricerConfig(
+            dimension=dimension,
+            radius=2.0 * np.sqrt(dimension),
+            epsilon=epsilon,
+            delta=delta,
+            use_reserve=True,
+        )
+    )
+
+    arrivals: List[QueryArrival] = []
+    for _ in range(rounds):
+        features = np.abs(rng_features.standard_normal(dimension))
+        features /= np.linalg.norm(features)
+        noise_value = float(noise.sample(rng_noise)) if noise is not None else 0.0
+        arrivals.append(
+            QueryArrival(
+                features=features,
+                reserve_value=0.6 * float(features @ theta),
+                noise=noise_value,
+            )
+        )
+    result = MarketSimulator(model, pricer).run(arrivals)
+    return NoiseRobustnessResult(
+        sigma=float(sigma),
+        delta=float(delta),
+        rounds=rounds,
+        dimension=dimension,
+        cumulative_regret=result.cumulative_regret,
+        regret_ratio=result.regret_ratio,
+        theta_retained=bool(pricer.knowledge.contains(theta)),
+    )
+
+
+def format_noise_robustness(results: Sequence[NoiseRobustnessResult]) -> str:
+    """Printable rendering of the sweep."""
+    headers = ["sigma", "delta (buffer)", "cumulative regret", "regret ratio", "theta retained"]
+    return format_table(headers, [result.as_cells() for result in results])

@@ -1,0 +1,152 @@
+"""Section V-D: online latency and memory overhead of the three applications.
+
+The paper reports millisecond-scale per-round latency and <160 MB memory
+overhead on a Broadwell-E workstation.  On our side:
+
+* latency is measured as the wall-clock time spent inside the pricer
+  (``propose`` + ``update``) per round,
+* memory is reported both as the exact byte count of the pricer's state
+  (``O(n²)``: the ellipsoid shape matrix plus its center) and as the process
+  resident set size when procfs is available,
+* as an ablation, the exact polytope knowledge set (two LPs per round) can be
+  timed against the ellipsoid representation to substantiate the paper's
+  argument that the raw polytope is too slow for online use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.accommodation import AccommodationConfig, build_accommodation_environment
+from repro.apps.common import AppEnvironment, build_pricer_for_version, run_versions
+from repro.apps.impression import ImpressionConfig, build_impression_environment
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
+from repro.core.simulation import MarketSimulator
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class OverheadReport:
+    """Per-application latency / memory measurements."""
+
+    application: str
+    version: str
+    dimension: int
+    rounds: int
+    mean_latency_ms: float
+    p95_latency_ms: float
+    max_latency_ms: float
+    state_megabytes: float
+    process_megabytes: Optional[float]
+
+    def as_cells(self) -> List:
+        """Row cells for the printable table."""
+        return [
+            self.application,
+            self.version,
+            self.dimension,
+            self.rounds,
+            "%.4f" % self.mean_latency_ms,
+            "%.4f" % self.p95_latency_ms,
+            "%.4f" % self.max_latency_ms,
+            "%.4f" % self.state_megabytes,
+            "%.1f" % self.process_megabytes if self.process_megabytes is not None else "n/a",
+        ]
+
+
+def measure_environment(
+    environment: AppEnvironment, version: str, knowledge: str = "ellipsoid"
+) -> OverheadReport:
+    """Measure latency and memory for one pricer version over one environment."""
+    pricer = build_pricer_for_version(environment, version, knowledge=knowledge)
+    simulator = MarketSimulator(model=environment.model, pricer=pricer, track_latency=True)
+    result = simulator.run(environment.arrivals)
+    memory = pricer.memory_report()
+    return OverheadReport(
+        application=environment.name,
+        version=version if knowledge == "ellipsoid" else version + " [polytope]",
+        dimension=environment.dimension,
+        rounds=environment.rounds,
+        mean_latency_ms=result.latency.mean_milliseconds,
+        p95_latency_ms=result.latency.percentile_milliseconds(95),
+        max_latency_ms=result.latency.max_milliseconds,
+        state_megabytes=memory.state_megabytes,
+        process_megabytes=memory.process_megabytes,
+    )
+
+
+def run_overhead(
+    noisy_query_rounds: int = 2_000,
+    noisy_query_dimension: int = 100,
+    listing_count: int = 2_000,
+    impression_count: int = 2_000,
+    impression_dimension: int = 1024,
+    owner_count: int = 300,
+    seed: int = 23,
+    include_polytope_ablation: bool = False,
+    polytope_rounds: int = 200,
+) -> List[OverheadReport]:
+    """Measure overheads for the three applications (Section V-D).
+
+    The polytope ablation (two LPs per round) is optional and run over a much
+    shorter horizon because it is orders of magnitude slower.
+    """
+    reports: List[OverheadReport] = []
+
+    noisy_env = build_noisy_query_environment(
+        NoisyLinearQueryConfig(
+            dimension=noisy_query_dimension,
+            rounds=noisy_query_rounds,
+            owner_count=owner_count,
+            seed=seed,
+        )
+    )
+    reports.append(measure_environment(noisy_env, "with reserve price"))
+
+    accommodation_env = build_accommodation_environment(
+        AccommodationConfig(listing_count=listing_count, reserve_log_ratio=0.6, seed=seed)
+    )
+    reports.append(measure_environment(accommodation_env, "with reserve price"))
+
+    for dense in (False, True):
+        impression_env = build_impression_environment(
+            ImpressionConfig(
+                impression_count=impression_count,
+                training_count=impression_count,
+                dimension=impression_dimension,
+                dense=dense,
+                seed=seed,
+            )
+        )
+        reports.append(measure_environment(impression_env, "pure version"))
+
+    if include_polytope_ablation:
+        small_env = build_noisy_query_environment(
+            NoisyLinearQueryConfig(
+                dimension=min(20, noisy_query_dimension),
+                rounds=polytope_rounds,
+                owner_count=owner_count,
+                seed=seed,
+            )
+        )
+        reports.append(measure_environment(small_env, "with reserve price", knowledge="ellipsoid"))
+        reports.append(measure_environment(small_env, "with reserve price", knowledge="polytope"))
+
+    return reports
+
+
+def format_overhead(reports: Sequence[OverheadReport]) -> str:
+    """Printable rendering of the overhead table."""
+    headers = [
+        "application",
+        "version",
+        "n",
+        "rounds",
+        "mean ms",
+        "p95 ms",
+        "max ms",
+        "state MB",
+        "process MB",
+    ]
+    return format_table(headers, [report.as_cells() for report in reports])

@@ -1,0 +1,141 @@
+"""Regret-scaling experiments backing Theorems 1 and 3.
+
+Two sweeps substantiate the theoretical regret bounds and the ε ablation
+called out in DESIGN.md:
+
+* :func:`run_horizon_scaling` — cumulative regret versus the horizon ``T``
+  (Theorem 1/3 predict growth that is logarithmic in ``T`` once the horizon
+  exceeds the exploration budget, i.e. strongly sub-linear),
+* :func:`run_dimension_scaling` — cumulative regret versus the feature
+  dimension ``n`` (Theorem 1 predicts roughly quadratic growth),
+* :func:`run_epsilon_ablation` — cumulative regret versus the exploration
+  threshold ε around the theoretical ``max(n²/T, 4nδ)`` setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, run_noisy_query_experiment
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class ScalingResult:
+    """One point of a scaling sweep."""
+
+    parameter_name: str
+    parameter_value: float
+    rounds: int
+    dimension: int
+    cumulative_regret: float
+    regret_ratio: float
+
+    def as_cells(self) -> List:
+        """Row cells for the printable table."""
+        return [
+            "%g" % self.parameter_value,
+            self.dimension,
+            self.rounds,
+            "%.2f" % self.cumulative_regret,
+            "%.4f" % self.regret_ratio,
+        ]
+
+
+def run_horizon_scaling(
+    horizons: Sequence[int] = (1_000, 2_000, 5_000, 10_000, 20_000),
+    dimension: int = 20,
+    owner_count: int = 300,
+    version: str = "with reserve price",
+    seed: int = 29,
+) -> List[ScalingResult]:
+    """Cumulative regret as the horizon ``T`` grows (fixed dimension)."""
+    results: List[ScalingResult] = []
+    for horizon in horizons:
+        config = NoisyLinearQueryConfig(
+            dimension=dimension, rounds=horizon, owner_count=owner_count, seed=seed
+        )
+        outcome = run_noisy_query_experiment(config, versions=(version,))[version]
+        results.append(
+            ScalingResult(
+                parameter_name="T",
+                parameter_value=float(horizon),
+                rounds=horizon,
+                dimension=dimension,
+                cumulative_regret=outcome.cumulative_regret,
+                regret_ratio=outcome.regret_ratio,
+            )
+        )
+    return results
+
+
+def run_dimension_scaling(
+    dimensions: Sequence[int] = (10, 20, 40, 60, 80),
+    rounds: int = 10_000,
+    owner_count: int = 300,
+    version: str = "with reserve price",
+    seed: int = 31,
+) -> List[ScalingResult]:
+    """Cumulative regret as the feature dimension ``n`` grows (fixed horizon)."""
+    results: List[ScalingResult] = []
+    for dimension in dimensions:
+        config = NoisyLinearQueryConfig(
+            dimension=dimension, rounds=rounds, owner_count=owner_count, seed=seed
+        )
+        outcome = run_noisy_query_experiment(config, versions=(version,))[version]
+        results.append(
+            ScalingResult(
+                parameter_name="n",
+                parameter_value=float(dimension),
+                rounds=rounds,
+                dimension=dimension,
+                cumulative_regret=outcome.cumulative_regret,
+                regret_ratio=outcome.regret_ratio,
+            )
+        )
+    return results
+
+
+def run_epsilon_ablation(
+    epsilon_multipliers: Sequence[float] = (0.1, 0.5, 1.0, 2.0, 10.0),
+    dimension: int = 20,
+    rounds: int = 10_000,
+    owner_count: int = 300,
+    version: str = "with reserve price",
+    seed: int = 37,
+) -> List[ScalingResult]:
+    """Cumulative regret as ε is scaled around the theoretical setting."""
+    base_config = NoisyLinearQueryConfig(
+        dimension=dimension, rounds=rounds, owner_count=owner_count, seed=seed
+    )
+    base_epsilon = base_config.resolved_epsilon()
+    results: List[ScalingResult] = []
+    for multiplier in epsilon_multipliers:
+        config = NoisyLinearQueryConfig(
+            dimension=dimension,
+            rounds=rounds,
+            owner_count=owner_count,
+            epsilon=base_epsilon * multiplier,
+            seed=seed,
+        )
+        outcome = run_noisy_query_experiment(config, versions=(version,))[version]
+        results.append(
+            ScalingResult(
+                parameter_name="epsilon multiplier",
+                parameter_value=float(multiplier),
+                rounds=rounds,
+                dimension=dimension,
+                cumulative_regret=outcome.cumulative_regret,
+                regret_ratio=outcome.regret_ratio,
+            )
+        )
+    return results
+
+
+def format_scaling(results: Sequence[ScalingResult]) -> str:
+    """Printable rendering of a scaling sweep."""
+    if not results:
+        return "(empty sweep)"
+    headers = [results[0].parameter_name, "n", "T", "cumulative regret", "regret ratio"]
+    return format_table(headers, [result.as_cells() for result in results])

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment outputs.
+
+The benches print the same rows / series the paper reports; these helpers keep
+the formatting consistent (fixed-width columns, one row per series point).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], precision: int = 4) -> str:
+    """Render rows as a fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered_rows.append([_render_cell(cell, precision) for cell in row])
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series_table(
+    checkpoints: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    value_label: str = "value",
+    precision: int = 4,
+) -> str:
+    """Render several named series sampled at common checkpoints.
+
+    Produces one row per checkpoint with one column per series — the layout
+    used for the cumulative-regret and regret-ratio figures.
+    """
+    headers = ["rounds"] + list(series.keys())
+    rows = []
+    for index, checkpoint in enumerate(checkpoints):
+        row = [checkpoint]
+        for name in series:
+            values = series[name]
+            row.append(values[index] if index < len(values) else float("nan"))
+        rows.append(row)
+    title = "%s at checkpoints" % value_label
+    return title + "\n" + format_table(headers, rows, precision=precision)
+
+
+def _render_cell(cell, precision: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return "%.*g" % (precision + 2, cell) if abs(cell) < 1e-3 and cell != 0 else "%.*f" % (precision, cell)
+    return str(cell)
+
+
+def checkpoints_for(total_rounds: int, count: int = 12) -> List[int]:
+    """Logarithmically spaced checkpoints in ``[1, total_rounds]``."""
+    if total_rounds < 1:
+        raise ValueError("total_rounds must be positive, got %d" % total_rounds)
+    if count < 1:
+        raise ValueError("count must be positive, got %d" % count)
+    import numpy as np
+
+    raw = np.unique(
+        np.round(np.logspace(0, np.log10(total_rounds), num=count)).astype(int)
+    )
+    return [int(v) for v in raw if 1 <= v <= total_rounds]

@@ -1,0 +1,87 @@
+"""Table I: per-round statistics of the version with reserve price.
+
+For each feature dimension the paper reports the mean (and standard deviation)
+of the per-round market value, reserve price, posted price, and regret under
+the version with reserve price, together with the horizon ``T``.
+:func:`run_table1` regenerates those rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, run_noisy_query_experiment
+from repro.experiments.fig4 import PAPER_ROUNDS_BY_DIMENSION
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class Table1Row:
+    """One row of Table I (mean, std pairs for the per-round quantities)."""
+
+    dimension: int
+    rounds: int
+    market_value: Tuple[float, float]
+    reserve_price: Tuple[float, float]
+    posted_price: Tuple[float, float]
+    regret: Tuple[float, float]
+    regret_ratio: float
+
+    def as_cells(self) -> List:
+        """Row cells in the order used by the printable table."""
+        return [
+            self.dimension,
+            self.rounds,
+            _fmt(self.market_value),
+            _fmt(self.reserve_price),
+            _fmt(self.posted_price),
+            _fmt(self.regret),
+            "%.4f" % self.regret_ratio,
+        ]
+
+
+def run_table1(
+    dimensions: Sequence[int] = (1, 20, 40, 60, 80, 100),
+    rounds: Optional[int] = None,
+    owner_count: int = 300,
+    delta: float = 0.01,
+    seed: int = 7,
+) -> List[Table1Row]:
+    """Regenerate the rows of Table I (version with reserve price)."""
+    rows: List[Table1Row] = []
+    for dimension in dimensions:
+        horizon = rounds if rounds is not None else min(
+            PAPER_ROUNDS_BY_DIMENSION.get(dimension, 10_000), 20_000
+        )
+        config = NoisyLinearQueryConfig(
+            dimension=dimension,
+            rounds=horizon,
+            owner_count=owner_count,
+            delta=delta,
+            seed=seed + dimension,
+        )
+        simulations = run_noisy_query_experiment(config, versions=("with reserve price",))
+        stats = simulations["with reserve price"].summary_statistics()
+        rows.append(
+            Table1Row(
+                dimension=dimension,
+                rounds=horizon,
+                market_value=stats["market_value"],
+                reserve_price=stats["reserve_price"],
+                posted_price=stats["posted_price"],
+                regret=stats["regret"],
+                regret_ratio=stats["regret_ratio"],
+            )
+        )
+    return rows
+
+
+def format_table1(rows: Sequence[Table1Row]) -> str:
+    """Printable rendering of Table I."""
+    headers = ["n", "T", "market value", "reserve price", "posted price", "regret", "regret ratio"]
+    return format_table(headers, [row.as_cells() for row in rows])
+
+
+def _fmt(pair: Tuple[float, float]) -> str:
+    return "%.3f (%.3f)" % pair

@@ -1,0 +1,35 @@
+"""Offline learning substrate.
+
+The paper's evaluation fits market value models offline before replaying
+records through the online pricer:
+
+* the Airbnb application encodes categorical listing attributes (plus
+  interaction features) and fits a log-linear model by ordinary least squares,
+* the Avazu application encodes impressions with the one-hot hashing trick and
+  fits a sparse logistic model with FTRL-Proximal,
+* Section II-B also mentions PCA as an alternative dimensionality reduction
+  for compensation profiles.
+
+This package implements those pipelines from scratch on top of numpy.
+"""
+
+from repro.learning.encoding import CategoricalEncoder, InteractionExpander, ListingFeaturizer
+from repro.learning.hashing import HashingVectorizer
+from repro.learning.linear_regression import LinearRegression, train_test_split
+from repro.learning.ftrl import FTRLProximal
+from repro.learning.pca import PCA
+from repro.learning.metrics import log_loss, mean_squared_error, r2_score
+
+__all__ = [
+    "CategoricalEncoder",
+    "InteractionExpander",
+    "ListingFeaturizer",
+    "HashingVectorizer",
+    "LinearRegression",
+    "train_test_split",
+    "FTRLProximal",
+    "PCA",
+    "mean_squared_error",
+    "log_loss",
+    "r2_score",
+]

@@ -1,0 +1,78 @@
+"""One-hot encoding with the hashing trick.
+
+The impression application maps each categorical ``field=value`` token of an
+ad impression to a slot ``hash(token) mod n`` of an ``n``-dimensional feature
+vector, exactly as in the paper (``n`` — the modulus — is 128 or 1024 in the
+evaluation).  The hash is a deterministic FNV-1a so feature vectors are stable
+across processes and test runs (Python's builtin ``hash`` is salted).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import LearningError
+
+_FNV_OFFSET_BASIS = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_FNV_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_hash(token: str) -> int:
+    """64-bit FNV-1a hash of a string token (deterministic across processes)."""
+    value = _FNV_OFFSET_BASIS
+    for byte in token.encode("utf-8"):
+        value ^= byte
+        value = (value * _FNV_PRIME) & _FNV_MASK
+    return value
+
+
+class HashingVectorizer:
+    """Hashes string tokens into a fixed-width one-hot (or counts) vector.
+
+    Parameters
+    ----------
+    dimension:
+        Number of hash slots ``n`` (the modulus).
+    binary:
+        When true (default) a slot is set to 1 when any token falls into it;
+        otherwise slots count colliding tokens.
+    normalise:
+        Optionally rescale each vector to unit L2 norm, which keeps the
+        feature norm bound ``S`` of the regret analysis equal to 1.
+    """
+
+    def __init__(self, dimension: int, binary: bool = True, normalise: bool = False) -> None:
+        if dimension < 1:
+            raise LearningError("dimension must be positive, got %d" % dimension)
+        self.dimension = int(dimension)
+        self.binary = bool(binary)
+        self.normalise = bool(normalise)
+
+    def slot(self, token: str) -> int:
+        """The hash slot a token falls into."""
+        return fnv1a_hash(token) % self.dimension
+
+    def transform_tokens(self, tokens: Iterable[str]) -> np.ndarray:
+        """Vectorise one example given its string tokens."""
+        vector = np.zeros(self.dimension, dtype=float)
+        for token in tokens:
+            index = self.slot(token)
+            if self.binary:
+                vector[index] = 1.0
+            else:
+                vector[index] += 1.0
+        if self.normalise:
+            norm = float(np.linalg.norm(vector))
+            if norm > 0:
+                vector = vector / norm
+        return vector
+
+    def transform(self, examples: Sequence[Iterable[str]]) -> np.ndarray:
+        """Vectorise a batch of examples (one token iterable per example)."""
+        rows: List[np.ndarray] = [self.transform_tokens(tokens) for tokens in examples]
+        if not rows:
+            return np.zeros((0, self.dimension))
+        return np.vstack(rows)

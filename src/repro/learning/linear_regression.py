@@ -1,0 +1,118 @@
+"""Ordinary least squares linear regression (with optional ridge regularisation).
+
+Used by the accommodation-rental application to learn the log-linear market
+value model: the paper regresses logarithmic lodging prices on the encoded
+listing features and uses the learned coefficients as ``θ*``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import LearningError
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import ensure_vector
+
+
+class LinearRegression:
+    """Least squares regression ``y ≈ X θ (+ intercept)``.
+
+    Parameters
+    ----------
+    fit_intercept:
+        Whether to fit an intercept term (kept separate from ``coefficients``).
+    ridge:
+        Optional L2 regularisation strength; 0 gives plain OLS.  A small ridge
+        keeps the solution well-defined when encoded categorical features are
+        collinear.
+    """
+
+    def __init__(self, fit_intercept: bool = True, ridge: float = 0.0) -> None:
+        if ridge < 0:
+            raise LearningError("ridge must be non-negative, got %g" % ridge)
+        self.fit_intercept = bool(fit_intercept)
+        self.ridge = float(ridge)
+        self.coefficients: Optional[np.ndarray] = None
+        self.intercept: float = 0.0
+
+    def fit(self, features, targets) -> "LinearRegression":
+        """Fit the model; returns ``self`` for chaining."""
+        features = np.asarray(features, dtype=float)
+        targets = ensure_vector(targets, name="targets")
+        if features.ndim != 2:
+            raise LearningError("features must be a 2-D array, got shape %s" % (features.shape,))
+        if features.shape[0] != targets.shape[0]:
+            raise LearningError(
+                "features and targets disagree on the sample count: %d vs %d"
+                % (features.shape[0], targets.shape[0])
+            )
+        if features.shape[0] == 0:
+            raise LearningError("cannot fit a regression on zero samples")
+
+        design = features
+        if self.fit_intercept:
+            design = np.hstack([np.ones((features.shape[0], 1)), features])
+
+        if self.ridge > 0.0:
+            gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+            solution = np.linalg.solve(gram, design.T @ targets)
+        else:
+            solution, _, _, _ = np.linalg.lstsq(design, targets, rcond=None)
+
+        if self.fit_intercept:
+            self.intercept = float(solution[0])
+            self.coefficients = solution[1:]
+        else:
+            self.intercept = 0.0
+            self.coefficients = solution
+        return self
+
+    def predict(self, features) -> np.ndarray:
+        """Predict targets for ``features``."""
+        if self.coefficients is None:
+            raise LearningError("the model must be fitted before predicting")
+        features = np.asarray(features, dtype=float)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.shape[1] != self.coefficients.shape[0]:
+            raise LearningError(
+                "feature dimension mismatch: expected %d, got %d"
+                % (self.coefficients.shape[0], features.shape[1])
+            )
+        return features @ self.coefficients + self.intercept
+
+    def weight_vector(self, include_intercept: bool = True) -> np.ndarray:
+        """The learned weights as one vector (intercept first when included).
+
+        The online pricer treats the intercept as an extra always-one feature,
+        so ``include_intercept=True`` returns the ``θ*`` used by the
+        accommodation application.
+        """
+        if self.coefficients is None:
+            raise LearningError("the model must be fitted before reading its weights")
+        if include_intercept and self.fit_intercept:
+            return np.concatenate([[self.intercept], self.coefficients])
+        return self.coefficients.copy()
+
+
+def train_test_split(
+    features, targets, test_fraction: float = 0.2, seed: RngLike = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Random train/test split (the paper holds out 20% of the Airbnb records)."""
+    features = np.asarray(features, dtype=float)
+    targets = ensure_vector(targets, name="targets")
+    if features.shape[0] != targets.shape[0]:
+        raise LearningError("features and targets disagree on the sample count")
+    if not 0.0 < test_fraction < 1.0:
+        raise LearningError("test_fraction must lie strictly inside (0, 1)")
+    rng = as_rng(seed)
+    count = features.shape[0]
+    permutation = rng.permutation(count)
+    test_count = max(1, int(round(test_fraction * count)))
+    test_idx = permutation[:test_count]
+    train_idx = permutation[test_count:]
+    if train_idx.size == 0:
+        raise LearningError("test_fraction leaves no training samples")
+    return features[train_idx], features[test_idx], targets[train_idx], targets[test_idx]

@@ -1,0 +1,46 @@
+"""Evaluation metrics for the offline learning pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_vector
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean squared error between two equal-length vectors."""
+    y_true = ensure_vector(y_true, name="y_true")
+    y_pred = ensure_vector(y_pred, dimension=y_true.shape[0], name="y_pred")
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination R²."""
+    y_true = ensure_vector(y_true, name="y_true")
+    y_pred = ensure_vector(y_pred, dimension=y_true.shape[0], name="y_pred")
+    total = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    residual = float(np.sum((y_true - y_pred) ** 2))
+    if total == 0.0:
+        return 0.0 if residual > 0 else 1.0
+    return 1.0 - residual / total
+
+
+def log_loss(y_true, y_prob, eps: float = 1e-12) -> float:
+    """Binary cross-entropy (logistic loss).
+
+    Probabilities are clipped to ``[eps, 1 - eps]`` for numerical stability.
+    """
+    y_true = ensure_vector(y_true, name="y_true")
+    y_prob = ensure_vector(y_prob, dimension=y_true.shape[0], name="y_prob")
+    if np.any((y_true != 0.0) & (y_true != 1.0)):
+        raise ValueError("y_true must contain only 0/1 labels")
+    clipped = np.clip(y_prob, eps, 1.0 - eps)
+    return float(-np.mean(y_true * np.log(clipped) + (1.0 - y_true) * np.log(1.0 - clipped)))
+
+
+def accuracy(y_true, y_prob, threshold: float = 0.5) -> float:
+    """Classification accuracy of thresholded probabilities."""
+    y_true = ensure_vector(y_true, name="y_true")
+    y_prob = ensure_vector(y_prob, dimension=y_true.shape[0], name="y_prob")
+    predictions = (y_prob >= threshold).astype(float)
+    return float(np.mean(predictions == y_true))

@@ -1,0 +1,93 @@
+"""Principal component analysis.
+
+Section II-B of the paper mentions PCA as an alternative to sorted-partition
+aggregation for reducing high-dimensional privacy compensation profiles to a
+manageable feature dimension.  This is a small from-scratch implementation on
+top of the singular value decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import LearningError
+
+
+class PCA:
+    """Principal component analysis via SVD of the centred data matrix.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal components to keep.
+    """
+
+    def __init__(self, n_components: int) -> None:
+        if n_components < 1:
+            raise LearningError("n_components must be positive, got %d" % n_components)
+        self.n_components = int(n_components)
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+
+    def fit(self, matrix) -> "PCA":
+        """Fit the principal components of ``matrix`` (rows are samples)."""
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise LearningError("matrix must be 2-D, got shape %s" % (matrix.shape,))
+        samples, features = matrix.shape
+        if self.n_components > min(samples, features):
+            raise LearningError(
+                "n_components=%d exceeds min(samples, features)=%d"
+                % (self.n_components, min(samples, features))
+            )
+        self.mean_ = matrix.mean(axis=0)
+        centred = matrix - self.mean_
+        _, singular_values, vt = np.linalg.svd(centred, full_matrices=False)
+        self.components_ = vt[: self.n_components]
+        denom = max(samples - 1, 1)
+        self.explained_variance_ = (singular_values[: self.n_components] ** 2) / denom
+        return self
+
+    def transform(self, matrix) -> np.ndarray:
+        """Project samples onto the fitted components."""
+        if self.components_ is None or self.mean_ is None:
+            raise LearningError("PCA must be fitted before transforming")
+        matrix = np.asarray(matrix, dtype=float)
+        single = matrix.ndim == 1
+        if single:
+            matrix = matrix.reshape(1, -1)
+        if matrix.shape[1] != self.mean_.shape[0]:
+            raise LearningError(
+                "feature dimension mismatch: expected %d, got %d"
+                % (self.mean_.shape[0], matrix.shape[1])
+            )
+        projected = (matrix - self.mean_) @ self.components_.T
+        return projected[0] if single else projected
+
+    def fit_transform(self, matrix) -> np.ndarray:
+        """Fit and project in one pass."""
+        return self.fit(matrix).transform(matrix)
+
+    def inverse_transform(self, projected) -> np.ndarray:
+        """Map projections back to the original feature space."""
+        if self.components_ is None or self.mean_ is None:
+            raise LearningError("PCA must be fitted before inverse transforming")
+        projected = np.asarray(projected, dtype=float)
+        single = projected.ndim == 1
+        if single:
+            projected = projected.reshape(1, -1)
+        reconstructed = projected @ self.components_ + self.mean_
+        return reconstructed[0] if single else reconstructed
+
+    def explained_variance_ratio(self, matrix) -> np.ndarray:
+        """Fraction of the total variance explained by each kept component."""
+        if self.explained_variance_ is None:
+            raise LearningError("PCA must be fitted before reading variance ratios")
+        matrix = np.asarray(matrix, dtype=float)
+        total = float(np.sum(np.var(matrix, axis=0, ddof=1)))
+        if total == 0.0:
+            return np.zeros_like(self.explained_variance_)
+        return self.explained_variance_ / total

@@ -1,0 +1,44 @@
+"""Personal data market substrate.
+
+This package implements the system model of Section II-A of the paper: data
+owners contribute personal data to a broker; data consumers arrive online with
+customized noisy queries; the broker quantifies per-owner privacy leakage,
+computes privacy compensations (whose total is the query's reserve price),
+builds the query's feature vector from the compensation profile, and runs a
+posted price mechanism.
+
+Modules
+-------
+* :mod:`repro.market.owners` — data owners and their personal data records,
+* :mod:`repro.market.queries` — noisy linear queries (analysis weights + noise level),
+* :mod:`repro.market.privacy` — differential-privacy based leakage quantification,
+* :mod:`repro.market.compensation` — tanh-based compensation contracts,
+* :mod:`repro.market.features` — compensation-profile feature construction,
+* :mod:`repro.market.consumers` — data consumer acceptance behaviour,
+* :mod:`repro.market.broker` — the data broker tying everything together.
+"""
+
+from repro.market.owners import DataOwner, OwnerPopulation
+from repro.market.queries import NoisyLinearQuery, QueryGenerator
+from repro.market.privacy import laplace_privacy_leakage, LeakageQuantifier
+from repro.market.compensation import CompensationContract, TanhCompensation, LinearCompensation
+from repro.market.features import CompensationFeatureExtractor
+from repro.market.consumers import DataConsumer, ThresholdConsumer
+from repro.market.broker import DataBroker, TradeRecord
+
+__all__ = [
+    "DataOwner",
+    "OwnerPopulation",
+    "NoisyLinearQuery",
+    "QueryGenerator",
+    "laplace_privacy_leakage",
+    "LeakageQuantifier",
+    "CompensationContract",
+    "TanhCompensation",
+    "LinearCompensation",
+    "CompensationFeatureExtractor",
+    "DataConsumer",
+    "ThresholdConsumer",
+    "DataBroker",
+    "TradeRecord",
+]

@@ -1,0 +1,149 @@
+"""The data broker: the seller side of the personal data market.
+
+The broker ties the substrate together (Fig. 2 of the paper): given an owner
+population and an incoming query it quantifies privacy leakages, computes the
+per-owner compensations and the reserve price, extracts the query's feature
+vector, asks its posted price mechanism for a price, and — if the consumer
+accepts — returns the noisy answer, charges the consumer, and pays the owners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import PostedPriceMechanism
+from repro.market.consumers import DataConsumer
+from repro.market.features import CompensationFeatureExtractor, FeatureExtraction
+from repro.market.owners import OwnerPopulation
+from repro.market.privacy import LeakageQuantifier
+from repro.market.queries import NoisyLinearQuery
+from repro.utils.rng import RngLike, as_rng
+
+
+@dataclass
+class TradeRecord:
+    """Everything that happened while trading one query."""
+
+    query_id: int
+    features: np.ndarray
+    reserve_price: float
+    posted_price: Optional[float]
+    sold: bool
+    revenue: float
+    total_compensation_paid: float
+    noisy_answer: Optional[float]
+    consumer_valuation: float
+
+    @property
+    def profit(self) -> float:
+        """Broker profit for this trade (revenue minus compensations paid)."""
+        return self.revenue - self.total_compensation_paid
+
+
+class DataBroker:
+    """A data broker running a posted price mechanism over an owner population.
+
+    Parameters
+    ----------
+    owners:
+        The data owner population whose data is being traded.
+    pricer:
+        Any :class:`~repro.core.base.PostedPriceMechanism` (typically the
+        ellipsoid pricer of Algorithm 1/2).
+    feature_extractor:
+        Builds the query feature vectors from compensation profiles.
+    quantifier:
+        Privacy leakage quantification; defaults to the Laplace-mechanism
+        quantifier with leakage cap 10.
+    seed:
+        Random source used to perturb query answers.
+    """
+
+    def __init__(
+        self,
+        owners: OwnerPopulation,
+        pricer: PostedPriceMechanism,
+        feature_extractor: CompensationFeatureExtractor,
+        quantifier: Optional[LeakageQuantifier] = None,
+        seed: RngLike = None,
+    ) -> None:
+        self.owners = owners
+        self.pricer = pricer
+        self.feature_extractor = feature_extractor
+        self.quantifier = quantifier if quantifier is not None else LeakageQuantifier()
+        self.rng = as_rng(seed)
+        self.trades: List[TradeRecord] = []
+
+    # ------------------------------------------------------------------ #
+
+    def prepare_query(self, query: NoisyLinearQuery) -> tuple:
+        """Compute compensations, reserve price, and features for ``query``.
+
+        Returns ``(compensations, extraction, reserve_price)``; exposed
+        separately so experiment code can pre-compute arrival sequences.
+        """
+        leakages = self.quantifier.leakages(query)
+        compensations = self.owners.compensations(leakages)
+        extraction = self.feature_extractor.extract(compensations)
+        reserve = self.feature_extractor.reserve_price(extraction)
+        return compensations, extraction, reserve
+
+    def trade(self, query: NoisyLinearQuery, consumer: DataConsumer) -> TradeRecord:
+        """Run one full round of data trading against ``consumer``."""
+        compensations, extraction, reserve = self.prepare_query(query)
+        decision = self.pricer.propose(extraction.features, reserve=reserve)
+
+        valuation = consumer.valuation(extraction.features)
+        if decision.skipped or decision.price is None:
+            posted_price = None
+            sold = False
+        else:
+            posted_price = float(decision.price)
+            sold = posted_price <= valuation
+
+        self.pricer.update(decision, accepted=sold)
+
+        if sold:
+            revenue = posted_price
+            # Compensations are paid in the same normalised scale as the
+            # posted price so broker profit is well-defined.
+            compensation_paid = reserve
+            noisy_answer = query.noisy_answer(self.owners.data_vector, rng=self.rng)
+        else:
+            revenue = 0.0
+            compensation_paid = 0.0
+            noisy_answer = None
+
+        record = TradeRecord(
+            query_id=query.query_id,
+            features=extraction.features,
+            reserve_price=reserve,
+            posted_price=posted_price,
+            sold=sold,
+            revenue=revenue,
+            total_compensation_paid=compensation_paid,
+            noisy_answer=noisy_answer,
+            consumer_valuation=valuation,
+        )
+        self.trades.append(record)
+        return record
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def cumulative_revenue(self) -> float:
+        """Total revenue charged from consumers so far."""
+        return float(sum(trade.revenue for trade in self.trades))
+
+    @property
+    def cumulative_profit(self) -> float:
+        """Total profit (revenue minus compensations paid) so far."""
+        return float(sum(trade.profit for trade in self.trades))
+
+    @property
+    def sale_count(self) -> int:
+        """Number of queries sold so far."""
+        return sum(1 for trade in self.trades if trade.sold)

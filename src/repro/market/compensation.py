@@ -1,0 +1,81 @@
+"""Privacy compensation contracts.
+
+The broker must adequately compensate each data owner for the privacy leakage
+her data suffers when a query's noisy answer is sold.  Following Li et al.'s
+"theory of pricing private data" — the mechanism the paper adopts for its
+noisy-linear-query application — each owner holds a contract mapping leakage
+``ε_i`` to money.  The paper uses the bounded *tanh* contract family, under
+which an owner's compensation saturates at a personal cap as her leakage grows.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.utils.validation import ensure_positive
+
+
+class CompensationContract(abc.ABC):
+    """Maps a non-negative privacy leakage to a non-negative compensation."""
+
+    @abc.abstractmethod
+    def compensation(self, leakage: float) -> float:
+        """Compensation owed for ``leakage`` units of privacy loss."""
+
+    def _check_leakage(self, leakage: float) -> float:
+        leakage = float(leakage)
+        if not math.isfinite(leakage) or leakage < 0:
+            raise ValueError("privacy leakage must be finite and non-negative, got %r" % leakage)
+        return leakage
+
+
+class TanhCompensation(CompensationContract):
+    """The tanh contract ``c(ε) = base_rate · tanh(sensitivity · ε)``.
+
+    ``base_rate`` is the owner's personal cap (the most she can ever be owed);
+    ``sensitivity`` controls how quickly small leakages approach the cap.  This
+    is the contract family used for the MovieLens experiment in the paper.
+    """
+
+    def __init__(self, base_rate: float, sensitivity: float = 1.0) -> None:
+        self.base_rate = ensure_positive(base_rate, name="base_rate", strict=False)
+        self.sensitivity = ensure_positive(sensitivity, name="sensitivity")
+
+    def compensation(self, leakage: float) -> float:
+        leakage = self._check_leakage(leakage)
+        return self.base_rate * math.tanh(self.sensitivity * leakage)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "TanhCompensation(base_rate=%g, sensitivity=%g)" % (self.base_rate, self.sensitivity)
+
+
+class LinearCompensation(CompensationContract):
+    """The unbounded linear contract ``c(ε) = rate · ε``.
+
+    Provided as the simplest alternative contract family; useful in tests and
+    for sensitivity analyses of the feature construction.
+    """
+
+    def __init__(self, rate: float) -> None:
+        self.rate = ensure_positive(rate, name="rate", strict=False)
+
+    def compensation(self, leakage: float) -> float:
+        return self.rate * self._check_leakage(leakage)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "LinearCompensation(rate=%g)" % self.rate
+
+
+class CappedLinearCompensation(CompensationContract):
+    """A linear contract with a hard cap: ``c(ε) = min(rate · ε, cap)``."""
+
+    def __init__(self, rate: float, cap: float) -> None:
+        self.rate = ensure_positive(rate, name="rate", strict=False)
+        self.cap = ensure_positive(cap, name="cap", strict=False)
+
+    def compensation(self, leakage: float) -> float:
+        return min(self.rate * self._check_leakage(leakage), self.cap)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "CappedLinearCompensation(rate=%g, cap=%g)" % (self.rate, self.cap)

@@ -1,0 +1,74 @@
+"""Data consumer behaviour.
+
+A data consumer accepts a posted price iff it does not exceed her private
+market value for the query (Section II-A).  The simulator usually derives the
+market value from a :class:`~repro.core.models.MarketValueModel`, but explicit
+consumer agents are useful for integration tests and for building custom
+market environments with heterogeneous buyer behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.validation import ensure_finite_scalar
+
+
+class DataConsumer(abc.ABC):
+    """A buyer that either accepts or rejects a posted price for a query."""
+
+    @abc.abstractmethod
+    def valuation(self, features) -> float:
+        """The consumer's (private) market value for a query with ``features``."""
+
+    def accepts(self, features, price: float) -> bool:
+        """Whether the consumer buys at ``price``."""
+        price = ensure_finite_scalar(price, name="price")
+        return price <= self.valuation(features)
+
+
+class ThresholdConsumer(DataConsumer):
+    """A consumer whose valuation is a fixed function of the query features.
+
+    Parameters
+    ----------
+    value_function:
+        Maps the query's raw feature vector to the consumer's market value.
+    noise_sigma:
+        Optional standard deviation of zero-mean Gaussian noise added to the
+        valuation on every call (idiosyncratic per-round uncertainty).
+    seed:
+        Random source for the valuation noise.
+    """
+
+    def __init__(
+        self,
+        value_function: Callable[[np.ndarray], float],
+        noise_sigma: float = 0.0,
+        seed: RngLike = None,
+    ) -> None:
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative, got %g" % noise_sigma)
+        self._value_function = value_function
+        self.noise_sigma = float(noise_sigma)
+        self._rng = as_rng(seed)
+
+    def valuation(self, features) -> float:
+        base = float(self._value_function(np.asarray(features, dtype=float)))
+        if self.noise_sigma == 0.0:
+            return base
+        return base + float(self._rng.normal(0.0, self.noise_sigma))
+
+
+class FixedValuationConsumer(DataConsumer):
+    """A consumer with the same valuation for every query (test fixture)."""
+
+    def __init__(self, valuation: float) -> None:
+        self._valuation = ensure_finite_scalar(valuation, name="valuation")
+
+    def valuation(self, features) -> float:  # noqa: ARG002 - features unused by design
+        return self._valuation

@@ -1,0 +1,123 @@
+"""Feature construction from privacy compensation profiles (Section II-B).
+
+The paper represents a query by the state of the privacy compensations it
+induces across the data owners: the compensations are sorted, evenly divided
+into ``n`` partitions, and the per-partition sums form the ``n``-dimensional
+feature vector.  Two extreme cases follow naturally: ``n = 1`` recovers the
+total privacy compensation and ``n = owner count`` keeps every individual
+compensation as its own feature.  The feature vector is optionally rescaled to
+unit L2 norm, which the paper's evaluation does (``S = 1``).
+
+A PCA-based reduction is also available (see :mod:`repro.learning.pca`) for
+scenarios where the aggregation pattern is not appropriate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_vector
+
+
+@dataclass(frozen=True)
+class FeatureExtraction:
+    """Result of one feature extraction.
+
+    Attributes
+    ----------
+    features:
+        The (possibly normalised) feature vector handed to the pricer.
+    total_compensation:
+        The sum of all per-owner compensations — the query's reserve price
+        before any normalisation.
+    scale:
+        The factor by which the raw aggregated features were divided during
+        normalisation (1.0 when normalisation is disabled).
+    """
+
+    features: np.ndarray
+    total_compensation: float
+    scale: float
+
+    @property
+    def normalised_total(self) -> float:
+        """Total compensation measured in the same scale as ``features``."""
+        return float(np.sum(self.features))
+
+
+class CompensationFeatureExtractor:
+    """Sorted-partition aggregation of a compensation profile into ``n`` features.
+
+    Parameters
+    ----------
+    dimension:
+        Number of features ``n`` (partitions of the sorted compensation
+        profile).
+    normalise:
+        When true (default, matching the paper's setup) the aggregated vector
+        is rescaled to unit L2 norm.
+    descending:
+        Sort compensations in descending order before partitioning (the
+        ordering only permutes features; descending keeps the largest
+        compensations in the first feature, which is convenient to interpret).
+    """
+
+    def __init__(self, dimension: int, normalise: bool = True, descending: bool = True) -> None:
+        if dimension < 1:
+            raise ValueError("dimension must be at least 1, got %d" % dimension)
+        self.dimension = int(dimension)
+        self.normalise = bool(normalise)
+        self.descending = bool(descending)
+
+    def extract(self, compensations: Sequence[float]) -> FeatureExtraction:
+        """Build the feature vector for one query's compensation profile."""
+        compensations = ensure_vector(compensations, name="compensations")
+        if np.any(compensations < 0):
+            raise ValueError("compensations must be non-negative")
+        total = float(np.sum(compensations))
+
+        aggregated = self.aggregate(compensations)
+        if self.normalise:
+            norm = float(np.linalg.norm(aggregated))
+            if norm > 0.0:
+                scale = norm
+                features = aggregated / norm
+            else:
+                scale = 1.0
+                features = aggregated
+        else:
+            scale = 1.0
+            features = aggregated
+        return FeatureExtraction(features=features, total_compensation=total, scale=scale)
+
+    def aggregate(self, compensations: np.ndarray) -> np.ndarray:
+        """Sort the compensations and sum them within ``dimension`` partitions."""
+        ordered = np.sort(compensations)
+        if self.descending:
+            ordered = ordered[::-1]
+        owner_count = ordered.shape[0]
+        if self.dimension >= owner_count:
+            # Fewer owners than features: pad with zeros (each owner its own feature).
+            padded = np.zeros(self.dimension)
+            padded[:owner_count] = ordered
+            return padded
+        boundaries = np.linspace(0, owner_count, self.dimension + 1).astype(int)
+        sums = np.add.reduceat(ordered, boundaries[:-1])
+        return sums.astype(float)
+
+    def reserve_price(
+        self, extraction: FeatureExtraction, use_normalised_scale: bool = True
+    ) -> float:
+        """The query's reserve price.
+
+        The paper sets the reserve price to the total privacy compensation
+        expressed in the same (normalised) scale as the feature vector, i.e.
+        ``q_t = Σ_i x_{t,i}``; with ``use_normalised_scale=False`` the raw
+        (unnormalised) total compensation is returned instead.
+        """
+        if use_normalised_scale:
+            return extraction.normalised_total
+        return extraction.total_compensation

@@ -1,0 +1,26 @@
+"""Shared utilities: random number handling, validation, timing, memory accounting."""
+
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, OnlineLatencyTracker
+from repro.utils.validation import (
+    ensure_finite_array,
+    ensure_finite_scalar,
+    ensure_positive,
+    ensure_probability,
+    ensure_vector,
+)
+from repro.utils.memory import ndarray_nbytes, PricerMemoryReport
+
+__all__ = [
+    "as_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "OnlineLatencyTracker",
+    "ensure_finite_array",
+    "ensure_finite_scalar",
+    "ensure_positive",
+    "ensure_probability",
+    "ensure_vector",
+    "ndarray_nbytes",
+    "PricerMemoryReport",
+]

@@ -1,0 +1,77 @@
+"""Memory accounting for the pricing mechanisms.
+
+The paper reports the memory overhead of the broker's state (Section V-D) and
+argues analytically that the space complexity is ``O(n^2)`` — one ``n x n``
+shape matrix plus one ``n``-vector center.  We account for that state exactly
+(ndarray byte counts) and additionally expose the process resident set size
+when ``/proc`` is available, mirroring the paper's ``VmRSS`` measurement.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+def ndarray_nbytes(arrays: Iterable[np.ndarray]) -> int:
+    """Total number of bytes held by ``arrays``."""
+    return int(sum(int(np.asarray(a).nbytes) for a in arrays))
+
+
+def process_rss_bytes() -> Optional[int]:
+    """Resident set size of the current process in bytes, or ``None``.
+
+    Reads ``/proc/self/status`` (the same source as the paper's ``VmRSS``
+    measurement); returns ``None`` on platforms without procfs.
+    """
+    status_path = "/proc/self/status"
+    if not os.path.exists(status_path):
+        return None
+    try:
+        with open(status_path) as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    parts = line.split()
+                    return int(parts[1]) * 1024
+    except OSError:
+        return None
+    return None
+
+
+@dataclass(frozen=True)
+class PricerMemoryReport:
+    """Memory footprint of one pricing mechanism instance.
+
+    Attributes
+    ----------
+    state_bytes:
+        Bytes held by the pricer's own state (ellipsoid matrix, center, ...).
+    process_rss_bytes:
+        Resident set size of the whole Python process, when available.
+    """
+
+    state_bytes: int
+    process_rss_bytes: Optional[int]
+
+    @property
+    def state_megabytes(self) -> float:
+        """Pricer state in MiB."""
+        return self.state_bytes / (1024.0 * 1024.0)
+
+    @property
+    def process_megabytes(self) -> Optional[float]:
+        """Process RSS in MiB, or ``None`` when unavailable."""
+        if self.process_rss_bytes is None:
+            return None
+        return self.process_rss_bytes / (1024.0 * 1024.0)
+
+
+def report_for_arrays(arrays: Iterable[np.ndarray]) -> PricerMemoryReport:
+    """Build a :class:`PricerMemoryReport` for the given state arrays."""
+    return PricerMemoryReport(
+        state_bytes=ndarray_nbytes(arrays),
+        process_rss_bytes=process_rss_bytes(),
+    )

@@ -1,0 +1,73 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the package accepts either a seed (``int``), an
+existing :class:`numpy.random.Generator`, or ``None``.  Centralising the
+conversion keeps simulations reproducible: an experiment module creates one
+generator from its seed and passes children to each component via
+:func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (fresh entropy), an integer seed, or an existing generator
+        (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Children are derived through :class:`numpy.random.SeedSequence` spawning so
+    that components seeded from the same parent do not share streams.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative, got %d" % count)
+    if isinstance(seed, np.random.Generator):
+        parent_seq = seed.bit_generator.seed_seq
+    else:
+        parent_seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in parent_seq.spawn(count)]
+
+
+def shuffled(items: Iterable, seed: RngLike = None) -> list:
+    """Return ``items`` as a list in a reproducibly shuffled order."""
+    rng = as_rng(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
+def random_unit_vector(dimension: int, seed: RngLike = None) -> np.ndarray:
+    """Sample a vector uniformly from the unit sphere in ``dimension`` dims."""
+    if dimension <= 0:
+        raise ValueError("dimension must be positive, got %d" % dimension)
+    rng = as_rng(seed)
+    vec = rng.standard_normal(dimension)
+    norm = float(np.linalg.norm(vec))
+    if norm == 0.0:  # astronomically unlikely; retry deterministically
+        vec = np.ones(dimension)
+        norm = float(np.linalg.norm(vec))
+    return vec / norm
+
+
+def optional_seed(rng: Optional[np.random.Generator]) -> Optional[int]:
+    """Draw a fresh integer seed from ``rng`` (or return ``None`` if absent)."""
+    if rng is None:
+        return None
+    return int(rng.integers(0, 2**31 - 1))

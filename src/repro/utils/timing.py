@@ -1,0 +1,77 @@
+"""Timing utilities used by the overhead experiments (Section V-D of the paper)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+
+class Stopwatch:
+    """A simple context-manager stopwatch measuring elapsed wall-clock seconds.
+
+    Example
+    -------
+    >>> with Stopwatch() as sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class OnlineLatencyTracker:
+    """Accumulates per-round latencies of an online pricing loop.
+
+    The paper reports per-round online latency in milliseconds (Section V-D);
+    this tracker records each round's wall-clock time so the overhead
+    experiment can report mean / percentile latencies.
+    """
+
+    samples_seconds: List[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        """Record one round's latency in seconds."""
+        if seconds < 0:
+            raise ValueError("latency must be non-negative, got %g" % seconds)
+        self.samples_seconds.append(float(seconds))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded rounds."""
+        return len(self.samples_seconds)
+
+    @property
+    def mean_milliseconds(self) -> float:
+        """Mean per-round latency in milliseconds (0.0 when empty)."""
+        if not self.samples_seconds:
+            return 0.0
+        return 1000.0 * sum(self.samples_seconds) / len(self.samples_seconds)
+
+    @property
+    def max_milliseconds(self) -> float:
+        """Maximum per-round latency in milliseconds (0.0 when empty)."""
+        if not self.samples_seconds:
+            return 0.0
+        return 1000.0 * max(self.samples_seconds)
+
+    def percentile_milliseconds(self, percentile: float) -> float:
+        """Latency percentile (e.g. 95) in milliseconds."""
+        if not self.samples_seconds:
+            return 0.0
+        if not 0 <= percentile <= 100:
+            raise ValueError("percentile must be in [0, 100], got %g" % percentile)
+        ordered = sorted(self.samples_seconds)
+        index = min(len(ordered) - 1, int(round(percentile / 100.0 * (len(ordered) - 1))))
+        return 1000.0 * ordered[index]

@@ -1,0 +1,199 @@
+"""Tests for the three application instances and their shared plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.apps.accommodation import AccommodationConfig, build_accommodation_environment
+from repro.apps.common import (
+    ALGORITHM_VERSIONS,
+    build_pricer_for_version,
+    run_versions,
+    scale_to_norm,
+)
+from repro.apps.impression import ImpressionConfig, build_impression_environment
+from repro.apps.noisy_linear_query import (
+    NoisyLinearQueryConfig,
+    build_noisy_query_environment,
+    run_noisy_query_experiment,
+)
+from repro.core.baselines import RiskAversePricer
+from repro.core.one_dim import OneDimensionalPricer
+from repro.core.pricing import EllipsoidPricer
+
+
+class TestCommon:
+    def test_scale_to_norm(self):
+        scaled = scale_to_norm(np.array([3.0, 4.0]), 10.0)
+        assert np.linalg.norm(scaled) == pytest.approx(10.0)
+        assert np.allclose(scale_to_norm(np.zeros(2), 5.0), 0.0)
+
+    def test_version_names_cover_paper(self):
+        assert ALGORITHM_VERSIONS == (
+            "pure version",
+            "with uncertainty",
+            "with reserve price",
+            "with reserve price and uncertainty",
+        )
+
+
+@pytest.fixture(scope="module")
+def small_noisy_query_environment():
+    config = NoisyLinearQueryConfig(dimension=8, rounds=300, owner_count=80, seed=5)
+    return build_noisy_query_environment(config)
+
+
+class TestNoisyLinearQueryApp:
+    def test_environment_structure(self, small_noisy_query_environment):
+        env = small_noisy_query_environment
+        assert env.dimension == 8
+        assert env.rounds == 300
+        assert env.radius >= 2.0 * np.sqrt(8) - 1e-9
+        assert env.feature_norm_bound == pytest.approx(1.0)
+        # ‖θ*‖ is at least the paper's √(2n) (it may be rescaled upward by the
+        # value/reserve calibration) and stays inside the knowledge ball.
+        assert np.linalg.norm(env.model.theta) >= np.sqrt(16.0) - 1e-9
+        assert np.linalg.norm(env.model.theta) <= env.radius + 1e-9
+        for arrival in env.arrivals[:20]:
+            assert np.linalg.norm(arrival.features) == pytest.approx(1.0)
+            assert arrival.reserve_value == pytest.approx(float(np.sum(arrival.features)))
+            assert arrival.noise is not None
+
+    def test_market_value_usually_exceeds_reserve(self, small_noisy_query_environment):
+        env = small_noisy_query_environment
+        exceeds = [
+            float(a.features @ env.model.theta) >= a.reserve_value for a in env.arrivals
+        ]
+        assert np.mean(exceeds) > 0.8
+
+    def test_pricer_versions_built_correctly(self, small_noisy_query_environment):
+        env = small_noisy_query_environment
+        pure = build_pricer_for_version(env, "pure version")
+        assert isinstance(pure, EllipsoidPricer)
+        assert not pure.config.use_reserve and pure.config.delta == 0.0
+        uncertain = build_pricer_for_version(env, "with reserve price and uncertainty")
+        assert uncertain.config.use_reserve and uncertain.config.delta == pytest.approx(env.delta)
+        baseline = build_pricer_for_version(env, "risk-averse baseline")
+        assert isinstance(baseline, RiskAversePricer)
+        with pytest.raises(ValueError):
+            build_pricer_for_version(env, "made-up version")
+
+    def test_one_dimensional_configuration_uses_interval_pricer(self):
+        config = NoisyLinearQueryConfig(dimension=1, rounds=50, owner_count=40, seed=1)
+        env = build_noisy_query_environment(config)
+        pricer = build_pricer_for_version(env, "with reserve price")
+        assert isinstance(pricer, OneDimensionalPricer)
+        # n = 1 features collapse to the constant 1 and θ* to √2 (paper Table I row 1).
+        assert env.arrivals[0].features[0] == pytest.approx(1.0)
+        assert env.model.theta[0] == pytest.approx(np.sqrt(2.0))
+
+    def test_run_versions_shares_market(self, small_noisy_query_environment):
+        results = run_versions(
+            small_noisy_query_environment,
+            versions=("pure version", "with reserve price"),
+            include_risk_averse=True,
+        )
+        assert set(results) == {"pure version", "with reserve price", "risk-averse baseline"}
+        values = {
+            name: [o.market_value for o in result.outcomes[:10]]
+            for name, result in results.items()
+        }
+        assert values["pure version"] == values["with reserve price"]
+
+    def test_reserve_version_not_worse_than_pure(self, small_noisy_query_environment):
+        results = run_versions(
+            small_noisy_query_environment, versions=("pure version", "with reserve price")
+        )
+        assert (
+            results["with reserve price"].cumulative_regret
+            <= results["pure version"].cumulative_regret * 1.05
+        )
+
+    def test_experiment_wrapper(self):
+        config = NoisyLinearQueryConfig(dimension=5, rounds=100, owner_count=50, seed=2)
+        results = run_noisy_query_experiment(config, versions=("with reserve price",))
+        assert set(results) == {"with reserve price"}
+        assert results["with reserve price"].rounds == 100
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            build_noisy_query_environment(
+                NoisyLinearQueryConfig(dimension=5, rounds=0, owner_count=50)
+            )
+
+
+class TestAccommodationApp:
+    @pytest.fixture(scope="class")
+    def environment(self):
+        config = AccommodationConfig(listing_count=400, reserve_log_ratio=0.6, seed=3)
+        return build_accommodation_environment(config)
+
+    def test_environment_structure(self, environment):
+        assert environment.dimension == 55
+        assert environment.rounds == 400
+        assert environment.metadata["test_mse"] < 0.5
+        for arrival in environment.arrivals[:10]:
+            link_value = float(arrival.features @ environment.model.theta)
+            assert arrival.reserve_value == pytest.approx(np.exp(0.6 * link_value))
+
+    def test_reserve_below_market_value(self, environment):
+        for arrival in environment.arrivals[:50]:
+            value = environment.model.value(arrival.features)
+            assert arrival.reserve_value <= value + 1e-9
+
+    def test_no_reserve_configuration(self):
+        config = AccommodationConfig(listing_count=200, reserve_log_ratio=None, seed=4)
+        env = build_accommodation_environment(config)
+        assert all(a.reserve_value is None for a in env.arrivals)
+
+    def test_warm_start_contains_theta_and_speeds_convergence(self):
+        cold_config = AccommodationConfig(listing_count=600, reserve_log_ratio=0.6, seed=5)
+        warm_config = AccommodationConfig(
+            listing_count=600, reserve_log_ratio=0.6, warm_start_count=400, seed=5
+        )
+        cold_env = build_accommodation_environment(cold_config)
+        warm_env = build_accommodation_environment(warm_config)
+        assert warm_env.initial_ellipsoid is not None
+        assert warm_env.initial_ellipsoid.contains(warm_env.model.theta)
+        cold = run_versions(cold_env, versions=("with reserve price",))["with reserve price"]
+        warm = run_versions(warm_env, versions=("with reserve price",))["with reserve price"]
+        assert warm.cumulative_regret <= cold.cumulative_regret
+
+    def test_low_dimension_variant(self):
+        config = AccommodationConfig(
+            listing_count=300, dimension=16, include_amenities=False, seed=6
+        )
+        env = build_accommodation_environment(config)
+        assert env.dimension == 16
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            build_accommodation_environment(
+                AccommodationConfig(listing_count=100, reserve_log_ratio=1.5)
+            )
+
+
+class TestImpressionApp:
+    def test_sparse_environment(self):
+        config = ImpressionConfig(
+            impression_count=300, training_count=500, dimension=64, dense=False, seed=7
+        )
+        env = build_impression_environment(config)
+        assert env.dimension == 64
+        assert env.rounds == 300
+        assert all(a.reserve_value is None for a in env.arrivals)
+        # Market values are CTRs.
+        for arrival in env.arrivals[:20]:
+            value = env.model.value(arrival.features)
+            assert 0.0 < value < 1.0
+
+    def test_dense_environment_uses_support(self):
+        config = ImpressionConfig(
+            impression_count=300, training_count=500, dimension=64, dense=True, seed=7
+        )
+        env = build_impression_environment(config)
+        assert env.dimension == env.metadata["nonzero_weights"]
+        assert env.dimension < 64
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            build_impression_environment(ImpressionConfig(impression_count=0))

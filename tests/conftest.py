@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.ellipsoid import Ellipsoid
+from repro.core.models import LinearModel
+from repro.core.pricing import EllipsoidPricer, PricerConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_ellipsoid():
+    """A well-conditioned 3-D ellipsoid used across geometry tests."""
+    center = np.array([1.0, -0.5, 2.0])
+    shape = np.array(
+        [
+            [4.0, 0.5, 0.0],
+            [0.5, 2.0, 0.3],
+            [0.0, 0.3, 1.5],
+        ]
+    )
+    return Ellipsoid(center, shape)
+
+
+@pytest.fixture
+def unit_ball_3d():
+    """The unit ball in three dimensions."""
+    return Ellipsoid.ball(3, 1.0)
+
+
+@pytest.fixture
+def linear_market(rng):
+    """A small linear market: (model, arrivals-as-tuples) with positive values."""
+    dimension = 5
+    theta = np.abs(rng.standard_normal(dimension))
+    theta *= np.sqrt(2 * dimension) / np.linalg.norm(theta)
+    model = LinearModel(theta)
+    queries = []
+    for _ in range(400):
+        features = np.abs(rng.standard_normal(dimension))
+        features /= np.linalg.norm(features)
+        reserve = 0.5 * float(np.sum(features))
+        queries.append((features, reserve))
+    return model, queries
+
+
+@pytest.fixture
+def default_pricer():
+    """An ellipsoid pricer with reserve support in five dimensions."""
+    config = PricerConfig(dimension=5, radius=2.0 * np.sqrt(5), epsilon=0.01)
+    return EllipsoidPricer(config)

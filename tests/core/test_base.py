@@ -1,0 +1,88 @@
+"""Unit tests for the shared posted-price mechanism interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import PostedPriceMechanism, PricingDecision
+
+
+class _CountingPricer(PostedPriceMechanism):
+    """Minimal concrete mechanism used to exercise the base-class plumbing."""
+
+    name = "counting"
+
+    def propose(self, features, reserve=None):
+        return PricingDecision(
+            features=np.atleast_1d(np.asarray(features, dtype=float)),
+            reserve=reserve,
+            lower_bound=0.0,
+            upper_bound=1.0,
+            price=0.5,
+            exploratory=True,
+            skipped=False,
+            round_index=self._next_round(),
+        )
+
+    def update(self, decision, accepted):
+        return None
+
+
+class TestPricingDecision:
+    def test_width_and_posted(self):
+        decision = PricingDecision(
+            features=np.array([1.0]),
+            reserve=0.2,
+            lower_bound=0.5,
+            upper_bound=1.5,
+            price=1.0,
+            exploratory=True,
+            skipped=False,
+            round_index=0,
+        )
+        assert decision.width == pytest.approx(1.0)
+        assert decision.posted
+
+    def test_skipped_decision_is_not_posted(self):
+        decision = PricingDecision(
+            features=np.array([1.0]),
+            reserve=None,
+            lower_bound=0.0,
+            upper_bound=1.0,
+            price=None,
+            exploratory=False,
+            skipped=True,
+            round_index=3,
+        )
+        assert not decision.posted
+
+    def test_metadata_defaults_to_empty_dict(self):
+        decision = PricingDecision(
+            features=np.array([1.0]),
+            reserve=None,
+            lower_bound=0.0,
+            upper_bound=1.0,
+            price=0.5,
+            exploratory=True,
+            skipped=False,
+            round_index=0,
+        )
+        assert decision.metadata == {}
+        decision.metadata["note"] = "x"
+        assert decision.metadata["note"] == "x"
+
+
+class TestBaseMechanism:
+    def test_round_counter(self):
+        pricer = _CountingPricer()
+        assert pricer.rounds_seen == 0
+        first = pricer.propose(np.array([1.0]))
+        second = pricer.propose(np.array([1.0]))
+        assert (first.round_index, second.round_index) == (0, 1)
+        assert pricer.rounds_seen == 2
+
+    def test_default_state_and_memory_report(self):
+        pricer = _CountingPricer()
+        assert pricer.state_arrays() == ()
+        report = pricer.memory_report()
+        assert report.state_bytes == 0
+        assert report.state_megabytes == 0.0

@@ -1,0 +1,97 @@
+"""Unit tests for the baseline pricers."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    ConstantMarkupPricer,
+    FixedPricePricer,
+    OraclePricer,
+    RiskAversePricer,
+)
+
+
+class TestRiskAverse:
+    def test_posts_reserve(self):
+        pricer = RiskAversePricer()
+        decision = pricer.propose(np.ones(3), reserve=2.5)
+        assert decision.price == pytest.approx(2.5)
+        assert not decision.exploratory
+
+    def test_requires_reserve(self):
+        with pytest.raises(ValueError):
+            RiskAversePricer().propose(np.ones(3))
+
+    def test_update_is_noop(self):
+        pricer = RiskAversePricer()
+        decision = pricer.propose(np.ones(3), reserve=1.0)
+        pricer.update(decision, accepted=False)
+        again = pricer.propose(np.ones(3), reserve=1.0)
+        assert again.price == pytest.approx(1.0)
+
+    def test_round_indices_increment(self):
+        pricer = RiskAversePricer()
+        first = pricer.propose(np.ones(2), reserve=1.0)
+        second = pricer.propose(np.ones(2), reserve=1.0)
+        assert (first.round_index, second.round_index) == (0, 1)
+
+
+class TestOracle:
+    def test_posts_market_value(self):
+        pricer = OraclePricer(lambda x: float(np.sum(x)))
+        decision = pricer.propose(np.array([1.0, 2.0]))
+        assert decision.price == pytest.approx(3.0)
+
+    def test_respects_reserve_when_below_value(self):
+        pricer = OraclePricer(lambda x: 5.0)
+        decision = pricer.propose(np.ones(2), reserve=2.0)
+        assert decision.price == pytest.approx(5.0)
+
+    def test_skips_when_reserve_above_value(self):
+        pricer = OraclePricer(lambda x: 1.0)
+        decision = pricer.propose(np.ones(2), reserve=2.0)
+        assert decision.skipped
+
+    def test_oracle_has_zero_regret(self):
+        from repro.core.regret import single_round_regret
+
+        pricer = OraclePricer(lambda x: float(np.sum(x)))
+        features = np.array([0.5, 1.5])
+        for reserve in (None, 1.0, 5.0):
+            decision = pricer.propose(features, reserve=reserve)
+            value = float(np.sum(features))
+            sold = decision.price is not None and decision.price <= value
+            regret = single_round_regret(value, reserve, decision.price, sold)
+            assert regret == pytest.approx(0.0)
+
+
+class TestFixedPrice:
+    def test_posts_constant(self):
+        pricer = FixedPricePricer(4.2)
+        assert pricer.propose(np.ones(2)).price == pytest.approx(4.2)
+
+    def test_respects_reserve(self):
+        pricer = FixedPricePricer(1.0)
+        assert pricer.propose(np.ones(2), reserve=3.0).price == pytest.approx(3.0)
+
+    def test_rejects_non_finite_price(self):
+        with pytest.raises(Exception):
+            FixedPricePricer(float("nan"))
+
+
+class TestConstantMarkup:
+    def test_applies_markup(self):
+        pricer = ConstantMarkupPricer(1.5)
+        assert pricer.propose(np.ones(2), reserve=2.0).price == pytest.approx(3.0)
+
+    def test_markup_below_one_still_respects_reserve(self):
+        pricer = ConstantMarkupPricer(0.5)
+        assert pricer.propose(np.ones(2), reserve=2.0).price == pytest.approx(2.0)
+
+    def test_requires_reserve(self):
+        with pytest.raises(ValueError):
+            ConstantMarkupPricer(1.5).propose(np.ones(2))
+
+    def test_rejects_non_positive_markup(self):
+        with pytest.raises(ValueError):
+            ConstantMarkupPricer(0.0)

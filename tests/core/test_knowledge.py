@@ -1,0 +1,175 @@
+"""Unit tests for the knowledge-set representations."""
+
+import numpy as np
+import pytest
+
+from repro.core.ellipsoid import Ellipsoid
+from repro.core.knowledge import EllipsoidKnowledge, IntervalKnowledge, PolytopeKnowledge
+from repro.exceptions import DimensionMismatchError
+
+
+class TestIntervalKnowledge:
+    def test_initial_bounds(self):
+        knowledge = IntervalKnowledge(-1.0, 3.0)
+        assert knowledge.dimension == 1
+        assert knowledge.width == pytest.approx(4.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            IntervalKnowledge(2.0, 1.0)
+
+    def test_value_bounds_positive_direction(self):
+        knowledge = IntervalKnowledge(-1.0, 3.0)
+        assert knowledge.value_bounds(2.0) == (pytest.approx(-2.0), pytest.approx(6.0))
+
+    def test_value_bounds_negative_direction_swaps(self):
+        knowledge = IntervalKnowledge(-1.0, 3.0)
+        lower, upper = knowledge.value_bounds(-1.0)
+        assert lower == pytest.approx(-3.0)
+        assert upper == pytest.approx(1.0)
+
+    def test_cut_leq_tightens_upper(self):
+        knowledge = IntervalKnowledge(0.0, 4.0)
+        changed = knowledge.cut(2.0, 4.0, keep="leq")  # 2θ <= 4 -> θ <= 2
+        assert changed
+        assert knowledge.upper == pytest.approx(2.0)
+
+    def test_cut_geq_tightens_lower(self):
+        knowledge = IntervalKnowledge(0.0, 4.0)
+        changed = knowledge.cut(2.0, 2.0, keep="geq")  # 2θ >= 2 -> θ >= 1
+        assert changed
+        assert knowledge.lower == pytest.approx(1.0)
+
+    def test_cut_with_negative_direction(self):
+        knowledge = IntervalKnowledge(0.0, 4.0)
+        # -θ <= -3  <=>  θ >= 3.
+        changed = knowledge.cut(-1.0, -3.0, keep="leq")
+        assert changed
+        assert knowledge.lower == pytest.approx(3.0)
+
+    def test_uninformative_cut_is_noop(self):
+        knowledge = IntervalKnowledge(0.0, 4.0)
+        assert not knowledge.cut(1.0, 10.0, keep="leq")
+        assert knowledge.upper == pytest.approx(4.0)
+
+    def test_zero_direction_is_noop(self):
+        knowledge = IntervalKnowledge(0.0, 4.0)
+        assert not knowledge.cut(0.0, 1.0, keep="leq")
+
+    def test_cut_never_inverts_interval(self):
+        knowledge = IntervalKnowledge(0.0, 4.0)
+        knowledge.cut(1.0, -5.0, keep="leq")  # θ <= -5 conflicts; clamp at lower
+        assert knowledge.lower <= knowledge.upper
+
+    def test_contains(self):
+        knowledge = IntervalKnowledge(-1.0, 1.0)
+        assert knowledge.contains(0.5)
+        assert not knowledge.contains(2.0)
+
+    def test_invalid_keep(self):
+        with pytest.raises(ValueError):
+            IntervalKnowledge(0.0, 1.0).cut(1.0, 0.5, keep="bad")
+
+    def test_multidimensional_direction_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            IntervalKnowledge(0.0, 1.0).value_bounds(np.array([1.0, 2.0]))
+
+
+class TestEllipsoidKnowledge:
+    def test_from_radius(self):
+        knowledge = EllipsoidKnowledge.from_radius(4, 3.0)
+        assert knowledge.dimension == 4
+        lower, upper = knowledge.value_bounds(np.array([1.0, 0, 0, 0]))
+        assert lower == pytest.approx(-3.0)
+        assert upper == pytest.approx(3.0)
+
+    def test_requires_dimension_two(self):
+        with pytest.raises(DimensionMismatchError):
+            EllipsoidKnowledge(Ellipsoid.ball(1, 1.0))
+
+    def test_cut_counts_and_shrinks_volume(self, rng):
+        knowledge = EllipsoidKnowledge.from_radius(3, 2.0)
+        initial_volume = knowledge.volume()
+        direction = np.array([1.0, 1.0, 0.0])
+        changed = knowledge.cut(direction, 0.0, keep="leq")
+        assert changed
+        assert knowledge.cut_count == 1
+        assert knowledge.volume() < initial_volume
+
+    def test_infeasible_cut_skipped(self):
+        knowledge = EllipsoidKnowledge.from_radius(3, 1.0)
+        changed = knowledge.cut(np.array([1.0, 0, 0]), -5.0, keep="leq")
+        assert not changed
+        assert knowledge.cut_count == 0
+
+    def test_contains_true_weight_after_consistent_cuts(self, rng):
+        theta = np.array([0.5, -0.3, 0.8])
+        knowledge = EllipsoidKnowledge.from_radius(3, 2.0)
+        for _ in range(50):
+            direction = rng.standard_normal(3)
+            value = float(direction @ theta)
+            # A consistent observation: the value is at most / at least the cut offset.
+            if rng.random() < 0.5:
+                knowledge.cut(direction, value + 0.05, keep="leq")
+            else:
+                knowledge.cut(direction, value - 0.05, keep="geq")
+            assert knowledge.contains(theta)
+
+    def test_state_arrays(self):
+        knowledge = EllipsoidKnowledge.from_radius(3, 1.0)
+        arrays = knowledge.state_arrays()
+        assert arrays[0].shape == (3,)
+        assert arrays[1].shape == (3, 3)
+
+
+class TestPolytopeKnowledge:
+    def test_initial_box_bounds(self):
+        knowledge = PolytopeKnowledge.from_radius(2, 2.0)
+        lower, upper = knowledge.value_bounds(np.array([1.0, 0.0]))
+        assert lower == pytest.approx(-2.0)
+        assert upper == pytest.approx(2.0)
+
+    def test_cut_changes_bounds_exactly(self):
+        knowledge = PolytopeKnowledge.from_radius(2, 2.0)
+        knowledge.cut(np.array([1.0, 0.0]), 0.5, keep="leq")
+        lower, upper = knowledge.value_bounds(np.array([1.0, 0.0]))
+        assert upper == pytest.approx(0.5)
+        assert lower == pytest.approx(-2.0)
+
+    def test_geq_cut(self):
+        knowledge = PolytopeKnowledge.from_radius(2, 2.0)
+        knowledge.cut(np.array([0.0, 1.0]), -1.0, keep="geq")
+        lower, _ = knowledge.value_bounds(np.array([0.0, 1.0]))
+        assert lower == pytest.approx(-1.0)
+
+    def test_contains(self):
+        knowledge = PolytopeKnowledge.from_radius(2, 1.0)
+        knowledge.cut(np.array([1.0, 0.0]), 0.0, keep="leq")
+        assert knowledge.contains(np.array([-0.5, 0.5]))
+        assert not knowledge.contains(np.array([0.5, 0.5]))
+
+    def test_constraint_limit(self):
+        knowledge = PolytopeKnowledge.from_radius(2, 1.0, max_constraints=2)
+        knowledge.cut(np.array([1.0, 0.0]), 0.5, keep="leq")
+        knowledge.cut(np.array([0.0, 1.0]), 0.5, keep="leq")
+        with pytest.raises(RuntimeError):
+            knowledge.cut(np.array([1.0, 1.0]), 0.5, keep="leq")
+
+    def test_polytope_bounds_are_tighter_than_ellipsoid(self, rng):
+        """The exact polytope is always at least as tight as the Löwner–John ellipsoid."""
+        dimension = 3
+        radius = 2.0
+        polytope = PolytopeKnowledge.from_radius(dimension, radius)
+        # The ellipsoid starts from the ball enclosing the same box.
+        ellipsoid = EllipsoidKnowledge(Ellipsoid.ball(dimension, radius * np.sqrt(dimension)))
+        theta = np.array([0.1, 0.2, -0.3])  # stays feasible under every cut
+        for _ in range(10):
+            direction = rng.standard_normal(dimension)
+            offset = float(direction @ theta) + 0.3
+            polytope.cut(direction, offset, keep="leq")
+            ellipsoid.cut(direction, offset, keep="leq")
+        probe = rng.standard_normal(dimension)
+        poly_lower, poly_upper = polytope.value_bounds(probe)
+        ell_lower, ell_upper = ellipsoid.value_bounds(probe)
+        assert poly_upper <= ell_upper + 1e-6
+        assert poly_lower >= ell_lower - 1e-6

@@ -1,0 +1,101 @@
+"""Property-based tests for the market value models (link/feature-map invariants)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.models import (
+    KernelizedModel,
+    LinearModel,
+    LogisticModel,
+    LogLinearModel,
+    LogLogModel,
+)
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+weights = hnp.arrays(
+    dtype=float,
+    shape=3,
+    elements=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False, allow_infinity=False),
+)
+positive_features = hnp.arrays(
+    dtype=float,
+    shape=3,
+    elements=st.floats(min_value=0.05, max_value=5.0, allow_nan=False, allow_infinity=False),
+)
+link_inputs = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False)
+
+
+class TestLinkFunctions:
+    @SETTINGS
+    @given(theta=weights, z1=link_inputs, z2=link_inputs)
+    def test_links_are_non_decreasing(self, theta, z1, z2):
+        """Every supported link g satisfies the paper's monotonicity requirement."""
+        low, high = min(z1, z2), max(z1, z2)
+        for model in (LinearModel(theta), LogLinearModel(theta), LogisticModel(theta)):
+            assert model.link(low) <= model.link(high) + 1e-12
+
+    @SETTINGS
+    @given(theta=weights, z=link_inputs)
+    def test_link_inverse_roundtrip(self, theta, z):
+        for model in (LinearModel(theta), LogLinearModel(theta)):
+            assert model.link_inverse(model.link(z)) == pytest.approx(z, rel=1e-9, abs=1e-9)
+        logistic = LogisticModel(theta)
+        clipped = max(min(z, 30.0), -30.0)
+        value = logistic.link(clipped)
+        if 0.0 < value < 1.0:
+            assert logistic.link_inverse(value) == pytest.approx(clipped, rel=1e-6, abs=1e-6)
+
+    @SETTINGS
+    @given(theta=weights, z=link_inputs)
+    def test_logistic_values_are_probabilities(self, theta, z):
+        assert 0.0 <= LogisticModel(theta).link(z) <= 1.0
+
+    @SETTINGS
+    @given(theta=weights, z=link_inputs)
+    def test_log_links_are_positive(self, theta, z):
+        assert LogLinearModel(theta).link(z) > 0.0
+
+
+class TestValueConsistency:
+    @SETTINGS
+    @given(theta=weights, features=positive_features)
+    def test_value_equals_link_of_link_value(self, theta, features):
+        for model in (
+            LinearModel(theta),
+            LogLinearModel(theta),
+            LogLogModel(theta),
+            LogisticModel(theta),
+        ):
+            assert model.value(features) == pytest.approx(
+                model.link(model.link_value(features)), rel=1e-12, abs=1e-12
+            )
+
+    @SETTINGS
+    @given(theta=weights, features=positive_features, scale=st.floats(min_value=1.0, max_value=3.0))
+    def test_linear_model_is_homogeneous(self, theta, features, scale):
+        model = LinearModel(theta)
+        assert model.value(scale * features) == pytest.approx(scale * model.value(features))
+
+    @SETTINGS
+    @given(features=positive_features)
+    def test_kernel_features_bounded_by_one(self, features):
+        anchors = np.array([[0.5, 0.5, 0.5], [2.0, 2.0, 2.0]])
+        model = KernelizedModel(theta=[1.0, 1.0], anchors=anchors, bandwidth=1.0)
+        mapped = model.feature_map(features)
+        assert np.all(mapped > 0.0)
+        assert np.all(mapped <= 1.0 + 1e-12)
+
+    @SETTINGS
+    @given(theta=weights, features=positive_features)
+    def test_loglog_increasing_features_raise_value_for_positive_weights(self, theta, features):
+        positive_theta = np.abs(theta) + 0.01
+        model = LogLogModel(positive_theta)
+        assert model.value(features * 2.0) >= model.value(features) - 1e-9

@@ -1,0 +1,131 @@
+"""Unit tests for the market value models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.models import (
+    GeneralizedLinearMarketModel,
+    KernelizedModel,
+    LinearModel,
+    LogisticModel,
+    LogLinearModel,
+    LogLogModel,
+)
+from repro.exceptions import ModelSpecificationError
+
+
+class TestLinearModel:
+    def test_value_is_dot_product(self):
+        model = LinearModel([1.0, 2.0, -0.5])
+        assert model.value([1.0, 1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_link_is_identity(self):
+        model = LinearModel([1.0])
+        assert model.link(3.3) == pytest.approx(3.3)
+        assert model.link_inverse(3.3) == pytest.approx(3.3)
+
+    def test_weight_dimension(self):
+        assert LinearModel([1.0, 2.0]).weight_dimension == 2
+
+    def test_feature_dimension_checked(self):
+        with pytest.raises(Exception):
+            LinearModel([1.0, 2.0]).value([1.0, 2.0, 3.0])
+
+
+class TestLogLinearModel:
+    def test_value_is_exp_of_dot_product(self):
+        model = LogLinearModel([0.5, 0.5])
+        assert model.value([1.0, 1.0]) == pytest.approx(math.exp(1.0))
+
+    def test_link_inverse_is_log(self):
+        model = LogLinearModel([1.0])
+        assert model.link_inverse(math.e) == pytest.approx(1.0)
+
+    def test_link_inverse_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            LogLinearModel([1.0]).link_inverse(0.0)
+
+    def test_monotone_link(self):
+        model = LogLinearModel([1.0])
+        assert model.link(2.0) > model.link(1.0)
+
+
+class TestLogLogModel:
+    def test_value_uses_log_features(self):
+        model = LogLogModel([1.0, 2.0])
+        features = [math.e, math.e]
+        assert model.value(features) == pytest.approx(math.exp(3.0))
+
+    def test_rejects_non_positive_features(self):
+        with pytest.raises(ValueError):
+            LogLogModel([1.0, 1.0]).value([1.0, 0.0])
+
+
+class TestLogisticModel:
+    def test_value_is_sigmoid(self):
+        model = LogisticModel([1.0])
+        assert model.value([0.0]) == pytest.approx(0.5)
+        assert model.value([100.0]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_link_is_non_decreasing(self):
+        model = LogisticModel([1.0])
+        values = [model.link(z) for z in (-3.0, -1.0, 0.0, 1.0, 3.0)]
+        assert values == sorted(values)
+
+    def test_link_inverse_roundtrip(self):
+        model = LogisticModel([1.0])
+        for z in (-2.0, 0.0, 1.5):
+            assert model.link_inverse(model.link(z)) == pytest.approx(z)
+
+    def test_link_inverse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            LogisticModel([1.0]).link_inverse(1.0)
+
+
+class TestKernelizedModel:
+    def test_anchor_feature_map(self):
+        anchors = np.array([[0.0, 0.0], [1.0, 1.0]])
+        model = KernelizedModel([1.0, 2.0], anchors, bandwidth=1.0)
+        mapped = model.feature_map(np.array([0.0, 0.0]))
+        assert mapped[0] == pytest.approx(1.0)
+        assert mapped[1] == pytest.approx(math.exp(-1.0))
+
+    def test_value_combines_kernels(self):
+        anchors = np.array([[0.0], [2.0]])
+        model = KernelizedModel([1.0, 1.0], anchors, bandwidth=1.0)
+        value = model.value(np.array([0.0]))
+        assert value == pytest.approx(1.0 + math.exp(-2.0))
+
+    def test_rejects_bad_anchor_shape(self):
+        with pytest.raises(ModelSpecificationError):
+            KernelizedModel([1.0], np.array([1.0, 2.0]))
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ModelSpecificationError):
+            KernelizedModel([1.0], np.array([[1.0]]), bandwidth=0.0)
+
+    def test_rejects_wrong_raw_dimension(self):
+        anchors = np.array([[0.0, 0.0]])
+        model = KernelizedModel([1.0], anchors)
+        with pytest.raises(ModelSpecificationError):
+            model.value(np.array([1.0]))
+
+
+class TestGeneralizedModel:
+    def test_custom_link_and_feature_map(self):
+        model = GeneralizedLinearMarketModel(
+            theta=[2.0],
+            link=lambda z: z**3,
+            link_inverse=lambda v: np.sign(v) * abs(v) ** (1.0 / 3.0),
+            feature_map=lambda x: np.array([x[0] + 1.0]),
+            name="cubic",
+        )
+        assert model.value([1.0]) == pytest.approx(64.0)
+        assert model.link_inverse(model.link(1.7)) == pytest.approx(1.7)
+
+    def test_link_value_matches_value_through_link(self):
+        model = LogLinearModel([0.3, 0.7])
+        features = [1.0, 2.0]
+        assert model.link(model.link_value(features)) == pytest.approx(model.value(features))

@@ -1,0 +1,92 @@
+"""Unit tests for the sub-Gaussian noise family and the buffer δ."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.noise import (
+    BoundedNoise,
+    GaussianNoise,
+    NoNoise,
+    RademacherNoise,
+    UniformNoise,
+    sigma_for_buffer,
+    uncertainty_buffer,
+)
+
+
+class TestBuffer:
+    def test_buffer_formula(self):
+        expected = math.sqrt(2 * math.log(2.0)) * 0.1 * math.log(1000)
+        assert uncertainty_buffer(0.1, 1000) == pytest.approx(expected)
+
+    def test_buffer_zero_for_single_round(self):
+        assert uncertainty_buffer(0.1, 1) == 0.0
+
+    def test_buffer_monotone_in_sigma_and_horizon(self):
+        assert uncertainty_buffer(0.2, 1000) > uncertainty_buffer(0.1, 1000)
+        assert uncertainty_buffer(0.1, 10_000) > uncertainty_buffer(0.1, 1000)
+
+    def test_buffer_rejects_bad_constant(self):
+        with pytest.raises(ValueError):
+            uncertainty_buffer(0.1, 100, constant=1.0)
+
+    def test_buffer_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            uncertainty_buffer(0.1, 0)
+
+    def test_sigma_for_buffer_inverts_buffer(self):
+        delta = 0.01
+        sigma = sigma_for_buffer(delta, 5000)
+        assert uncertainty_buffer(sigma, 5000) == pytest.approx(delta)
+
+    def test_sigma_for_buffer_small_horizon(self):
+        assert sigma_for_buffer(0.01, 1) == 0.0
+
+
+class TestDistributions:
+    def test_no_noise_samples_zero(self):
+        noise = NoNoise()
+        assert noise.sample() == 0.0
+        assert np.all(noise.sample(size=5) == 0.0)
+        assert noise.buffer(1000) == 0.0
+
+    def test_gaussian_moments(self, rng):
+        noise = GaussianNoise(0.5)
+        samples = noise.sample(rng, size=20_000)
+        assert np.mean(samples) == pytest.approx(0.0, abs=0.02)
+        assert np.std(samples) == pytest.approx(0.5, abs=0.02)
+
+    def test_uniform_bounded(self, rng):
+        noise = UniformNoise(0.3)
+        samples = noise.sample(rng, size=5_000)
+        assert np.max(np.abs(samples)) <= 0.3
+        assert noise.sigma == pytest.approx(0.3)
+
+    def test_rademacher_values(self, rng):
+        noise = RademacherNoise(0.2)
+        samples = noise.sample(rng, size=1_000)
+        assert set(np.round(np.unique(samples), 10)) == {-0.2, 0.2}
+        scalar = noise.sample(rng)
+        assert scalar in (-0.2, 0.2)
+
+    def test_bounded_noise_clipped(self, rng):
+        noise = BoundedNoise(sigma=1.0, bound=0.5)
+        samples = noise.sample(rng, size=2_000)
+        assert np.max(np.abs(samples)) <= 0.5
+        scalar = noise.sample(rng)
+        assert abs(scalar) <= 0.5
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianNoise(-1.0)
+
+    def test_empirical_subgaussian_tail(self, rng):
+        """Pr(|δ| > buffer) is tiny for the buffer computed over the horizon."""
+        horizon = 2_000
+        noise = GaussianNoise(sigma_for_buffer(0.05, horizon))
+        buffer = noise.buffer(horizon)
+        samples = noise.sample(rng, size=horizon)
+        exceed_fraction = np.mean(np.abs(samples) > buffer)
+        assert exceed_fraction <= 1.0 / horizon + 0.002

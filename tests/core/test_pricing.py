@@ -1,0 +1,288 @@
+"""Unit tests for the ellipsoid posted price mechanisms (Algorithms 1, 1*, 2, 2*)."""
+
+import numpy as np
+import pytest
+
+from repro.core.one_dim import OneDimensionalPricer
+from repro.core.pricing import EllipsoidPricer, PricerConfig, make_pricer
+
+
+def _unit_feature(dimension, index=0):
+    features = np.zeros(dimension)
+    features[index] = 1.0
+    return features
+
+
+class TestPricerConfig:
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            PricerConfig(dimension=0, radius=1.0, epsilon=0.1)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            PricerConfig(dimension=3, radius=-1.0, epsilon=0.1)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            PricerConfig(dimension=3, radius=1.0, epsilon=0.0)
+
+    def test_rejects_negative_delta(self):
+        with pytest.raises(ValueError):
+            PricerConfig(dimension=3, radius=1.0, epsilon=0.1, delta=-0.1)
+
+    def test_rejects_unknown_knowledge(self):
+        with pytest.raises(ValueError):
+            PricerConfig(dimension=3, radius=1.0, epsilon=0.1, knowledge="magic")
+
+    def test_theoretical_epsilon_multidimensional(self):
+        assert PricerConfig.theoretical_epsilon(10, 1000) == pytest.approx(0.1)
+        # The 4nδ floor of Theorem 1.
+        assert PricerConfig.theoretical_epsilon(10, 1000, delta=0.01) == pytest.approx(0.4)
+
+    def test_theoretical_epsilon_one_dimensional(self):
+        value = PricerConfig.theoretical_epsilon(1, 1000)
+        assert value == pytest.approx(np.log(1000) ** 2 / 1000)
+
+    def test_theoretical_epsilon_rejects_bad_rounds(self):
+        with pytest.raises(ValueError):
+            PricerConfig.theoretical_epsilon(10, 0)
+
+
+class TestNaming:
+    @pytest.mark.parametrize(
+        "use_reserve, delta, expected",
+        [
+            (False, 0.0, "pure version"),
+            (False, 0.01, "with uncertainty"),
+            (True, 0.0, "with reserve price"),
+            (True, 0.01, "with reserve price and uncertainty"),
+        ],
+    )
+    def test_version_names_match_paper(self, use_reserve, delta, expected):
+        pricer = EllipsoidPricer(
+            PricerConfig(dimension=3, radius=1.0, epsilon=0.1, delta=delta, use_reserve=use_reserve)
+        )
+        assert pricer.name == expected
+
+
+class TestProposeBehaviour:
+    def test_requires_dimension_two(self):
+        with pytest.raises(ValueError):
+            EllipsoidPricer(PricerConfig(dimension=1, radius=1.0, epsilon=0.1))
+
+    def test_initial_exploratory_price_is_midpoint(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01, use_reserve=False))
+        decision = pricer.propose(_unit_feature(3))
+        assert decision.exploratory
+        assert decision.price == pytest.approx(0.0)  # midpoint of [-2, 2]
+        assert decision.lower_bound == pytest.approx(-2.0)
+        assert decision.upper_bound == pytest.approx(2.0)
+
+    def test_reserve_lifts_exploratory_price(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01))
+        decision = pricer.propose(_unit_feature(3), reserve=1.0)
+        assert decision.price == pytest.approx(1.0)
+
+    def test_reserve_ignored_by_pure_version(self):
+        pricer = EllipsoidPricer(
+            PricerConfig(dimension=3, radius=2.0, epsilon=0.01, use_reserve=False)
+        )
+        decision = pricer.propose(_unit_feature(3), reserve=1.0)
+        assert decision.price == pytest.approx(0.0)
+
+    def test_skip_when_reserve_exceeds_upper_bound(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01))
+        decision = pricer.propose(_unit_feature(3), reserve=5.0)
+        assert decision.skipped
+        assert decision.price is None
+        assert pricer.skipped_rounds == 1
+
+    def test_skip_threshold_includes_uncertainty_buffer(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01, delta=0.5))
+        # reserve of 2.3 < upper bound (2) + delta (0.5): must still post.
+        decision = pricer.propose(_unit_feature(3), reserve=2.3)
+        assert not decision.skipped
+        # reserve above upper + delta: certain no deal.
+        decision = pricer.propose(_unit_feature(3), reserve=2.6)
+        assert decision.skipped
+
+    def test_conservative_price_when_width_small(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=10.0))
+        decision = pricer.propose(_unit_feature(3), reserve=0.1)
+        assert not decision.exploratory
+        assert decision.price == pytest.approx(max(0.1, -2.0))
+        assert pricer.conservative_rounds == 1
+
+    def test_conservative_price_subtracts_buffer(self):
+        pricer = EllipsoidPricer(
+            PricerConfig(dimension=3, radius=2.0, epsilon=10.0, delta=0.2, use_reserve=False)
+        )
+        decision = pricer.propose(_unit_feature(3))
+        assert decision.price == pytest.approx(-2.2)
+
+    def test_round_counter_increments(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01))
+        for expected in range(3):
+            decision = pricer.propose(_unit_feature(3), reserve=0.0)
+            assert decision.round_index == expected
+        assert pricer.rounds_seen == 3
+
+    def test_feature_dimension_checked(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01))
+        with pytest.raises(Exception):
+            pricer.propose(np.ones(4))
+
+
+class TestUpdateBehaviour:
+    def test_acceptance_raises_lower_bound(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01, use_reserve=False))
+        features = _unit_feature(3)
+        decision = pricer.propose(features)
+        pricer.update(decision, accepted=True)
+        lower, upper = pricer.value_bounds(features)
+        assert lower > -2.0 + 1e-6
+        assert pricer.cuts_applied == 1
+
+    def test_rejection_lowers_upper_bound(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01, use_reserve=False))
+        features = _unit_feature(3)
+        decision = pricer.propose(features)
+        pricer.update(decision, accepted=False)
+        _, upper = pricer.value_bounds(features)
+        assert upper < 2.0 - 1e-6
+
+    def test_conservative_feedback_never_cuts(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=10.0))
+        features = _unit_feature(3)
+        decision = pricer.propose(features, reserve=0.5)
+        assert not decision.exploratory
+        before = pricer.knowledge.ellipsoid.copy()
+        pricer.update(decision, accepted=True)
+        assert pricer.knowledge.ellipsoid == before
+        assert pricer.cuts_applied == 0
+
+    def test_conservative_cut_allowed_by_ablation_switch(self):
+        pricer = EllipsoidPricer(
+            PricerConfig(dimension=3, radius=2.0, epsilon=10.0, allow_conservative_cuts=True)
+        )
+        features = _unit_feature(3)
+        decision = pricer.propose(features, reserve=0.5)
+        pricer.update(decision, accepted=True)
+        assert pricer.cuts_applied == 1
+
+    def test_skipped_decision_never_cuts(self):
+        pricer = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01))
+        decision = pricer.propose(_unit_feature(3), reserve=10.0)
+        pricer.update(decision, accepted=False)
+        assert pricer.cuts_applied == 0
+
+    def test_uncertainty_buffer_weakens_cuts(self):
+        features = _unit_feature(3)
+        sharp = EllipsoidPricer(PricerConfig(dimension=3, radius=2.0, epsilon=0.01, use_reserve=False))
+        buffered = EllipsoidPricer(
+            PricerConfig(dimension=3, radius=2.0, epsilon=0.01, delta=0.3, use_reserve=False)
+        )
+        for pricer in (sharp, buffered):
+            decision = pricer.propose(features)
+            pricer.update(decision, accepted=True)
+        sharp_lower, _ = sharp.value_bounds(features)
+        buffered_lower, _ = buffered.value_bounds(features)
+        # With a buffer the acceptance cut is placed δ lower, so the lower
+        # bound improves by less.
+        assert buffered_lower < sharp_lower
+
+    def test_theta_stays_in_knowledge_under_consistent_feedback(self, rng):
+        dimension = 4
+        theta = np.abs(rng.standard_normal(dimension))
+        theta *= np.sqrt(2 * dimension) / np.linalg.norm(theta)
+        pricer = EllipsoidPricer(
+            PricerConfig(dimension=dimension, radius=2 * np.sqrt(dimension), epsilon=1e-3)
+        )
+        for _ in range(300):
+            features = np.abs(rng.standard_normal(dimension))
+            features /= np.linalg.norm(features)
+            value = float(features @ theta)
+            decision = pricer.propose(features, reserve=0.5 * value)
+            if decision.skipped or decision.price is None:
+                continue
+            sold = decision.price <= value
+            pricer.update(decision, accepted=sold)
+            assert pricer.knowledge.contains(theta)
+
+    def test_exploration_eventually_stops(self, rng):
+        dimension = 3
+        theta = np.array([0.5, 0.7, 0.2])
+        pricer = EllipsoidPricer(PricerConfig(dimension=dimension, radius=2.0, epsilon=0.05, use_reserve=False))
+        features_pool = [np.eye(dimension)[i] for i in range(dimension)]
+        conservative_seen = False
+        for t in range(500):
+            features = features_pool[t % dimension]
+            value = float(features @ theta)
+            decision = pricer.propose(features)
+            if not decision.exploratory and not decision.skipped:
+                conservative_seen = True
+                break
+            pricer.update(decision, accepted=decision.price <= value)
+        assert conservative_seen
+
+
+class TestPolytopeBackend:
+    def test_polytope_knowledge_backend_works(self):
+        pricer = EllipsoidPricer(
+            PricerConfig(dimension=2, radius=1.0, epsilon=0.01, knowledge="polytope")
+        )
+        features = np.array([1.0, 0.0])
+        decision = pricer.propose(features, reserve=0.1)
+        assert decision.posted
+        pricer.update(decision, accepted=True)
+        lower, _ = pricer.value_bounds(features)
+        assert lower >= decision.price - 1e-9
+
+    def test_initial_ellipsoid_requires_ellipsoid_backend(self):
+        from repro.core.ellipsoid import Ellipsoid
+
+        with pytest.raises(ValueError):
+            EllipsoidPricer(
+                PricerConfig(dimension=2, radius=1.0, epsilon=0.01, knowledge="polytope"),
+                initial_ellipsoid=Ellipsoid.ball(2, 1.0),
+            )
+
+    def test_initial_ellipsoid_dimension_checked(self):
+        from repro.core.ellipsoid import Ellipsoid
+
+        with pytest.raises(ValueError):
+            EllipsoidPricer(
+                PricerConfig(dimension=3, radius=1.0, epsilon=0.01),
+                initial_ellipsoid=Ellipsoid.ball(2, 1.0),
+            )
+
+    def test_warm_start_initial_ellipsoid_used(self):
+        from repro.core.ellipsoid import Ellipsoid
+
+        warm = Ellipsoid.ball(2, 0.5, center=np.array([1.0, 1.0]))
+        pricer = EllipsoidPricer(
+            PricerConfig(dimension=2, radius=10.0, epsilon=0.01), initial_ellipsoid=warm
+        )
+        lower, upper = pricer.value_bounds(np.array([1.0, 0.0]))
+        assert lower == pytest.approx(0.5)
+        assert upper == pytest.approx(1.5)
+
+
+class TestFactory:
+    def test_factory_returns_one_dimensional_pricer(self):
+        pricer = make_pricer(dimension=1, radius=2.0, epsilon=0.1)
+        assert isinstance(pricer, OneDimensionalPricer)
+
+    def test_factory_returns_ellipsoid_pricer(self):
+        pricer = make_pricer(dimension=5, radius=2.0, epsilon=0.1)
+        assert isinstance(pricer, EllipsoidPricer)
+
+    def test_factory_passes_theta_bounds(self):
+        pricer = make_pricer(dimension=1, radius=2.0, epsilon=0.1, theta_bounds=(0.0, 1.0))
+        assert pricer.knowledge.lower == pytest.approx(0.0)
+        assert pricer.knowledge.upper == pytest.approx(1.0)
+
+    def test_memory_report_is_quadratic_in_dimension(self):
+        small = make_pricer(dimension=10, radius=1.0, epsilon=0.1)
+        large = make_pricer(dimension=100, radius=1.0, epsilon=0.1)
+        assert large.memory_report().state_bytes > 50 * small.memory_report().state_bytes

@@ -1,0 +1,116 @@
+"""Unit tests for the regret accounting of Equation (1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.regret import (
+    RegretAccumulator,
+    regret_ratio,
+    single_round_regret,
+    single_round_regret_curve,
+    single_round_regret_without_reserve,
+)
+
+
+class TestSingleRoundRegret:
+    def test_zero_when_reserve_above_value(self):
+        assert single_round_regret(market_value=1.0, reserve=2.0, price=3.0) == 0.0
+
+    def test_full_value_lost_on_rejection(self):
+        assert single_round_regret(4.0, 1.0, 5.0) == pytest.approx(4.0)
+
+    def test_value_minus_price_on_sale(self):
+        assert single_round_regret(4.0, 1.0, 3.0) == pytest.approx(1.0)
+
+    def test_zero_regret_when_price_equals_value(self):
+        assert single_round_regret(4.0, 1.0, 4.0) == pytest.approx(0.0)
+
+    def test_skipped_round_counts_as_rejection(self):
+        assert single_round_regret(4.0, 1.0, None) == pytest.approx(4.0)
+
+    def test_skipped_round_with_high_reserve_is_free(self):
+        assert single_round_regret(4.0, 5.0, None) == pytest.approx(0.0)
+
+    def test_explicit_sold_flag_overrides_comparison(self):
+        # A price above the value that is (impossibly) marked sold still earns it.
+        assert single_round_regret(4.0, 1.0, 5.0, sold=True) == pytest.approx(-1.0)
+
+    def test_without_reserve_equals_reserve_none(self):
+        assert single_round_regret_without_reserve(4.0, 3.0) == single_round_regret(4.0, None, 3.0)
+
+    def test_lemma1_reserve_never_increases_regret(self):
+        """Lemma 1: imposing the reserve constraint cannot increase single-round regret."""
+        for value in (0.5, 1.0, 3.0):
+            for reserve in (0.1, 0.9, 1.5, 4.0):
+                for pure_price in (0.2, 0.8, 1.2, 3.5):
+                    constrained_price = max(reserve, pure_price)
+                    with_reserve = single_round_regret(value, reserve, constrained_price)
+                    without = single_round_regret_without_reserve(value, pure_price)
+                    assert with_reserve <= without + 1e-12
+
+
+class TestRegretCurve:
+    def test_fig1_shape(self):
+        """Fig. 1: regret decreases linearly up to the market value, then jumps."""
+        market_value, reserve = 10.0, 4.0
+        prices = np.linspace(0.0, 15.0, 151)
+        curve = single_round_regret_curve(market_value, reserve, prices)
+        below = prices <= market_value
+        # Linear decrease on the sold branch.
+        assert np.allclose(curve[below], market_value - prices[below])
+        # Full loss beyond the market value.
+        assert np.allclose(curve[~below], market_value)
+        # The minimum regret (zero) is achieved by posting exactly the value.
+        assert curve.min() == pytest.approx(0.0)
+
+    def test_no_regret_anywhere_when_reserve_exceeds_value(self):
+        curve = single_round_regret_curve(2.0, 3.0, np.linspace(0, 5, 20))
+        assert np.allclose(curve, 0.0)
+
+
+class TestRegretRatio:
+    def test_basic_ratio(self):
+        assert regret_ratio([1.0, 1.0], [4.0, 4.0]) == pytest.approx(0.25)
+
+    def test_zero_value_returns_zero(self):
+        assert regret_ratio([0.0], [0.0]) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            regret_ratio([1.0], [1.0, 2.0])
+
+
+class TestAccumulator:
+    def test_record_and_totals(self):
+        acc = RegretAccumulator()
+        acc.record(market_value=5.0, reserve=1.0, price=4.0, sold=True)
+        acc.record(market_value=5.0, reserve=1.0, price=6.0, sold=False)
+        assert acc.rounds == 2
+        assert acc.cumulative_regret == pytest.approx(1.0 + 5.0)
+        assert acc.cumulative_revenue == pytest.approx(4.0)
+        assert acc.cumulative_market_value == pytest.approx(10.0)
+        assert acc.ratio == pytest.approx(0.6)
+
+    def test_curves_are_cumulative(self):
+        acc = RegretAccumulator()
+        for _ in range(5):
+            acc.record(2.0, None, 1.0, True)
+        curve = acc.cumulative_regret_curve()
+        assert np.allclose(curve, np.arange(1, 6) * 1.0)
+        ratios = acc.regret_ratio_curve()
+        assert np.allclose(ratios, 0.5)
+
+    def test_ratio_at_prefix(self):
+        acc = RegretAccumulator()
+        acc.record(2.0, None, 2.0, True)   # zero regret
+        acc.record(2.0, None, 3.0, False)  # full regret
+        assert acc.ratio_at(1) == pytest.approx(0.0)
+        assert acc.ratio_at(2) == pytest.approx(0.5)
+
+    def test_ratio_at_rejects_out_of_range(self):
+        acc = RegretAccumulator()
+        acc.record(1.0, None, 1.0, True)
+        with pytest.raises(ValueError):
+            acc.ratio_at(0)
+        with pytest.raises(ValueError):
+            acc.ratio_at(2)

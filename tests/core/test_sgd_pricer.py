@@ -1,0 +1,96 @@
+"""Unit tests for the SGD contextual pricing baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import LinearModel
+from repro.core.pricing import EllipsoidPricer, PricerConfig
+from repro.core.sgd_pricer import SGDContextualPricer
+from repro.core.simulation import MarketSimulator, QueryArrival, compare_pricers
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SGDContextualPricer(dimension=0, radius=1.0)
+        with pytest.raises(ValueError):
+            SGDContextualPricer(dimension=2, radius=0.0)
+        with pytest.raises(ValueError):
+            SGDContextualPricer(dimension=2, radius=1.0, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            SGDContextualPricer(dimension=2, radius=1.0, margin=-1.0)
+
+    def test_initial_estimate_is_zero(self):
+        pricer = SGDContextualPricer(dimension=3, radius=2.0)
+        assert np.allclose(pricer.estimate, 0.0)
+
+
+class TestBehaviour:
+    def test_price_respects_reserve(self):
+        pricer = SGDContextualPricer(dimension=3, radius=2.0)
+        decision = pricer.propose(np.ones(3), reserve=1.5)
+        assert decision.price >= 1.5
+
+    def test_reserve_ignored_when_disabled(self):
+        pricer = SGDContextualPricer(dimension=3, radius=2.0, use_reserve=False, margin=0.0)
+        decision = pricer.propose(np.ones(3), reserve=1.5)
+        assert decision.price == pytest.approx(0.0)
+
+    def test_acceptance_raises_estimate(self):
+        pricer = SGDContextualPricer(dimension=2, radius=5.0)
+        features = np.array([1.0, 0.0])
+        decision = pricer.propose(features, reserve=0.0)
+        pricer.update(decision, accepted=True)
+        assert pricer.estimate[0] > 0.0
+
+    def test_rejection_lowers_estimate(self):
+        pricer = SGDContextualPricer(dimension=2, radius=5.0)
+        features = np.array([1.0, 0.0])
+        decision = pricer.propose(features, reserve=0.0)
+        pricer.update(decision, accepted=False)
+        assert pricer.estimate[0] < 0.0
+
+    def test_estimate_projected_onto_ball(self):
+        pricer = SGDContextualPricer(dimension=2, radius=0.5, learning_rate=10.0)
+        features = np.array([1.0, 0.0])
+        for _ in range(5):
+            decision = pricer.propose(features, reserve=0.0)
+            pricer.update(decision, accepted=True)
+        assert np.linalg.norm(pricer.estimate) <= 0.5 + 1e-9
+
+    def test_learns_scalar_market(self, rng):
+        dimension = 4
+        theta = np.array([1.0, 0.5, 1.5, 0.3])
+        pricer = SGDContextualPricer(dimension=dimension, radius=3.0)
+        for _ in range(3000):
+            features = np.abs(rng.standard_normal(dimension))
+            features /= np.linalg.norm(features)
+            value = float(features @ theta)
+            decision = pricer.propose(features)
+            pricer.update(decision, accepted=decision.price <= value)
+        estimate_error = np.linalg.norm(pricer.estimate - theta)
+        assert estimate_error < np.linalg.norm(theta)
+
+    def test_ellipsoid_pricer_beats_sgd_on_long_horizon(self, rng):
+        dimension = 6
+        theta = np.abs(rng.standard_normal(dimension))
+        theta *= np.sqrt(2 * dimension) / np.linalg.norm(theta)
+        model = LinearModel(theta)
+        arrivals = []
+        for _ in range(2500):
+            features = np.abs(rng.standard_normal(dimension))
+            features /= np.linalg.norm(features)
+            arrivals.append(
+                QueryArrival(features=features, reserve_value=0.6 * float(features @ theta), noise=0.0)
+            )
+        radius = 2.0 * np.sqrt(dimension)
+        ellipsoid = EllipsoidPricer(
+            PricerConfig(dimension=dimension, radius=radius, epsilon=dimension**2 / len(arrivals))
+        )
+        sgd = SGDContextualPricer(dimension=dimension, radius=radius)
+        results = compare_pricers(model, [ellipsoid, sgd], arrivals)
+        assert results[0].cumulative_regret < results[1].cumulative_regret
+
+    def test_memory_state_is_linear_in_dimension(self):
+        pricer = SGDContextualPricer(dimension=100, radius=1.0)
+        assert pricer.memory_report().state_bytes == 100 * 8

@@ -1,0 +1,127 @@
+"""Unit tests for the online market simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import OraclePricer, RiskAversePricer
+from repro.core.models import LinearModel, LogLinearModel
+from repro.core.noise import GaussianNoise
+from repro.core.pricing import EllipsoidPricer, PricerConfig
+from repro.core.simulation import MarketSimulator, QueryArrival, compare_pricers
+
+
+def _arrivals_from(queries):
+    return [QueryArrival(features=f, reserve_value=r, noise=0.0) for f, r in queries]
+
+
+class TestSimulatorBasics:
+    def test_oracle_has_zero_regret(self, linear_market):
+        model, queries = linear_market
+        pricer = OraclePricer(lambda x: float(x @ model.theta))
+        simulator = MarketSimulator(model, pricer)
+        result = simulator.run(_arrivals_from(queries))
+        assert result.cumulative_regret == pytest.approx(0.0, abs=1e-9)
+        assert result.sale_rate() > 0.9
+
+    def test_risk_averse_sells_almost_everything_but_pays_regret(self, linear_market):
+        model, queries = linear_market
+        pricer = RiskAversePricer()
+        result = MarketSimulator(model, pricer).run(_arrivals_from(queries))
+        # The reserve is below the market value for (almost) every query, so
+        # posting it (almost) always sells — at the cost of a large regret.
+        assert result.sale_rate() > 0.95
+        assert result.cumulative_regret > 0.0
+        assert result.cumulative_revenue > 0.0
+
+    def test_ellipsoid_pricer_beats_risk_averse(self, linear_market):
+        model, queries = linear_market
+        arrivals = _arrivals_from(queries)
+        dimension = model.weight_dimension
+        ellipsoid = EllipsoidPricer(
+            PricerConfig(dimension=dimension, radius=2 * np.sqrt(dimension), epsilon=0.05)
+        )
+        results = compare_pricers(model, [ellipsoid, RiskAversePricer()], arrivals)
+        assert results[0].cumulative_regret < results[1].cumulative_regret
+
+    def test_round_outcomes_record_everything(self, linear_market):
+        model, queries = linear_market
+        pricer = RiskAversePricer()
+        result = MarketSimulator(model, pricer).run(_arrivals_from(queries[:10]))
+        assert result.rounds == 10
+        for index, outcome in enumerate(result.outcomes):
+            assert outcome.round_index == index
+            assert outcome.market_value == pytest.approx(model.link(outcome.link_value))
+            assert outcome.posted_price == pytest.approx(outcome.reserve_value)
+            assert outcome.sold == (outcome.posted_price <= outcome.market_value)
+
+    def test_latency_tracking(self, linear_market):
+        model, queries = linear_market
+        pricer = RiskAversePricer()
+        simulator = MarketSimulator(model, pricer, track_latency=True)
+        result = simulator.run(_arrivals_from(queries[:20]))
+        assert result.latency.count == 20
+        assert result.latency.mean_milliseconds >= 0.0
+
+    def test_summary_statistics_keys(self, linear_market):
+        model, queries = linear_market
+        result = MarketSimulator(model, RiskAversePricer()).run(_arrivals_from(queries[:30]))
+        stats = result.summary_statistics()
+        for key in ("market_value", "reserve_price", "posted_price", "regret", "regret_ratio"):
+            assert key in stats
+        assert stats["rounds"] == 30
+
+
+class TestNoiseHandling:
+    def test_predrawn_noise_used_verbatim(self):
+        model = LinearModel([1.0, 1.0])
+        arrival = QueryArrival(features=np.array([1.0, 1.0]), reserve_value=None, noise=0.5)
+        pricer = OraclePricer(lambda x: float(np.sum(x)))
+        result = MarketSimulator(model, pricer).run([arrival])
+        assert result.outcomes[0].market_value == pytest.approx(2.5)
+
+    def test_noise_sampled_when_absent(self):
+        model = LinearModel([1.0, 1.0])
+        arrival = QueryArrival(features=np.array([1.0, 1.0]), reserve_value=None, noise=None)
+        pricer = OraclePricer(lambda x: float(np.sum(x)))
+        simulator = MarketSimulator(model, pricer, noise=GaussianNoise(0.1), rng=0)
+        result = simulator.run([arrival])
+        assert result.outcomes[0].market_value != pytest.approx(2.0)
+
+    def test_same_arrivals_give_identical_market_across_pricers(self, linear_market):
+        model, queries = linear_market
+        arrivals = _arrivals_from(queries[:50])
+        results = compare_pricers(model, [RiskAversePricer(), RiskAversePricer()], arrivals)
+        values_a = [o.market_value for o in results[0].outcomes]
+        values_b = [o.market_value for o in results[1].outcomes]
+        assert values_a == values_b
+
+
+class TestNonLinearModels:
+    def test_log_linear_prices_are_exponentiated(self):
+        theta = np.array([0.5, 0.5])
+        model = LogLinearModel(theta)
+        features = np.array([2.0, 2.0])
+        arrival = QueryArrival(features=features, reserve_value=np.exp(1.0), noise=0.0)
+        pricer = RiskAversePricer()
+        result = MarketSimulator(model, pricer).run([arrival])
+        outcome = result.outcomes[0]
+        assert outcome.market_value == pytest.approx(np.exp(2.0))
+        # The risk-averse price is the reserve, expressed back in real space.
+        assert outcome.posted_price == pytest.approx(np.exp(1.0))
+        assert outcome.sold
+
+    def test_ellipsoid_pricer_with_log_linear_model_converges(self, rng):
+        dimension = 3
+        theta = np.array([0.8, 0.4, 0.2])
+        model = LogLinearModel(theta)
+        pricer = EllipsoidPricer(
+            PricerConfig(dimension=dimension, radius=2.0, epsilon=0.02, use_reserve=False)
+        )
+        arrivals = []
+        for _ in range(400):
+            features = rng.uniform(0.2, 1.0, size=dimension)
+            arrivals.append(QueryArrival(features=features, reserve_value=None, noise=0.0))
+        result = MarketSimulator(model, pricer).run(arrivals)
+        # The regret ratio over the last rounds must be far below the early one.
+        ratios = result.regret_ratio_curve()
+        assert ratios[-1] < ratios[49]

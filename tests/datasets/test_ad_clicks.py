@@ -1,0 +1,57 @@
+"""Unit tests for the synthetic ad click dataset (Avazu stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.ad_clicks import FIELD_CARDINALITIES, generate_ad_clicks
+from repro.exceptions import DatasetError
+
+
+class TestGeneration:
+    def test_count_and_fields(self):
+        dataset = generate_ad_clicks(count=300, seed=0)
+        assert len(dataset) == 300
+        impression = dataset[0]
+        assert set(impression.fields) == set(FIELD_CARDINALITIES)
+        for name, value in impression.fields.items():
+            assert 0 <= value < FIELD_CARDINALITIES[name]
+
+    def test_click_rate_near_base_ctr(self):
+        dataset = generate_ad_clicks(count=8000, base_ctr=0.17, seed=1)
+        assert 0.10 < dataset.click_rate() < 0.30
+
+    def test_labels_match_clicked_flags(self):
+        dataset = generate_ad_clicks(count=100, seed=2)
+        labels = dataset.labels()
+        assert labels.shape == (100,)
+        assert set(np.unique(labels)) <= {0.0, 1.0}
+        assert labels.mean() == pytest.approx(dataset.click_rate())
+
+    def test_tokens_are_stable_strings(self):
+        impression = generate_ad_clicks(count=1, seed=3)[0]
+        tokens = impression.tokens()
+        assert len(tokens) == len(FIELD_CARDINALITIES)
+        assert all("=" in token for token in tokens)
+        assert tokens == sorted(tokens)
+
+    def test_informative_fields_influence_ctr(self):
+        """Banner position carries signal: CTRs differ clearly across its values."""
+        dataset = generate_ad_clicks(count=20_000, seed=4)
+        rates = []
+        for position in range(FIELD_CARDINALITIES["banner_pos"]):
+            clicks = [imp.clicked for imp in dataset if imp.fields["banner_pos"] == position]
+            if len(clicks) > 100:
+                rates.append(np.mean(clicks))
+        assert max(rates) - min(rates) > 0.05
+
+    def test_reproducible(self):
+        a = generate_ad_clicks(count=50, seed=5)
+        b = generate_ad_clicks(count=50, seed=5)
+        assert [i.fields for i in a] == [i.fields for i in b]
+        assert [i.clicked for i in a] == [i.clicked for i in b]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_ad_clicks(count=0)
+        with pytest.raises(DatasetError):
+            generate_ad_clicks(count=10, base_ctr=1.5)

@@ -1,0 +1,68 @@
+"""Unit tests for the synthetic listings dataset (Airbnb stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.listings import AMENITIES, AMENITY_NAMES, generate_listings
+from repro.exceptions import DatasetError
+
+
+class TestGeneration:
+    def test_count_and_fields(self):
+        dataset = generate_listings(count=200, seed=0)
+        assert len(dataset) == 200
+        listing = dataset[0]
+        assert listing.city in ("NYC", "LA", "SF", "DC", "Chicago", "Boston")
+        assert listing.accommodates >= 1
+        assert 0.0 <= listing.host_response_rate <= 1.0
+        assert 0.0 <= listing.occupancy_rate <= 1.0
+        assert set(listing.amenities.keys()) == set(AMENITY_NAMES)
+
+    def test_log_prices_reasonable(self):
+        dataset = generate_listings(count=500, seed=1)
+        log_prices = dataset.log_prices()
+        assert log_prices.shape == (500,)
+        assert 2.0 < np.mean(log_prices) < 8.0
+        assert np.std(log_prices) > 0.1
+
+    def test_entire_homes_cost_more_than_shared_rooms(self):
+        dataset = generate_listings(count=3000, seed=2)
+        entire = [l.log_price for l in dataset if l.room_type == "Entire home/apt"]
+        shared = [l.log_price for l in dataset if l.room_type == "Shared room"]
+        assert np.mean(entire) > np.mean(shared)
+
+    def test_amenity_prevalence_roughly_matches_spec(self):
+        dataset = generate_listings(count=4000, seed=3)
+        values = np.array([[l.amenity_values()[name] for name, _, _ in AMENITIES] for l in dataset])
+        observed = values.mean(axis=0)
+        expected = np.array([prevalence for _, prevalence, _ in AMENITIES])
+        assert np.max(np.abs(observed - expected)) < 0.05
+
+    def test_noise_free_prices_are_deterministic_function_of_attributes(self):
+        dataset = generate_listings(count=100, price_noise_sigma=0.0, seed=4)
+        assert len(dataset) == 100
+
+    def test_reproducible(self):
+        a = generate_listings(count=50, seed=9)
+        b = generate_listings(count=50, seed=9)
+        assert np.allclose(a.log_prices(), b.log_prices())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_listings(count=0)
+        with pytest.raises(DatasetError):
+            generate_listings(count=10, price_noise_sigma=-0.1)
+
+
+class TestRecordViews:
+    def test_categorical_and_numeric_views(self):
+        listing = generate_listings(count=1, seed=5)[0]
+        categorical = listing.categorical_values()
+        numeric = listing.numeric_values()
+        assert set(categorical) == {"city", "room_type", "property_type", "cancellation_policy", "bed_type"}
+        assert len(numeric) == 10
+        assert numeric["instant_bookable"] in (0.0, 1.0)
+
+    def test_amenity_values_are_binary(self):
+        listing = generate_listings(count=1, seed=6)[0]
+        assert set(listing.amenity_values().values()) <= {0.0, 1.0}

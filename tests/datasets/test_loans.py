@@ -1,0 +1,57 @@
+"""Unit tests for the synthetic loan application dataset."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loans import LOAN_FEATURE_NAMES, generate_loans, true_elasticities
+from repro.exceptions import DatasetError
+from repro.learning.linear_regression import LinearRegression
+
+
+class TestGeneration:
+    def test_count_and_positivity(self):
+        dataset = generate_loans(count=200, seed=0)
+        assert len(dataset) == 200
+        matrix = dataset.feature_matrix()
+        assert matrix.shape == (200, len(LOAN_FEATURE_NAMES))
+        assert np.all(matrix > 0)
+        assert np.all(dataset.interest_rates() > 0)
+
+    def test_rates_in_realistic_range(self):
+        dataset = generate_loans(count=2000, seed=1)
+        rates = dataset.interest_rates()
+        assert 2.0 < np.median(rates) < 40.0
+
+    def test_better_credit_scores_get_lower_rates(self):
+        dataset = generate_loans(count=4000, seed=2)
+        scores = dataset.feature_matrix()[:, 0]
+        rates = dataset.interest_rates()
+        good = rates[scores > np.percentile(scores, 75)]
+        bad = rates[scores < np.percentile(scores, 25)]
+        assert np.mean(good) < np.mean(bad)
+
+    def test_log_log_structure_recoverable_by_ols(self):
+        """OLS on log-transformed data recovers the latent elasticities."""
+        dataset = generate_loans(count=5000, rate_noise_sigma=0.01, seed=3)
+        log_features = np.log(dataset.feature_matrix())
+        log_rates = np.log(dataset.interest_rates())
+        design = np.hstack([np.ones((len(dataset), 1)), log_features])
+        fit = LinearRegression(fit_intercept=False).fit(design, log_rates)
+        recovered = fit.coefficients[1:]
+        assert np.allclose(recovered, true_elasticities(), atol=0.05)
+
+    def test_reproducible(self):
+        a = generate_loans(count=30, seed=5)
+        b = generate_loans(count=30, seed=5)
+        assert np.allclose(a.interest_rates(), b.interest_rates())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_loans(count=0)
+        with pytest.raises(DatasetError):
+            generate_loans(count=5, rate_noise_sigma=-1.0)
+
+    def test_indexing_and_iteration(self):
+        dataset = generate_loans(count=5, seed=6)
+        assert dataset[2].application_id == 2
+        assert len(list(iter(dataset))) == 5

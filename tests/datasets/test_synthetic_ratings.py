@@ -1,0 +1,72 @@
+"""Unit tests for the synthetic ratings dataset (MovieLens stand-in)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic_ratings import generate_ratings
+from repro.exceptions import DatasetError
+
+
+class TestGeneration:
+    def test_shapes_and_ranges(self):
+        dataset = generate_ratings(user_count=100, item_count=40, seed=0)
+        assert dataset.user_count == 100
+        assert dataset.item_count == 40
+        assert dataset.rating_count == dataset.user_ids.shape[0]
+        assert np.all(dataset.ratings >= 0.5)
+        assert np.all(dataset.ratings <= 5.0)
+        assert np.all(dataset.user_ids < 100)
+        assert np.all(dataset.item_ids < 40)
+
+    def test_half_star_scale(self):
+        dataset = generate_ratings(user_count=50, item_count=30, seed=1)
+        assert np.allclose(dataset.ratings * 2, np.round(dataset.ratings * 2))
+
+    def test_every_user_has_at_least_one_rating(self):
+        dataset = generate_ratings(user_count=80, item_count=30, seed=2)
+        assert np.all(dataset.ratings_per_user() >= 1)
+
+    def test_heavy_tailed_activity(self):
+        dataset = generate_ratings(user_count=500, item_count=200, mean_ratings_per_user=10, seed=3)
+        counts = dataset.ratings_per_user()
+        assert counts.max() > 3 * np.median(counts)
+
+    def test_reproducible(self):
+        a = generate_ratings(user_count=30, item_count=20, seed=7)
+        b = generate_ratings(user_count=30, item_count=20, seed=7)
+        assert np.array_equal(a.ratings, b.ratings)
+        assert np.array_equal(a.item_ids, b.item_ids)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_ratings(user_count=0)
+        with pytest.raises(DatasetError):
+            generate_ratings(mean_ratings_per_user=0.0)
+        with pytest.raises(DatasetError):
+            generate_ratings(latent_rank=0)
+
+
+class TestOwnerRecords:
+    def test_mean_rating_records_in_scale(self):
+        dataset = generate_ratings(user_count=60, item_count=30, seed=4)
+        records = dataset.owner_records("mean_rating")
+        assert records.shape == (60,)
+        assert np.all(records >= 0.5)
+        assert np.all(records <= 5.0)
+
+    def test_activity_records_non_negative(self):
+        dataset = generate_ratings(user_count=60, item_count=30, seed=5)
+        records = dataset.owner_records("activity")
+        assert np.all(records >= 0.0)
+
+    def test_unknown_record_kind_rejected(self):
+        dataset = generate_ratings(user_count=10, item_count=10, seed=6)
+        with pytest.raises(DatasetError):
+            dataset.owner_records("favorite_color")
+
+    def test_mean_rating_matches_manual_computation(self):
+        dataset = generate_ratings(user_count=20, item_count=15, seed=8)
+        means = dataset.mean_rating_per_user()
+        user = int(dataset.user_ids[0])
+        mask = dataset.user_ids == user
+        assert means[user] == pytest.approx(float(np.mean(dataset.ratings[mask])))

@@ -1,0 +1,164 @@
+"""Tests for the experiment harness (scaled-down versions of every table/figure)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.adversarial import run_adversarial_example
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.overhead import format_overhead, run_overhead
+from repro.experiments.regret_scaling import format_scaling, run_epsilon_ablation, run_horizon_scaling
+from repro.experiments.reporting import checkpoints_for, format_series_table, format_table
+from repro.experiments.table1 import format_table1, run_table1
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 3]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_series_table(self):
+        text = format_series_table([1, 10], {"s1": [0.5, 0.1], "s2": [0.6, 0.2]})
+        assert "rounds" in text
+        assert "s1" in text and "s2" in text
+
+    def test_checkpoints_are_increasing_and_bounded(self):
+        points = checkpoints_for(1000, 10)
+        assert points[0] >= 1
+        assert points[-1] == 1000
+        assert points == sorted(points)
+        assert len(set(points)) == len(points)
+
+    def test_checkpoints_validation(self):
+        with pytest.raises(ValueError):
+            checkpoints_for(0)
+        with pytest.raises(ValueError):
+            checkpoints_for(10, 0)
+
+
+class TestFig4:
+    def test_small_fig4_run(self):
+        results = run_fig4(dimensions=(1, 5), rounds=150, owner_count=40, seed=1)
+        assert set(results) == {1, 5}
+        for dimension, result in results.items():
+            assert result.rounds == 150
+            assert set(result.cumulative_regret) == {
+                "pure version",
+                "with uncertainty",
+                "with reserve price",
+                "with reserve price and uncertainty",
+            }
+            for series in result.cumulative_regret.values():
+                assert len(series) == len(result.checkpoints)
+                assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+            assert "reserve price reduces" in result.format()
+
+
+class TestTable1:
+    def test_small_table1_run(self):
+        rows = run_table1(dimensions=(1, 5), rounds=150, owner_count=40, seed=1)
+        assert [row.dimension for row in rows] == [1, 5]
+        text = format_table1(rows)
+        assert "market value" in text
+        # The n = 1 row reproduces the paper's constants: value √2, reserve 1.
+        assert rows[0].market_value[0] == pytest.approx(np.sqrt(2.0), abs=0.05)
+        assert rows[0].reserve_price[0] == pytest.approx(1.0, abs=1e-6)
+
+
+class TestFig5:
+    def test_small_fig5a_run(self):
+        result = run_fig5a(dimension=6, rounds=1_500, owner_count=50, seed=2)
+        assert "risk-averse baseline" in result.final_ratio
+        assert result.reduction_vs_risk_averse() > 0.0
+        assert 0.0 <= min(result.final_ratio.values()) <= max(result.final_ratio.values()) <= 1.0
+
+    def test_small_fig5b_run(self):
+        result = run_fig5b(
+            listing_count=250,
+            reserve_log_ratios=(0.4, 0.8),
+            seed=3,
+            low_dimension_variant=None,
+        )
+        assert "pure version" in result.regret_ratio
+        assert "with reserve price (r=0.4)" in result.regret_ratio
+        assert set(result.risk_averse_ratio) == {0.4, 0.8}
+        # Posting a reserve closer to the value leaves less on the table.
+        assert result.risk_averse_ratio[0.8] < result.risk_averse_ratio[0.4]
+
+    def test_small_fig5c_run(self):
+        result = run_fig5c(impression_count=250, training_count=400, dimensions=(32,), seed=4)
+        assert "n=32 (sparse)" in result.regret_ratio
+        assert "n=32 (dense)" in result.regret_ratio
+        assert result.nonzero_weights["n=32 (dense)"] <= 32
+
+
+class TestOverhead:
+    def test_small_overhead_run(self):
+        reports = run_overhead(
+            noisy_query_rounds=100,
+            noisy_query_dimension=20,
+            listing_count=120,
+            impression_count=100,
+            impression_dimension=64,
+            owner_count=40,
+            include_polytope_ablation=False,
+            seed=5,
+        )
+        assert len(reports) == 4
+        text = format_overhead(reports)
+        assert "mean ms" in text
+        for report in reports:
+            assert report.mean_latency_ms >= 0.0
+            assert report.state_megabytes < 160.0
+
+    def test_polytope_ablation_is_slower(self):
+        reports = run_overhead(
+            noisy_query_rounds=80,
+            noisy_query_dimension=10,
+            listing_count=80,
+            impression_count=80,
+            impression_dimension=32,
+            owner_count=30,
+            include_polytope_ablation=True,
+            polytope_rounds=40,
+            seed=6,
+        )
+        polytope = [r for r in reports if "[polytope]" in r.version]
+        ellipsoid_small = [r for r in reports if "[polytope]" not in r.version and r.dimension <= 10]
+        assert polytope and ellipsoid_small
+        assert polytope[0].mean_latency_ms > ellipsoid_small[-1].mean_latency_ms
+
+
+class TestAdversarial:
+    def test_lemma8_shape(self):
+        results = run_adversarial_example(rounds=400)
+        assert set(results) == {"forbidden", "allowed"}
+        assert (
+            results["allowed"].cumulative_regret
+            > 5.0 * results["forbidden"].cumulative_regret
+        )
+        assert results["allowed"].width_along_second_axis_at_half_time > (
+            results["forbidden"].width_along_second_axis_at_half_time
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            run_adversarial_example(rounds=2)
+        with pytest.raises(ValueError):
+            run_adversarial_example(rounds=100, dimension=1)
+
+
+class TestScaling:
+    def test_horizon_scaling_is_sublinear(self):
+        results = run_horizon_scaling(horizons=(200, 800), dimension=8, owner_count=40, seed=7)
+        assert results[-1].cumulative_regret < 4.0 * results[0].cumulative_regret
+        assert "cumulative regret" in format_scaling(results)
+
+    def test_epsilon_ablation_runs(self):
+        results = run_epsilon_ablation(
+            epsilon_multipliers=(1.0, 8.0), dimension=8, rounds=300, owner_count=40, seed=8
+        )
+        assert len(results) == 2
+        assert format_scaling([]) == "(empty sweep)"

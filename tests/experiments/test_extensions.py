@@ -1,0 +1,117 @@
+"""Tests for the extension experiments (cold start, noise robustness, export, CLI)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cold_start import run_cold_start
+from repro.experiments.export import read_series_csv, write_json, write_rows_csv, write_series_csv
+from repro.experiments.noise_robustness import format_noise_robustness, run_noise_robustness
+
+
+class TestColdStart:
+    def test_reserve_helps_early(self):
+        result = run_cold_start(dimension=10, rounds=500, window=100, owner_count=60, seed=41)
+        assert (
+            result.early_regret_ratio["with reserve price"]
+            <= result.early_regret_ratio["pure version"] + 1e-9
+        )
+        assert result.reserve_cold_start_reduction_percent() >= 0.0
+        text = result.format()
+        assert "Cold start" in text
+        assert "reserve price reduces" in text
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            run_cold_start(dimension=5, rounds=100, window=0, owner_count=40)
+        with pytest.raises(ValueError):
+            run_cold_start(dimension=5, rounds=100, window=101, owner_count=40)
+
+
+class TestNoiseRobustness:
+    def test_buffer_keeps_theta(self):
+        results = run_noise_robustness(
+            sigmas=(0.0, 0.005), use_buffer=True, dimension=6, rounds=600, seed=43
+        )
+        assert len(results) == 2
+        assert all(result.theta_retained for result in results)
+        assert results[0].delta == 0.0
+        assert results[1].delta > 0.0
+        table = format_noise_robustness(results)
+        assert "theta retained" in table
+
+    def test_without_buffer_delta_is_zero(self):
+        results = run_noise_robustness(
+            sigmas=(0.01,), use_buffer=False, dimension=6, rounds=400, seed=44
+        )
+        assert results[0].delta == 0.0
+
+
+class TestExport:
+    def test_series_csv_roundtrip(self, tmp_path):
+        path = str(tmp_path / "series.csv")
+        checkpoints = [1, 10, 100]
+        series = {"a": [0.9, 0.5, 0.1], "b": [1.0, 0.8, 0.3]}
+        write_series_csv(path, checkpoints, series)
+        read_checkpoints, read_series = read_series_csv(path)
+        assert read_checkpoints == checkpoints
+        assert np.allclose(read_series["a"], series["a"])
+        assert np.allclose(read_series["b"], series["b"])
+
+    def test_rows_csv(self, tmp_path):
+        path = str(tmp_path / "sub" / "rows.csv")
+        write_rows_csv(path, ["x", "y"], [[1, 2], [3, 4]])
+        with open(path) as handle:
+            content = handle.read()
+        assert "x,y" in content
+        assert "3,4" in content
+
+    def test_json(self, tmp_path):
+        path = str(tmp_path / "payload.json")
+        write_json(path, {"value": 1.5, "nested": {"rounds": 10}})
+        import json
+
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["nested"]["rounds"] == 10
+
+
+class TestCommandLine:
+    def test_parser_knows_all_commands(self):
+        from repro.__main__ import build_parser
+
+        parser = build_parser()
+        for command in (
+            ["fig4"],
+            ["fig5a"],
+            ["fig5b"],
+            ["fig5c"],
+            ["table1"],
+            ["overhead"],
+            ["lemma8"],
+            ["cold-start"],
+            ["noise-robustness"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0].replace("_", "-") or args.command == command[0]
+
+    def test_lemma8_command_runs(self, capsys):
+        from repro.__main__ import main
+
+        exit_code = main(["lemma8", "--rounds", "200"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "conservative cuts" in captured.out
+
+    def test_cold_start_command_runs(self, capsys):
+        from repro.__main__ import main
+
+        exit_code = main(["cold-start", "--dimension", "6", "--rounds", "300", "--window", "50"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Cold start" in captured.out
+
+    def test_missing_command_is_an_error(self):
+        from repro.__main__ import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,114 @@
+"""Unit tests for categorical encoding and the listings featurizer."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.listings import generate_listings
+from repro.exceptions import LearningError
+from repro.learning.encoding import CategoricalEncoder, InteractionExpander, ListingFeaturizer
+
+
+class TestCategoricalEncoder:
+    def test_codes_assigned_in_first_seen_order(self):
+        encoder = CategoricalEncoder().fit(["b", "a", "b", "c"])
+        assert encoder.categories == ["b", "a", "c"]
+        assert np.allclose(encoder.transform(["a", "b", "c"]), [1.0, 0.0, 2.0])
+
+    def test_unknown_and_missing_values_encode_to_minus_one(self):
+        encoder = CategoricalEncoder().fit(["x", "y"])
+        assert np.allclose(encoder.transform(["z", None, "nan", "x"]), [-1.0, -1.0, -1.0, 0.0])
+
+    def test_cardinality(self):
+        encoder = CategoricalEncoder().fit(["a", "a", "b"])
+        assert encoder.cardinality == 2
+
+    def test_fit_transform(self):
+        encoder = CategoricalEncoder()
+        codes = encoder.fit_transform(["p", "q", "p"])
+        assert np.allclose(codes, [0.0, 1.0, 0.0])
+
+
+class TestInteractionExpander:
+    def test_appends_products(self):
+        matrix = np.array([[1.0, 2.0, 3.0], [0.5, 4.0, 2.0]])
+        expanded = InteractionExpander([(0, 1), (1, 2)]).transform(matrix)
+        assert expanded.shape == (2, 5)
+        assert np.allclose(expanded[:, 3], matrix[:, 0] * matrix[:, 1])
+        assert np.allclose(expanded[:, 4], matrix[:, 1] * matrix[:, 2])
+
+    def test_no_pairs_is_identity(self):
+        matrix = np.ones((3, 2))
+        assert np.array_equal(InteractionExpander([]).transform(matrix), matrix)
+
+    def test_out_of_range_pair_rejected(self):
+        with pytest.raises(LearningError):
+            InteractionExpander([(0, 5)]).transform(np.ones((2, 3)))
+
+    def test_requires_2d(self):
+        with pytest.raises(LearningError):
+            InteractionExpander([(0, 0)]).transform(np.ones(3))
+
+
+class TestListingFeaturizer:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_listings(count=300, seed=11)
+
+    def test_default_dimension_is_55(self, dataset):
+        featurizer = ListingFeaturizer()
+        matrix = featurizer.fit_transform(dataset)
+        assert matrix.shape == (300, 55)
+        assert featurizer.dimension == 55
+
+    def test_intercept_column_is_one(self, dataset):
+        matrix = ListingFeaturizer().fit_transform(dataset)
+        assert np.allclose(matrix[:, 0], 1.0)
+
+    def test_minmax_scaling_bounds_features(self, dataset):
+        matrix = ListingFeaturizer().fit_transform(dataset)
+        assert np.min(matrix) >= -1e-9
+        assert np.max(matrix) <= 1.0 + 1e-9
+
+    def test_standardise_scaling(self, dataset):
+        matrix = ListingFeaturizer(scaling="standardise").fit_transform(dataset)
+        means = matrix[:, 1:].mean(axis=0)
+        assert np.max(np.abs(means)) < 1e-8
+
+    def test_raw_scaling_keeps_counts(self, dataset):
+        matrix = ListingFeaturizer(scaling="none").fit_transform(dataset)
+        # number_of_reviews column keeps its raw (Poisson ~25) scale.
+        assert matrix.max() > 10.0
+
+    def test_without_amenities_smaller_base(self, dataset):
+        featurizer = ListingFeaturizer(target_dimension=20, include_amenities=False)
+        matrix = featurizer.fit_transform(dataset)
+        assert matrix.shape == (300, 20)
+
+    def test_target_dimension_below_base_width_rejected(self):
+        with pytest.raises(LearningError):
+            ListingFeaturizer(target_dimension=10)
+
+    def test_unknown_scaling_rejected(self):
+        with pytest.raises(LearningError):
+            ListingFeaturizer(scaling="robust")
+
+    def test_transform_before_fit_rejected(self, dataset):
+        with pytest.raises(LearningError):
+            ListingFeaturizer().transform(dataset)
+
+    def test_fit_on_empty_dataset_rejected(self):
+        from repro.datasets.listings import ListingsDataset
+
+        with pytest.raises(LearningError):
+            ListingFeaturizer().fit(ListingsDataset(listings=[]))
+
+    def test_transform_is_consistent_across_calls(self, dataset):
+        featurizer = ListingFeaturizer().fit(dataset)
+        first = featurizer.transform(dataset)
+        second = featurizer.transform(dataset)
+        assert np.array_equal(first, second)
+
+    def test_interactions_added_when_target_exceeds_base(self, dataset):
+        featurizer = ListingFeaturizer(target_dimension=60)
+        matrix = featurizer.fit_transform(dataset)
+        assert matrix.shape == (300, 60)

@@ -1,0 +1,82 @@
+"""Unit tests for FTRL-Proximal logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LearningError
+from repro.learning.ftrl import FTRLProximal
+from repro.learning.metrics import log_loss
+
+
+def _separable_dataset(rng, count=2000, dimension=10):
+    """Labels depend on the first three coordinates only."""
+    matrix = (rng.random((count, dimension)) < 0.3).astype(float)
+    logits = 2.0 * matrix[:, 0] - 2.0 * matrix[:, 1] + 1.5 * matrix[:, 2] - 0.5
+    probabilities = 1.0 / (1.0 + np.exp(-logits))
+    labels = (rng.random(count) < probabilities).astype(float)
+    return matrix, labels
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(LearningError):
+            FTRLProximal(dimension=0)
+        with pytest.raises(LearningError):
+            FTRLProximal(dimension=3, alpha=0.0)
+        with pytest.raises(LearningError):
+            FTRLProximal(dimension=3, l1=-1.0)
+
+    def test_initial_weights_are_zero(self):
+        model = FTRLProximal(dimension=5)
+        assert np.allclose(model.weights, 0.0)
+        assert model.sparsity() == 0
+        assert model.predict_proba(np.ones(5)) == pytest.approx(0.5)
+
+
+class TestLearning:
+    def test_learns_signal(self, rng):
+        matrix, labels = _separable_dataset(rng)
+        model = FTRLProximal(dimension=10, l1=0.5)
+        model.fit(matrix, labels)
+        predictions = model.predict_proba_batch(matrix)
+        trained_loss = log_loss(labels, predictions)
+        baseline_loss = log_loss(labels, np.full_like(labels, labels.mean()))
+        assert trained_loss < baseline_loss
+
+    def test_l1_induces_sparsity(self, rng):
+        matrix, labels = _separable_dataset(rng)
+        weak = FTRLProximal(dimension=10, l1=0.01).fit(matrix, labels)
+        strong = FTRLProximal(dimension=10, l1=20.0).fit(matrix, labels)
+        assert strong.sparsity() <= weak.sparsity()
+
+    def test_update_returns_pre_update_probability(self, rng):
+        model = FTRLProximal(dimension=4)
+        probability = model.update(np.ones(4), 1.0)
+        assert probability == pytest.approx(0.5)
+
+    def test_signal_coordinates_have_largest_weights(self, rng):
+        matrix, labels = _separable_dataset(rng, count=4000)
+        model = FTRLProximal(dimension=10, l1=0.5).fit(matrix, labels, epochs=2)
+        weights = np.abs(model.weights)
+        informative = set(np.argsort(weights)[-3:])
+        assert informative & {0, 1, 2}
+
+    def test_label_validation(self):
+        model = FTRLProximal(dimension=2)
+        with pytest.raises(LearningError):
+            model.update(np.ones(2), 0.5)
+
+    def test_batch_shape_validation(self):
+        model = FTRLProximal(dimension=2)
+        with pytest.raises(LearningError):
+            model.predict_proba_batch(np.ones((3, 5)))
+        with pytest.raises(LearningError):
+            model.fit(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(LearningError):
+            model.fit(np.ones((3, 2)), np.ones(3), epochs=0)
+
+    def test_deterministic_given_data_order(self, rng):
+        matrix, labels = _separable_dataset(rng, count=500)
+        a = FTRLProximal(dimension=10, l1=1.0).fit(matrix, labels)
+        b = FTRLProximal(dimension=10, l1=1.0).fit(matrix, labels)
+        assert np.allclose(a.weights, b.weights)

@@ -1,0 +1,67 @@
+"""Unit tests for the hashing-trick vectorizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import LearningError
+from repro.learning.hashing import HashingVectorizer, fnv1a_hash
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert fnv1a_hash("banner_pos=3") == fnv1a_hash("banner_pos=3")
+
+    def test_different_tokens_differ(self):
+        assert fnv1a_hash("a") != fnv1a_hash("b")
+
+    def test_64_bit_range(self):
+        assert 0 <= fnv1a_hash("some token") < 2**64
+
+
+class TestVectorizer:
+    def test_binary_one_hot(self):
+        vectorizer = HashingVectorizer(dimension=16)
+        vector = vectorizer.transform_tokens(["a", "b"])
+        assert vector.shape == (16,)
+        assert set(np.unique(vector)) <= {0.0, 1.0}
+        assert vector.sum() in (1.0, 2.0)  # collisions allowed
+
+    def test_counting_mode(self):
+        vectorizer = HashingVectorizer(dimension=4, binary=False)
+        vector = vectorizer.transform_tokens(["x", "x", "x"])
+        assert vector.sum() == pytest.approx(3.0)
+
+    def test_normalised_mode(self):
+        vectorizer = HashingVectorizer(dimension=32, normalise=True)
+        vector = vectorizer.transform_tokens(["a", "b", "c"])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_batch_transform(self):
+        vectorizer = HashingVectorizer(dimension=8)
+        matrix = vectorizer.transform([["a"], ["b"], ["a", "b"]])
+        assert matrix.shape == (3, 8)
+        assert np.allclose(matrix[0] + matrix[1], matrix[2])
+
+    def test_empty_batch(self):
+        vectorizer = HashingVectorizer(dimension=8)
+        assert vectorizer.transform([]).shape == (0, 8)
+
+    def test_same_token_same_slot(self):
+        vectorizer = HashingVectorizer(dimension=64)
+        assert vectorizer.slot("device=7") == vectorizer.slot("device=7")
+
+    def test_invalid_dimension(self):
+        with pytest.raises(LearningError):
+            HashingVectorizer(dimension=0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(tokens=st.lists(st.text(min_size=1, max_size=12), max_size=20), dimension=st.integers(2, 64))
+    def test_property_slots_in_range_and_stable(self, tokens, dimension):
+        vectorizer = HashingVectorizer(dimension=dimension)
+        vector_a = vectorizer.transform_tokens(tokens)
+        vector_b = vectorizer.transform_tokens(tokens)
+        assert np.array_equal(vector_a, vector_b)
+        assert vector_a.shape == (dimension,)
+        assert np.count_nonzero(vector_a) <= max(1, len(tokens)) if tokens else True

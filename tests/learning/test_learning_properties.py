@@ -1,0 +1,108 @@
+"""Property-based tests for the offline learning substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.learning.ftrl import FTRLProximal
+from repro.learning.linear_regression import LinearRegression
+from repro.learning.metrics import log_loss, mean_squared_error
+from repro.learning.pca import PCA
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+class TestOLSProperties:
+    @SETTINGS
+    @given(
+        coefficients=hnp.arrays(
+            dtype=float,
+            shape=4,
+            elements=st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+        ),
+        seed=st.integers(0, 10_000),
+    )
+    def test_noiseless_recovery(self, coefficients, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.standard_normal((60, 4))
+        targets = features @ coefficients
+        fit = LinearRegression(fit_intercept=False).fit(features, targets)
+        assert np.allclose(fit.coefficients, coefficients, atol=1e-6)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_residuals_orthogonal_to_features(self, seed):
+        rng = np.random.default_rng(seed)
+        features = rng.standard_normal((80, 3))
+        targets = rng.standard_normal(80)
+        fit = LinearRegression(fit_intercept=False).fit(features, targets)
+        residuals = targets - fit.predict(features)
+        assert np.allclose(features.T @ residuals, 0.0, atol=1e-6)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), ridge=st.floats(min_value=0.0, max_value=10.0))
+    def test_ols_beats_or_matches_mean_predictor(self, seed, ridge):
+        rng = np.random.default_rng(seed)
+        features = rng.standard_normal((60, 3))
+        targets = features @ np.array([1.0, -1.0, 0.5]) + rng.normal(0, 0.5, 60)
+        fit = LinearRegression(fit_intercept=True, ridge=ridge).fit(features, targets)
+        model_mse = mean_squared_error(targets, fit.predict(features))
+        mean_mse = mean_squared_error(targets, np.full_like(targets, targets.mean()))
+        assert model_mse <= mean_mse + 1e-9
+
+
+class TestFTRLProperties:
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000), l1=st.floats(min_value=0.0, max_value=5.0))
+    def test_predictions_are_probabilities(self, seed, l1):
+        rng = np.random.default_rng(seed)
+        matrix = (rng.random((100, 8)) < 0.3).astype(float)
+        labels = (rng.random(100) < 0.3).astype(float)
+        model = FTRLProximal(dimension=8, l1=l1).fit(matrix, labels)
+        probabilities = model.predict_proba_batch(matrix)
+        assert np.all(probabilities >= 0.0)
+        assert np.all(probabilities <= 1.0)
+        assert np.isfinite(log_loss(labels, probabilities))
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_weights_stay_finite(self, seed):
+        rng = np.random.default_rng(seed)
+        model = FTRLProximal(dimension=5, l1=0.1)
+        for _ in range(200):
+            features = (rng.random(5) < 0.5).astype(float)
+            label = float(rng.random() < 0.5)
+            model.update(features, label)
+        assert np.all(np.isfinite(model.weights))
+
+
+class TestPCAProperties:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 10_000),
+        components=st.integers(min_value=1, max_value=4),
+    )
+    def test_projection_norm_never_exceeds_centred_norm(self, seed, components):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((50, 4))
+        pca = PCA(n_components=components).fit(data)
+        projected = pca.transform(data)
+        centred = data - data.mean(axis=0)
+        assert np.all(
+            np.linalg.norm(projected, axis=1) <= np.linalg.norm(centred, axis=1) + 1e-9
+        )
+
+    @SETTINGS
+    @given(seed=st.integers(0, 10_000))
+    def test_full_rank_projection_preserves_distances(self, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.standard_normal((30, 3))
+        pca = PCA(n_components=3).fit(data)
+        projected = pca.transform(data)
+        original_distance = np.linalg.norm(data[0] - data[1])
+        projected_distance = np.linalg.norm(projected[0] - projected[1])
+        assert projected_distance == pytest.approx(original_distance, rel=1e-9)

@@ -1,0 +1,104 @@
+"""Unit tests for the OLS / ridge regression substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LearningError
+from repro.learning.linear_regression import LinearRegression, train_test_split
+from repro.learning.metrics import mean_squared_error
+
+
+class TestFit:
+    def test_recovers_exact_linear_relation(self, rng):
+        features = rng.standard_normal((200, 4))
+        coefficients = np.array([1.0, -2.0, 0.5, 3.0])
+        targets = features @ coefficients + 0.7
+        model = LinearRegression().fit(features, targets)
+        assert np.allclose(model.coefficients, coefficients, atol=1e-8)
+        assert model.intercept == pytest.approx(0.7)
+
+    def test_without_intercept(self, rng):
+        features = rng.standard_normal((100, 3))
+        coefficients = np.array([2.0, 0.0, -1.0])
+        targets = features @ coefficients
+        model = LinearRegression(fit_intercept=False).fit(features, targets)
+        assert model.intercept == 0.0
+        assert np.allclose(model.coefficients, coefficients, atol=1e-8)
+
+    def test_ridge_shrinks_coefficients(self, rng):
+        features = rng.standard_normal((50, 3))
+        targets = features @ np.array([5.0, 5.0, 5.0])
+        plain = LinearRegression(fit_intercept=False).fit(features, targets)
+        ridged = LinearRegression(fit_intercept=False, ridge=100.0).fit(features, targets)
+        assert np.linalg.norm(ridged.coefficients) < np.linalg.norm(plain.coefficients)
+
+    def test_ridge_handles_collinear_columns(self, rng):
+        base = rng.standard_normal((80, 1))
+        features = np.hstack([base, base, rng.standard_normal((80, 1))])
+        targets = features @ np.array([1.0, 1.0, 0.5])
+        model = LinearRegression(fit_intercept=False, ridge=1e-6).fit(features, targets)
+        predictions = model.predict(features)
+        assert mean_squared_error(targets, predictions) < 1e-6
+
+    def test_prediction_on_noisy_data_beats_mean(self, rng):
+        features = rng.standard_normal((300, 5))
+        targets = features @ rng.standard_normal(5) + rng.normal(0, 0.1, size=300)
+        model = LinearRegression().fit(features, targets)
+        predictions = model.predict(features)
+        baseline = np.full_like(targets, targets.mean())
+        assert mean_squared_error(targets, predictions) < mean_squared_error(targets, baseline)
+
+    def test_weight_vector_with_intercept_first(self, rng):
+        features = rng.standard_normal((50, 2))
+        targets = features @ np.array([1.0, 2.0]) + 3.0
+        model = LinearRegression().fit(features, targets)
+        weights = model.weight_vector()
+        assert weights.shape == (3,)
+        assert weights[0] == pytest.approx(model.intercept)
+
+    def test_errors(self):
+        with pytest.raises(LearningError):
+            LinearRegression(ridge=-1.0)
+        with pytest.raises(LearningError):
+            LinearRegression().fit(np.ones((3, 2)), np.ones(4))
+        with pytest.raises(LearningError):
+            LinearRegression().fit(np.ones(3), np.ones(3))
+        with pytest.raises(LearningError):
+            LinearRegression().predict(np.ones((2, 2)))
+        model = LinearRegression().fit(np.ones((3, 2)), np.ones(3))
+        with pytest.raises(LearningError):
+            model.predict(np.ones((2, 5)))
+
+    def test_predict_single_row(self, rng):
+        features = rng.standard_normal((30, 3))
+        targets = features @ np.array([1.0, 1.0, 1.0])
+        model = LinearRegression(fit_intercept=False).fit(features, targets)
+        prediction = model.predict(np.array([1.0, 2.0, 3.0]))
+        assert prediction.shape == (1,)
+        assert prediction[0] == pytest.approx(6.0)
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self, rng):
+        features = rng.standard_normal((100, 3))
+        targets = rng.standard_normal(100)
+        train_x, test_x, train_y, test_y = train_test_split(features, targets, 0.2, seed=0)
+        assert train_x.shape == (80, 3)
+        assert test_x.shape == (20, 3)
+        assert train_y.shape == (80,)
+        assert test_y.shape == (20,)
+
+    def test_split_is_a_partition(self, rng):
+        features = np.arange(50, dtype=float).reshape(50, 1)
+        targets = np.arange(50, dtype=float)
+        train_x, test_x, _, _ = train_test_split(features, targets, 0.3, seed=1)
+        combined = np.sort(np.concatenate([train_x.ravel(), test_x.ravel()]))
+        assert np.allclose(combined, np.arange(50))
+
+    def test_invalid_fraction_rejected(self, rng):
+        features = rng.standard_normal((10, 2))
+        targets = rng.standard_normal(10)
+        with pytest.raises(LearningError):
+            train_test_split(features, targets, 0.0)
+        with pytest.raises(LearningError):
+            train_test_split(features, targets, 1.0)

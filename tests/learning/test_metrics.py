@@ -1,0 +1,54 @@
+"""Unit tests for the learning metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learning.metrics import accuracy, log_loss, mean_squared_error, r2_score
+
+
+class TestMSE:
+    def test_zero_for_perfect_predictions(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(Exception):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+
+class TestR2:
+    def test_perfect_fit(self):
+        assert r2_score([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_mean_prediction_scores_zero(self):
+        targets = [1.0, 2.0, 3.0]
+        assert r2_score(targets, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_constant_targets(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+
+class TestLogLoss:
+    def test_confident_correct_predictions_score_low(self):
+        assert log_loss([1.0, 0.0], [0.99, 0.01]) < 0.05
+
+    def test_uninformative_predictions_score_log2(self):
+        assert log_loss([1.0, 0.0], [0.5, 0.5]) == pytest.approx(np.log(2.0))
+
+    def test_clipping_avoids_infinity(self):
+        assert np.isfinite(log_loss([1.0], [0.0]))
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            log_loss([0.5], [0.5])
+
+
+class TestAccuracy:
+    def test_thresholding(self):
+        assert accuracy([1.0, 0.0, 1.0], [0.9, 0.2, 0.4]) == pytest.approx(2.0 / 3.0)
+
+    def test_custom_threshold(self):
+        assert accuracy([1.0], [0.4], threshold=0.3) == 1.0

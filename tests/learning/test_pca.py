@@ -1,0 +1,61 @@
+"""Unit tests for the PCA implementation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import LearningError
+from repro.learning.pca import PCA
+
+
+class TestPCA:
+    def test_recovers_dominant_direction(self, rng):
+        direction = np.array([3.0, 4.0]) / 5.0
+        data = np.outer(rng.standard_normal(500), direction) + 0.01 * rng.standard_normal((500, 2))
+        pca = PCA(n_components=1).fit(data)
+        learned = pca.components_[0]
+        assert abs(abs(learned @ direction) - 1.0) < 1e-3
+
+    def test_transform_shape(self, rng):
+        data = rng.standard_normal((100, 6))
+        projected = PCA(n_components=3).fit_transform(data)
+        assert projected.shape == (100, 3)
+
+    def test_single_vector_transform(self, rng):
+        data = rng.standard_normal((50, 4))
+        pca = PCA(n_components=2).fit(data)
+        projected = pca.transform(data[0])
+        assert projected.shape == (2,)
+
+    def test_reconstruction_error_decreases_with_components(self, rng):
+        data = rng.standard_normal((200, 8)) @ np.diag([5, 4, 3, 2, 1, 0.5, 0.2, 0.1])
+        errors = []
+        for k in (1, 4, 8):
+            pca = PCA(n_components=k).fit(data)
+            reconstructed = pca.inverse_transform(pca.transform(data))
+            errors.append(float(np.mean((data - reconstructed) ** 2)))
+        assert errors[0] > errors[1] > errors[2]
+        assert errors[2] == pytest.approx(0.0, abs=1e-18)
+
+    def test_components_are_orthonormal(self, rng):
+        data = rng.standard_normal((100, 5))
+        pca = PCA(n_components=3).fit(data)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_explained_variance_ratio_sums_below_one(self, rng):
+        data = rng.standard_normal((100, 5))
+        pca = PCA(n_components=2).fit(data)
+        ratios = pca.explained_variance_ratio(data)
+        assert np.all(ratios >= 0)
+        assert ratios.sum() <= 1.0 + 1e-9
+
+    def test_errors(self, rng):
+        with pytest.raises(LearningError):
+            PCA(n_components=0)
+        with pytest.raises(LearningError):
+            PCA(n_components=3).fit(rng.standard_normal((2, 2)))
+        with pytest.raises(LearningError):
+            PCA(n_components=2).transform(rng.standard_normal((3, 2)))
+        pca = PCA(n_components=2).fit(rng.standard_normal((10, 4)))
+        with pytest.raises(LearningError):
+            pca.transform(rng.standard_normal((3, 7)))

@@ -1,0 +1,84 @@
+"""Integration-style tests for the data broker."""
+
+import numpy as np
+import pytest
+
+from repro.core.pricing import PricerConfig, make_pricer
+from repro.market.broker import DataBroker
+from repro.market.consumers import FixedValuationConsumer, ThresholdConsumer
+from repro.market.features import CompensationFeatureExtractor
+from repro.market.owners import OwnerPopulation
+from repro.market.queries import QueryGenerator
+
+
+@pytest.fixture
+def broker():
+    owners = OwnerPopulation.from_records(np.linspace(1.0, 4.0, 50), seed=0)
+    dimension = 6
+    pricer = make_pricer(
+        dimension=dimension,
+        radius=2.0 * np.sqrt(dimension),
+        epsilon=0.05,
+        use_reserve=True,
+    )
+    extractor = CompensationFeatureExtractor(dimension=dimension)
+    return DataBroker(owners, pricer, extractor, seed=1)
+
+
+class TestPrepareQuery:
+    def test_prepare_query_returns_consistent_pieces(self, broker):
+        query = QueryGenerator(owner_count=50, seed=2).generate()
+        compensations, extraction, reserve = broker.prepare_query(query)
+        assert compensations.shape == (50,)
+        assert np.all(compensations >= 0)
+        assert extraction.features.shape == (6,)
+        assert reserve == pytest.approx(float(np.sum(extraction.features)))
+
+
+class TestTrade:
+    def test_sold_trade_flows_money(self, broker):
+        query = QueryGenerator(owner_count=50, seed=3).generate()
+        consumer = FixedValuationConsumer(10.0)  # accepts any reasonable price
+        record = broker.trade(query, consumer)
+        assert record.sold
+        assert record.revenue == pytest.approx(record.posted_price)
+        assert record.total_compensation_paid == pytest.approx(record.reserve_price)
+        assert record.noisy_answer is not None
+        assert record.profit == pytest.approx(record.revenue - record.reserve_price)
+
+    def test_unsold_trade_flows_nothing(self, broker):
+        query = QueryGenerator(owner_count=50, seed=4).generate()
+        consumer = FixedValuationConsumer(-1.0)  # rejects every price
+        record = broker.trade(query, consumer)
+        assert not record.sold
+        assert record.revenue == 0.0
+        assert record.total_compensation_paid == 0.0
+        assert record.noisy_answer is None
+
+    def test_cumulative_accounting(self, broker):
+        generator = QueryGenerator(owner_count=50, seed=5)
+        rng = np.random.default_rng(6)
+        weights = np.abs(rng.standard_normal(6))
+        weights *= np.sqrt(12) / np.linalg.norm(weights)
+        consumer = ThresholdConsumer(lambda features: float(features @ weights))
+        for _ in range(20):
+            broker.trade(generator.generate(), consumer)
+        assert len(broker.trades) == 20
+        assert broker.sale_count == sum(1 for t in broker.trades if t.sold)
+        assert broker.cumulative_revenue == pytest.approx(
+            sum(t.revenue for t in broker.trades)
+        )
+        assert broker.cumulative_profit == pytest.approx(
+            sum(t.profit for t in broker.trades)
+        )
+        # The broker never sells below the reserve, so profit is non-negative.
+        assert broker.cumulative_profit >= -1e-9
+
+    def test_pricer_learns_through_broker(self, broker):
+        """The broker's pricer refines its knowledge set from trade feedback."""
+        generator = QueryGenerator(owner_count=50, seed=7)
+        consumer = FixedValuationConsumer(5.0)
+        initial_volume = broker.pricer.knowledge.volume()
+        for _ in range(10):
+            broker.trade(generator.generate(), consumer)
+        assert broker.pricer.knowledge.volume() < initial_volume

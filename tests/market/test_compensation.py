@@ -1,0 +1,57 @@
+"""Unit tests for compensation contracts."""
+
+import math
+
+import pytest
+
+from repro.market.compensation import (
+    CappedLinearCompensation,
+    LinearCompensation,
+    TanhCompensation,
+)
+
+
+class TestTanhCompensation:
+    def test_zero_leakage_zero_compensation(self):
+        assert TanhCompensation(base_rate=2.0).compensation(0.0) == 0.0
+
+    def test_saturates_at_base_rate(self):
+        contract = TanhCompensation(base_rate=2.0, sensitivity=1.0)
+        assert contract.compensation(100.0) == pytest.approx(2.0, abs=1e-6)
+
+    def test_matches_tanh_formula(self):
+        contract = TanhCompensation(base_rate=3.0, sensitivity=0.5)
+        assert contract.compensation(2.0) == pytest.approx(3.0 * math.tanh(1.0))
+
+    def test_monotone_in_leakage(self):
+        contract = TanhCompensation(base_rate=1.0)
+        values = [contract.compensation(eps) for eps in (0.0, 0.5, 1.0, 2.0, 5.0)]
+        assert values == sorted(values)
+
+    def test_rejects_negative_leakage(self):
+        with pytest.raises(ValueError):
+            TanhCompensation(base_rate=1.0).compensation(-0.1)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(ValueError):
+            TanhCompensation(base_rate=1.0, sensitivity=0.0)
+
+
+class TestLinearCompensation:
+    def test_linear_in_leakage(self):
+        contract = LinearCompensation(rate=2.5)
+        assert contract.compensation(2.0) == pytest.approx(5.0)
+
+    def test_zero_rate_allowed(self):
+        assert LinearCompensation(rate=0.0).compensation(3.0) == 0.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            LinearCompensation(rate=-1.0)
+
+
+class TestCappedLinearCompensation:
+    def test_caps_large_leakage(self):
+        contract = CappedLinearCompensation(rate=1.0, cap=2.0)
+        assert contract.compensation(10.0) == pytest.approx(2.0)
+        assert contract.compensation(1.0) == pytest.approx(1.0)

@@ -1,0 +1,39 @@
+"""Unit tests for data consumer behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.market.consumers import FixedValuationConsumer, ThresholdConsumer
+
+
+class TestThresholdConsumer:
+    def test_accepts_price_below_valuation(self):
+        consumer = ThresholdConsumer(lambda x: float(np.sum(x)))
+        assert consumer.accepts(np.array([1.0, 2.0]), 2.5)
+        assert not consumer.accepts(np.array([1.0, 2.0]), 3.5)
+
+    def test_boundary_price_accepted(self):
+        consumer = ThresholdConsumer(lambda x: 2.0)
+        assert consumer.accepts(np.zeros(1), 2.0)
+
+    def test_noisy_valuation_varies(self):
+        consumer = ThresholdConsumer(lambda x: 1.0, noise_sigma=0.5, seed=0)
+        valuations = {consumer.valuation(np.zeros(1)) for _ in range(5)}
+        assert len(valuations) > 1
+
+    def test_negative_noise_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ThresholdConsumer(lambda x: 1.0, noise_sigma=-1.0)
+
+    def test_non_finite_price_rejected(self):
+        consumer = ThresholdConsumer(lambda x: 1.0)
+        with pytest.raises(ValueError):
+            consumer.accepts(np.zeros(1), float("inf"))
+
+
+class TestFixedValuationConsumer:
+    def test_constant_valuation(self):
+        consumer = FixedValuationConsumer(3.0)
+        assert consumer.valuation(np.array([1.0])) == pytest.approx(3.0)
+        assert consumer.accepts(np.array([99.0]), 2.0)
+        assert not consumer.accepts(np.array([99.0]), 4.0)

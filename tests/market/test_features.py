@@ -1,0 +1,120 @@
+"""Unit tests (incl. property tests) for the compensation feature construction."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.market.features import CompensationFeatureExtractor
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+compensation_lists = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=60
+)
+
+
+class TestAggregation:
+    def test_single_partition_is_total(self):
+        extractor = CompensationFeatureExtractor(dimension=1, normalise=False)
+        extraction = extractor.extract([1.0, 2.0, 3.0])
+        assert extraction.features[0] == pytest.approx(6.0)
+        assert extraction.total_compensation == pytest.approx(6.0)
+
+    def test_one_partition_per_owner(self):
+        extractor = CompensationFeatureExtractor(dimension=3, normalise=False)
+        extraction = extractor.extract([3.0, 1.0, 2.0])
+        # Sorted descending, one owner per feature.
+        assert np.allclose(extraction.features, [3.0, 2.0, 1.0])
+
+    def test_padding_when_fewer_owners_than_features(self):
+        extractor = CompensationFeatureExtractor(dimension=5, normalise=False)
+        extraction = extractor.extract([2.0, 1.0])
+        assert np.allclose(extraction.features, [2.0, 1.0, 0.0, 0.0, 0.0])
+
+    def test_partition_sums_preserve_total(self):
+        extractor = CompensationFeatureExtractor(dimension=4, normalise=False)
+        compensations = np.arange(1.0, 11.0)
+        extraction = extractor.extract(compensations)
+        assert np.sum(extraction.features) == pytest.approx(np.sum(compensations))
+
+    def test_ascending_option(self):
+        extractor = CompensationFeatureExtractor(dimension=2, normalise=False, descending=False)
+        extraction = extractor.extract([5.0, 1.0, 2.0, 4.0])
+        assert extraction.features[0] <= extraction.features[1]
+
+    def test_negative_compensation_rejected(self):
+        with pytest.raises(ValueError):
+            CompensationFeatureExtractor(dimension=2).extract([1.0, -0.1])
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            CompensationFeatureExtractor(dimension=0)
+
+
+class TestNormalisationAndReserve:
+    def test_normalised_features_have_unit_norm(self):
+        extractor = CompensationFeatureExtractor(dimension=4)
+        extraction = extractor.extract(np.arange(1.0, 21.0))
+        assert np.linalg.norm(extraction.features) == pytest.approx(1.0)
+
+    def test_all_zero_compensations_stay_zero(self):
+        extractor = CompensationFeatureExtractor(dimension=3)
+        extraction = extractor.extract([0.0, 0.0])
+        assert np.allclose(extraction.features, 0.0)
+        assert extraction.scale == pytest.approx(1.0)
+
+    def test_reserve_price_in_normalised_scale_is_feature_sum(self):
+        extractor = CompensationFeatureExtractor(dimension=4)
+        extraction = extractor.extract(np.arange(1.0, 9.0))
+        reserve = extractor.reserve_price(extraction)
+        assert reserve == pytest.approx(float(np.sum(extraction.features)))
+
+    def test_reserve_price_raw_scale(self):
+        extractor = CompensationFeatureExtractor(dimension=4)
+        compensations = np.arange(1.0, 9.0)
+        extraction = extractor.extract(compensations)
+        reserve = extractor.reserve_price(extraction, use_normalised_scale=False)
+        assert reserve == pytest.approx(float(np.sum(compensations)))
+
+    def test_scale_times_features_recovers_partition_sums(self):
+        extractor = CompensationFeatureExtractor(dimension=3)
+        compensations = np.array([4.0, 2.0, 2.0, 1.0, 1.0, 0.5])
+        extraction = extractor.extract(compensations)
+        raw = extractor.aggregate(compensations)
+        assert np.allclose(extraction.features * extraction.scale, raw)
+
+
+class TestProperties:
+    @SETTINGS
+    @given(compensations=compensation_lists, dimension=st.integers(min_value=1, max_value=12))
+    def test_total_preserved_and_norm_bounded(self, compensations, dimension):
+        extractor = CompensationFeatureExtractor(dimension=dimension, normalise=False)
+        extraction = extractor.extract(compensations)
+        assert extraction.features.shape == (dimension,)
+        assert np.all(extraction.features >= 0.0)
+        assert np.sum(extraction.features) == pytest.approx(np.sum(compensations), rel=1e-9, abs=1e-9)
+
+    @SETTINGS
+    @given(compensations=compensation_lists, dimension=st.integers(min_value=1, max_value=12))
+    def test_normalised_norm_is_one_or_zero(self, compensations, dimension):
+        extractor = CompensationFeatureExtractor(dimension=dimension)
+        extraction = extractor.extract(compensations)
+        norm = np.linalg.norm(extraction.features)
+        # Totals so small that the norm underflows to zero are left unscaled.
+        if np.sum(compensations) > 1e-6:
+            assert norm == pytest.approx(1.0)
+        else:
+            assert norm <= 1.0 + 1e-9
+
+    @SETTINGS
+    @given(compensations=compensation_lists)
+    def test_reserve_never_exceeds_sqrt_n_in_normalised_scale(self, compensations):
+        """q = Σ x_i <= √n when ||x|| = 1 (Cauchy–Schwarz), the paper's S = 1 setting."""
+        dimension = 6
+        extractor = CompensationFeatureExtractor(dimension=dimension)
+        extraction = extractor.extract(compensations)
+        reserve = extractor.reserve_price(extraction)
+        assert reserve <= np.sqrt(dimension) + 1e-9

@@ -1,0 +1,96 @@
+"""Property-based tests for the data market substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.market.compensation import TanhCompensation
+from repro.market.features import CompensationFeatureExtractor
+from repro.market.privacy import laplace_privacy_leakage
+from repro.market.queries import NoisyLinearQuery
+
+SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+query_weights = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=30),
+    elements=st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+)
+noise_scales = st.floats(min_value=0.01, max_value=100.0, allow_nan=False, allow_infinity=False)
+leakages = st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+
+
+class TestPrivacyProperties:
+    @SETTINGS
+    @given(weights=query_weights, noise_scale=noise_scales)
+    def test_leakage_non_negative_and_scales_inversely_with_noise(self, weights, noise_scale):
+        leakage = laplace_privacy_leakage(weights, noise_scale)
+        assert np.all(leakage >= 0.0)
+        more_noise = laplace_privacy_leakage(weights, noise_scale * 10.0)
+        assert np.all(more_noise <= leakage + 1e-12)
+
+    @SETTINGS
+    @given(weights=query_weights, noise_scale=noise_scales)
+    def test_leakage_is_homogeneous_in_weights(self, weights, noise_scale):
+        base = laplace_privacy_leakage(weights, noise_scale)
+        doubled = laplace_privacy_leakage(2.0 * np.asarray(weights), noise_scale)
+        assert np.allclose(doubled, 2.0 * base)
+
+
+class TestCompensationProperties:
+    @SETTINGS
+    @given(
+        base_rate=st.floats(min_value=0.01, max_value=10.0),
+        first=leakages,
+        second=leakages,
+    )
+    def test_tanh_contract_is_monotone_and_bounded(self, base_rate, first, second):
+        contract = TanhCompensation(base_rate=base_rate)
+        low, high = min(first, second), max(first, second)
+        assert contract.compensation(low) <= contract.compensation(high) + 1e-12
+        assert 0.0 <= contract.compensation(high) <= base_rate + 1e-12
+
+
+class TestQueryProperties:
+    @SETTINGS
+    @given(weights=query_weights, noise_scale=noise_scales, seed=st.integers(0, 1_000))
+    def test_noisy_answer_centers_on_true_answer(self, weights, noise_scale, seed):
+        query = NoisyLinearQuery(weights=np.asarray(weights), noise_scale=noise_scale)
+        data = np.ones(query.owner_count)
+        rng = np.random.default_rng(seed)
+        noisy = np.array([query.noisy_answer(data, rng=rng) for _ in range(200)])
+        true_answer = query.true_answer(data)
+        # Laplace noise is zero-mean; the empirical mean stays within a few
+        # standard errors of the true answer.
+        standard_error = noise_scale * np.sqrt(2.0) / np.sqrt(200)
+        assert abs(np.mean(noisy) - true_answer) < 6.0 * standard_error + 1e-9
+
+
+class TestFeaturePipelineProperties:
+    @SETTINGS
+    @given(
+        weights=query_weights,
+        noise_scale=noise_scales,
+        dimension=st.integers(min_value=1, max_value=8),
+        base_rate=st.floats(min_value=0.1, max_value=5.0),
+    )
+    def test_full_pipeline_produces_valid_pricer_inputs(
+        self, weights, noise_scale, dimension, base_rate
+    ):
+        """Leakage → compensation → features never produces invalid pricer inputs."""
+        leakage = laplace_privacy_leakage(weights, noise_scale)
+        contract = TanhCompensation(base_rate=base_rate)
+        compensations = np.array([contract.compensation(float(l)) for l in leakage])
+        extractor = CompensationFeatureExtractor(dimension=dimension)
+        extraction = extractor.extract(compensations)
+        reserve = extractor.reserve_price(extraction)
+        assert extraction.features.shape == (dimension,)
+        assert np.all(np.isfinite(extraction.features))
+        assert np.all(extraction.features >= 0.0)
+        assert np.isfinite(reserve)
+        assert reserve >= 0.0
+        assert np.linalg.norm(extraction.features) <= 1.0 + 1e-9

@@ -1,0 +1,79 @@
+"""Unit tests for data owners and the owner population."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.market.compensation import LinearCompensation, TanhCompensation
+from repro.market.owners import DataOwner, OwnerPopulation
+
+
+class TestDataOwner:
+    def test_compensation_uses_contract(self):
+        owner = DataOwner(owner_id=0, data=3.5, contract=LinearCompensation(2.0))
+        assert owner.compensation_for(1.5) == pytest.approx(3.0)
+
+
+class TestOwnerPopulation:
+    def test_from_records_generates_tanh_contracts(self):
+        population = OwnerPopulation.from_records([1.0, 2.0, 3.0], seed=0)
+        assert len(population) == 3
+        for owner in population:
+            assert isinstance(owner.contract, TanhCompensation)
+
+    def test_data_vector(self):
+        population = OwnerPopulation.from_records([1.0, 2.0, 3.0], seed=0)
+        assert np.allclose(population.data_vector, [1.0, 2.0, 3.0])
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(DatasetError):
+            OwnerPopulation([])
+        with pytest.raises(DatasetError):
+            OwnerPopulation.from_records([])
+
+    def test_explicit_contracts_respected(self):
+        contracts = [LinearCompensation(1.0), LinearCompensation(2.0)]
+        population = OwnerPopulation.from_records([0.0, 0.0], contracts=contracts)
+        compensations = population.compensations([1.0, 1.0])
+        assert np.allclose(compensations, [1.0, 2.0])
+
+    def test_contract_count_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            OwnerPopulation.from_records([1.0, 2.0], contracts=[LinearCompensation(1.0)])
+
+    def test_base_rates_respected(self):
+        population = OwnerPopulation.from_records([0.0, 0.0], base_rates=[1.0, 5.0])
+        large_leak = population.compensations([50.0, 50.0])
+        assert large_leak[0] == pytest.approx(1.0, abs=1e-6)
+        assert large_leak[1] == pytest.approx(5.0, abs=1e-6)
+
+    def test_compensations_shape_checked(self):
+        population = OwnerPopulation.from_records([1.0, 2.0], seed=0)
+        with pytest.raises(DatasetError):
+            population.compensations([1.0])
+
+    def test_negative_leakage_rejected(self):
+        population = OwnerPopulation.from_records([1.0, 2.0], seed=0)
+        with pytest.raises(DatasetError):
+            population.compensations([1.0, -1.0])
+
+    def test_vectorised_path_matches_scalar_path(self):
+        """The tanh fast path must agree with per-owner contract evaluation."""
+        base_rates = [0.5, 1.5, 2.5]
+        population = OwnerPopulation.from_records([0.0, 0.0, 0.0], base_rates=base_rates)
+        leakages = np.array([0.3, 1.2, 4.0])
+        fast = population.compensations(leakages)
+        slow = np.array(
+            [owner.compensation_for(leak) for owner, leak in zip(population, leakages)]
+        )
+        assert np.allclose(fast, slow)
+
+    def test_mixed_contracts_fall_back_to_scalar_path(self):
+        contracts = [TanhCompensation(1.0), LinearCompensation(2.0)]
+        population = OwnerPopulation.from_records([0.0, 0.0], contracts=contracts)
+        compensations = population.compensations([1.0, 1.0])
+        assert compensations[1] == pytest.approx(2.0)
+
+    def test_indexing(self):
+        population = OwnerPopulation.from_records([1.0, 2.0], seed=0)
+        assert population[1].data == pytest.approx(2.0)

@@ -1,0 +1,53 @@
+"""Unit tests for privacy leakage quantification."""
+
+import numpy as np
+import pytest
+
+from repro.market.privacy import LeakageQuantifier, laplace_privacy_leakage
+from repro.market.queries import NoisyLinearQuery
+
+
+class TestLaplaceLeakage:
+    def test_formula(self):
+        leakage = laplace_privacy_leakage([1.0, -2.0, 0.0], noise_scale=2.0)
+        assert np.allclose(leakage, [0.5, 1.0, 0.0])
+
+    def test_data_ranges_scale_leakage(self):
+        leakage = laplace_privacy_leakage([1.0, 1.0], noise_scale=1.0, data_ranges=[2.0, 0.5])
+        assert np.allclose(leakage, [2.0, 0.5])
+
+    def test_more_noise_means_less_leakage(self):
+        precise = laplace_privacy_leakage([1.0], noise_scale=0.1)
+        noisy = laplace_privacy_leakage([1.0], noise_scale=10.0)
+        assert precise[0] > noisy[0]
+
+    def test_rejects_zero_noise(self):
+        with pytest.raises(ValueError):
+            laplace_privacy_leakage([1.0], noise_scale=0.0)
+
+    def test_rejects_negative_ranges(self):
+        with pytest.raises(ValueError):
+            laplace_privacy_leakage([1.0], noise_scale=1.0, data_ranges=[-1.0])
+
+
+class TestLeakageQuantifier:
+    def test_cap_applied(self):
+        quantifier = LeakageQuantifier(leakage_cap=1.0)
+        query = NoisyLinearQuery(weights=np.array([5.0, 0.1]), noise_scale=0.01)
+        leakages = quantifier.leakages(query)
+        assert np.max(leakages) <= 1.0
+
+    def test_no_cap(self):
+        quantifier = LeakageQuantifier(leakage_cap=None)
+        query = NoisyLinearQuery(weights=np.array([5.0]), noise_scale=0.01)
+        assert quantifier.leakages(query)[0] == pytest.approx(500.0)
+
+    def test_data_ranges_dimension_checked(self):
+        quantifier = LeakageQuantifier(data_ranges=[1.0, 1.0])
+        query = NoisyLinearQuery(weights=np.array([1.0, 1.0, 1.0]), noise_scale=1.0)
+        with pytest.raises(ValueError):
+            quantifier.leakages(query)
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ValueError):
+            LeakageQuantifier(leakage_cap=0.0)

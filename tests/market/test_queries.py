@@ -1,0 +1,76 @@
+"""Unit tests for noisy linear queries and the query generator."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.market.queries import NoisyLinearQuery, QueryGenerator
+
+
+class TestNoisyLinearQuery:
+    def test_true_answer(self):
+        query = NoisyLinearQuery(weights=np.array([1.0, -1.0, 2.0]), noise_scale=1.0)
+        assert query.true_answer([1.0, 2.0, 3.0]) == pytest.approx(5.0)
+
+    def test_noisy_answer_differs_from_true(self):
+        query = NoisyLinearQuery(weights=np.array([1.0, 1.0]), noise_scale=10.0)
+        answers = {query.noisy_answer([1.0, 1.0], rng=seed) for seed in range(5)}
+        assert len(answers) > 1
+
+    def test_noise_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NoisyLinearQuery(weights=np.array([1.0]), noise_scale=0.0)
+
+    def test_owner_count(self):
+        assert NoisyLinearQuery(weights=np.ones(7), noise_scale=1.0).owner_count == 7
+
+    def test_data_dimension_checked(self):
+        query = NoisyLinearQuery(weights=np.ones(3), noise_scale=1.0)
+        with pytest.raises(Exception):
+            query.true_answer([1.0, 2.0])
+
+
+class TestQueryGenerator:
+    def test_generates_requested_owner_count(self):
+        generator = QueryGenerator(owner_count=12, seed=0)
+        query = generator.generate()
+        assert query.owner_count == 12
+
+    def test_noise_scale_on_grid(self):
+        generator = QueryGenerator(owner_count=5, max_noise_exponent=2, seed=0)
+        allowed = {10.0**k for k in range(-2, 3)}
+        for query in generator.stream(50):
+            assert query.noise_scale in allowed
+
+    def test_query_ids_sequential(self):
+        generator = QueryGenerator(owner_count=5, seed=0)
+        ids = [query.query_id for query in generator.stream(5)]
+        assert ids == [0, 1, 2, 3, 4]
+
+    def test_reproducible_with_seed(self):
+        first = [q.weights for q in QueryGenerator(owner_count=4, seed=3).stream(3)]
+        second = [q.weights for q in QueryGenerator(owner_count=4, seed=3).stream(3)]
+        for a, b in zip(first, second):
+            assert np.allclose(a, b)
+
+    def test_uniform_only_style(self):
+        generator = QueryGenerator(owner_count=100, weight_styles=("uniform",), seed=1)
+        for query in generator.stream(10):
+            assert np.max(np.abs(query.weights)) <= 1.0
+
+    def test_invalid_style_rejected(self):
+        with pytest.raises(DatasetError):
+            QueryGenerator(owner_count=5, weight_styles=("gamma",))
+
+    def test_empty_styles_rejected(self):
+        with pytest.raises(DatasetError):
+            QueryGenerator(owner_count=5, weight_styles=())
+
+    def test_invalid_owner_count_rejected(self):
+        with pytest.raises(DatasetError):
+            QueryGenerator(owner_count=0)
+
+    def test_negative_stream_count_rejected(self):
+        generator = QueryGenerator(owner_count=5, seed=0)
+        with pytest.raises(DatasetError):
+            list(generator.stream(-1))

@@ -1,0 +1,148 @@
+"""Unit tests for the shared utilities (rng, validation, timing, memory)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionMismatchError, InvalidPriceError
+from repro.utils.memory import PricerMemoryReport, ndarray_nbytes, process_rss_bytes, report_for_arrays
+from repro.utils.rng import as_rng, random_unit_vector, shuffled, spawn_rngs
+from repro.utils.timing import OnlineLatencyTracker, Stopwatch
+from repro.utils.validation import (
+    ensure_finite_array,
+    ensure_finite_scalar,
+    ensure_positive,
+    ensure_price,
+    ensure_probability,
+    ensure_square_matrix,
+    ensure_vector,
+)
+
+
+class TestRng:
+    def test_as_rng_accepts_seed_and_generator(self):
+        generator = as_rng(3)
+        assert isinstance(generator, np.random.Generator)
+        assert as_rng(generator) is generator
+
+    def test_same_seed_same_stream(self):
+        assert as_rng(5).integers(0, 100, 10).tolist() == as_rng(5).integers(0, 100, 10).tolist()
+
+    def test_spawn_rngs_are_independent(self):
+        children = spawn_rngs(7, 3)
+        assert len(children) == 3
+        draws = [child.integers(0, 1_000_000) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rngs_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_random_unit_vector(self):
+        vector = random_unit_vector(8, seed=0)
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            random_unit_vector(0)
+
+    def test_shuffled_preserves_elements(self):
+        items = list(range(20))
+        result = shuffled(items, seed=1)
+        assert sorted(result) == items
+
+
+class TestValidation:
+    def test_ensure_vector_checks_dimension(self):
+        vector = ensure_vector([1.0, 2.0], dimension=2)
+        assert vector.dtype == float
+        with pytest.raises(DimensionMismatchError):
+            ensure_vector([1.0, 2.0], dimension=3)
+        with pytest.raises(DimensionMismatchError):
+            ensure_vector([[1.0, 2.0]])
+
+    def test_ensure_vector_rejects_nan(self):
+        with pytest.raises(ValueError):
+            ensure_vector([1.0, float("nan")])
+
+    def test_ensure_finite(self):
+        assert ensure_finite_scalar(1.5) == 1.5
+        with pytest.raises(ValueError):
+            ensure_finite_scalar(float("inf"))
+        with pytest.raises(ValueError):
+            ensure_finite_array([1.0, float("inf")])
+
+    def test_ensure_positive(self):
+        assert ensure_positive(1.0) == 1.0
+        assert ensure_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            ensure_positive(0.0)
+        with pytest.raises(ValueError):
+            ensure_positive(-1.0, strict=False)
+
+    def test_ensure_probability(self):
+        assert ensure_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            ensure_probability(1.5)
+
+    def test_ensure_price(self):
+        assert ensure_price(2.0) == 2.0
+        with pytest.raises(InvalidPriceError):
+            ensure_price(-1.0)
+        with pytest.raises(InvalidPriceError):
+            ensure_price(float("nan"))
+
+    def test_ensure_square_matrix(self):
+        matrix = ensure_square_matrix(np.eye(3), dimension=3)
+        assert matrix.shape == (3, 3)
+        with pytest.raises(DimensionMismatchError):
+            ensure_square_matrix(np.ones((2, 3)))
+        with pytest.raises(DimensionMismatchError):
+            ensure_square_matrix(np.eye(3), dimension=2)
+
+
+class TestTiming:
+    def test_stopwatch_measures_elapsed(self):
+        with Stopwatch() as stopwatch:
+            sum(range(10_000))
+        assert stopwatch.elapsed >= 0.0
+
+    def test_latency_tracker_statistics(self):
+        tracker = OnlineLatencyTracker()
+        for value in (0.001, 0.002, 0.003):
+            tracker.record(value)
+        assert tracker.count == 3
+        assert tracker.mean_milliseconds == pytest.approx(2.0)
+        assert tracker.max_milliseconds == pytest.approx(3.0)
+        assert tracker.percentile_milliseconds(50) == pytest.approx(2.0)
+
+    def test_latency_tracker_empty(self):
+        tracker = OnlineLatencyTracker()
+        assert tracker.mean_milliseconds == 0.0
+        assert tracker.max_milliseconds == 0.0
+        assert tracker.percentile_milliseconds(95) == 0.0
+
+    def test_latency_tracker_rejects_bad_input(self):
+        tracker = OnlineLatencyTracker()
+        with pytest.raises(ValueError):
+            tracker.record(-1.0)
+        tracker.record(0.5)
+        with pytest.raises(ValueError):
+            tracker.percentile_milliseconds(150)
+
+
+class TestMemory:
+    def test_ndarray_nbytes(self):
+        arrays = [np.zeros((10, 10)), np.zeros(5)]
+        assert ndarray_nbytes(arrays) == 10 * 10 * 8 + 5 * 8
+
+    def test_report_for_arrays(self):
+        report = report_for_arrays([np.zeros((100, 100))])
+        assert isinstance(report, PricerMemoryReport)
+        assert report.state_megabytes == pytest.approx(100 * 100 * 8 / (1024 * 1024))
+
+    def test_process_rss_readable_on_linux(self):
+        rss = process_rss_bytes()
+        if rss is not None:
+            assert rss > 1024 * 1024  # more than 1 MiB
+
+    def test_report_process_megabytes_none_safe(self):
+        report = PricerMemoryReport(state_bytes=1024, process_rss_bytes=None)
+        assert report.process_megabytes is None
