@@ -17,8 +17,10 @@ import numpy as np
 from repro.core.base import PostedPriceMechanism
 from repro.core.baselines import RiskAversePricer
 from repro.core.models import MarketValueModel
+from repro.core.noise import NoNoise
 from repro.core.pricing import make_pricer
-from repro.core.simulation import MarketSimulator, QueryArrival, SimulationResult
+from repro.core.simulation import QueryArrival, SimulationResult
+from repro.engine import ArrivalBatch, MarketScenario, RunMatrix
 
 #: The four algorithm versions evaluated throughout Section V, keyed by the
 #: names used in the paper's figures.
@@ -77,6 +79,27 @@ class AppEnvironment:
         """Number of arrivals in the environment."""
         return len(self.arrivals)
 
+    def arrival_batch(self) -> ArrivalBatch:
+        """The arrivals as a columnar :class:`~repro.engine.ArrivalBatch`.
+
+        Built once and cached; arrivals without a pre-drawn noise value get
+        δ_t = 0, matching the legacy simulator's no-noise default.
+        """
+        batch = getattr(self, "_batch", None)
+        if batch is None:
+            batch = ArrivalBatch.from_arrivals(self.arrivals).with_noise(NoNoise())
+            self._batch = batch
+        return batch
+
+    def as_scenario(self, name: Optional[str] = None) -> MarketScenario:
+        """Wrap this environment as a run-matrix :class:`MarketScenario`."""
+        return MarketScenario(
+            name=name or self.name,
+            model=self.model,
+            batch=self.arrival_batch(),
+            context=self,
+        )
+
 
 def build_pricer_for_version(
     environment: AppEnvironment,
@@ -106,6 +129,38 @@ def build_pricer_for_version(
     )
 
 
+class VersionPricerFactory:
+    """Run-matrix pricer factory for one of the paper's algorithm versions.
+
+    A picklable callable (so it survives process-pool forks) that builds a
+    fresh pricer for the scenario's originating :class:`AppEnvironment`.
+    """
+
+    def __init__(
+        self,
+        version: str,
+        allow_conservative_cuts: bool = False,
+        knowledge: str = "ellipsoid",
+    ) -> None:
+        self.version = version
+        self.allow_conservative_cuts = allow_conservative_cuts
+        self.knowledge = knowledge
+
+    def __call__(self, scenario: MarketScenario) -> PostedPriceMechanism:
+        environment = scenario.context
+        if not isinstance(environment, AppEnvironment):
+            raise TypeError(
+                "VersionPricerFactory requires scenarios built from an "
+                "AppEnvironment, got context %r" % type(environment).__name__
+            )
+        return build_pricer_for_version(
+            environment,
+            self.version,
+            allow_conservative_cuts=self.allow_conservative_cuts,
+            knowledge=self.knowledge,
+        )
+
+
 def run_versions(
     environment: AppEnvironment,
     versions: Sequence[str] = ALGORITHM_VERSIONS,
@@ -113,31 +168,38 @@ def run_versions(
     track_latency: bool = False,
     allow_conservative_cuts: bool = False,
     knowledge: str = "ellipsoid",
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> Dict[str, SimulationResult]:
     """Simulate the requested algorithm versions over one environment.
 
     Every version replays exactly the same arrival sequence (queries, reserve
     prices, and noise realisation), which is the comparison protocol of the
-    paper's Fig. 4 / Fig. 5.
+    paper's Fig. 4 / Fig. 5.  The versions are one-scenario cells of a
+    :class:`~repro.engine.RunMatrix`: the arrivals are materialised once and
+    the cells fan out across workers when the workload warrants it
+    (``executor="auto"``).
     """
     names = list(versions)
     if include_risk_averse:
         names.append(RISK_AVERSE)
-    results: Dict[str, SimulationResult] = {}
+    # Tolerate duplicates (e.g. the baseline both listed and requested via
+    # include_risk_averse) — each version runs once, keyed by name.
+    names = list(dict.fromkeys(names))
+    matrix = RunMatrix()
+    matrix.add_scenario(environment.name, environment.as_scenario())
     for version in names:
-        pricer = build_pricer_for_version(
-            environment,
+        matrix.add_pricer(
             version,
-            allow_conservative_cuts=allow_conservative_cuts,
-            knowledge=knowledge,
+            VersionPricerFactory(
+                version,
+                allow_conservative_cuts=allow_conservative_cuts,
+                knowledge=knowledge,
+            ),
         )
-        simulator = MarketSimulator(
-            model=environment.model, pricer=pricer, track_latency=track_latency
-        )
-        result = simulator.run(environment.arrivals)
-        result.pricer_name = version
-        results[version] = result
-    return results
+    matrix.add_cross()
+    grid = matrix.run(executor=executor, max_workers=max_workers, track_latency=track_latency)
+    return {version: grid.get(environment.name, version) for version in names}
 
 
 def scale_to_norm(vector: np.ndarray, norm: float) -> np.ndarray:

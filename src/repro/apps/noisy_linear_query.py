@@ -168,6 +168,11 @@ def build_noisy_query_environment(config: NoisyLinearQueryConfig) -> AppEnvironm
     )
 
 
+def build_noisy_query_scenario(config: NoisyLinearQueryConfig, name: Optional[str] = None):
+    """Materialise the environment and wrap it as a run-matrix scenario."""
+    return build_noisy_query_environment(config).as_scenario(name)
+
+
 def run_noisy_query_experiment(
     config: NoisyLinearQueryConfig,
     versions: Sequence[str] = ALGORITHM_VERSIONS,

@@ -42,6 +42,7 @@ from repro.core.noise import (
     UniformNoise,
     uncertainty_buffer,
 )
+from repro.core.base import BatchDecisions, PostedPriceMechanism
 from repro.core.pricing import EllipsoidPricer, PricerConfig, PricingDecision, make_pricer
 from repro.core.one_dim import OneDimensionalPricer
 from repro.core.baselines import (
@@ -53,12 +54,19 @@ from repro.core.baselines import (
 from repro.core.sgd_pricer import SGDContextualPricer
 from repro.core.regret import (
     RegretAccumulator,
+    batch_regrets,
     regret_ratio,
     single_round_regret,
     single_round_regret_curve,
     single_round_regret_without_reserve,
 )
-from repro.core.simulation import MarketSimulator, RoundOutcome, SimulationResult
+from repro.core.simulation import (
+    MarketSimulator,
+    QueryArrival,
+    RoundOutcome,
+    SimulationResult,
+    compare_pricers,
+)
 
 __all__ = [
     "Ellipsoid",
@@ -97,8 +105,13 @@ __all__ = [
     "single_round_regret_without_reserve",
     "single_round_regret_curve",
     "regret_ratio",
+    "batch_regrets",
+    "BatchDecisions",
+    "PostedPriceMechanism",
     "RegretAccumulator",
     "MarketSimulator",
+    "QueryArrival",
     "RoundOutcome",
     "SimulationResult",
+    "compare_pricers",
 ]

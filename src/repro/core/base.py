@@ -26,6 +26,41 @@ from repro.utils.memory import PricerMemoryReport, report_for_arrays
 
 
 @dataclass
+class BatchDecisions:
+    """Struct-of-arrays outcome of one :meth:`PostedPriceMechanism.propose_batch`.
+
+    The columnar analogue of a sequence of :class:`PricingDecision` objects,
+    restricted to the fields the simulation engine consumes.
+
+    Attributes
+    ----------
+    link_prices:
+        Posted link-space prices, shape ``(rounds,)``; ``NaN`` marks a skipped
+        round (no price posted).
+    exploratory:
+        Whether each price was the exploratory (midpoint-based) price.
+    skipped:
+        Whether the pricer declined to post in each round.
+    """
+
+    link_prices: np.ndarray
+    exploratory: np.ndarray
+    skipped: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.link_prices = np.asarray(self.link_prices, dtype=float)
+        self.exploratory = np.asarray(self.exploratory, dtype=bool)
+        self.skipped = np.asarray(self.skipped, dtype=bool)
+        if not (self.link_prices.shape == self.exploratory.shape == self.skipped.shape):
+            raise ValueError("BatchDecisions columns must share one shape")
+
+    @property
+    def rounds(self) -> int:
+        """Number of decided rounds."""
+        return self.link_prices.shape[0]
+
+
+@dataclass
 class PricingDecision:
     """The outcome of one call to :meth:`PostedPriceMechanism.propose`.
 
@@ -93,6 +128,75 @@ class PostedPriceMechanism(abc.ABC):
     @abc.abstractmethod
     def update(self, decision: PricingDecision, accepted: bool) -> None:
         """Incorporate the consumer's accept/reject feedback for ``decision``."""
+
+    # ------------------------------------------------------------------ #
+    # Batched protocol (optional fast paths; the engine falls back to a
+    # sequential propose/update loop when neither hook is provided).
+    # ------------------------------------------------------------------ #
+
+    #: Whether :meth:`propose_batch` is available.  Only pricers whose
+    #: proposals never depend on accept/reject feedback (the stateless
+    #: baselines) may set this — a feedback-dependent pricer cannot commit to
+    #: a whole horizon of prices up front.
+    supports_batch_propose: bool = False
+
+    def propose_batch(self, features: np.ndarray, reserves: np.ndarray) -> BatchDecisions:
+        """Propose prices for a whole horizon at once.
+
+        Parameters
+        ----------
+        features:
+            Link-space feature matrix ``φ(x_t)``, shape ``(rounds, n)``.
+        reserves:
+            Link-space reserve prices, shape ``(rounds,)``; ``NaN`` encodes
+            "no reserve this round" (the ``reserve=None`` case of
+            :meth:`propose`).
+
+        Must be element-wise identical to calling :meth:`propose` round by
+        round, and must advance :attr:`rounds_seen` by ``rounds``.
+        """
+        raise NotImplementedError(
+            "%s does not implement propose_batch" % type(self).__name__
+        )
+
+    def update_batch(self, decisions: BatchDecisions, accepted: np.ndarray) -> None:
+        """Incorporate a whole horizon of accept/reject feedback.
+
+        The default is a no-op, which is correct exactly for the stateless
+        pricers that set :attr:`supports_batch_propose`; learning pricers
+        either run through the engine's sequential fallback or provide
+        :meth:`run_batch`.
+        """
+
+    def run_batch(self, model, materialized, transcript) -> bool:
+        """Optionally run a whole horizon with a pricer-specific fast path.
+
+        Parameters
+        ----------
+        model:
+            The :class:`repro.core.models.MarketValueModel` of the market (the
+            feedback loop needs its ``link`` to translate link-space prices
+            into real posted prices).
+        materialized:
+            A :class:`repro.engine.arrivals.MaterializedArrivals` (duck-typed;
+            this module does not import the engine).
+        transcript:
+            A :class:`repro.engine.transcript.Transcript` whose decision
+            columns (``link_prices``, ``posted_prices``, ``sold``, ``skipped``,
+            ``exploratory``) the pricer must fill for every round.
+
+        Returns ``True`` when the pricer handled the run (the implementation
+        must then be element-wise identical to the sequential propose/update
+        loop, including internal counters), or ``False`` to request the
+        engine's generic loop fallback.
+        """
+        return False
+
+    def advance_rounds(self, count: int) -> None:
+        """Advance the internal round counter after a batched run."""
+        if count < 0:
+            raise ValueError("count must be non-negative, got %d" % count)
+        self._round_index += count
 
     def state_arrays(self) -> Tuple[np.ndarray, ...]:
         """Arrays making up the pricer's state (for memory accounting)."""

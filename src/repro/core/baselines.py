@@ -13,7 +13,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.core.base import PostedPriceMechanism, PricingDecision
+from repro.core.base import BatchDecisions, PostedPriceMechanism, PricingDecision
 from repro.utils.validation import ensure_finite_scalar, ensure_positive
 
 _NEGATIVE_INFINITY = float("-inf")
@@ -21,7 +21,15 @@ _POSITIVE_INFINITY = float("inf")
 
 
 class _StatelessPricer(PostedPriceMechanism):
-    """Common plumbing for baselines that never learn from feedback."""
+    """Common plumbing for baselines that never learn from feedback.
+
+    Stateless pricers are the fully vectorisable case of the batched engine
+    protocol: their proposals never depend on accept/reject feedback, so a
+    whole horizon of prices is computed in one array pass
+    (:meth:`propose_batch`) and the feedback hook stays the no-op default.
+    """
+
+    supports_batch_propose = True
 
     def update(self, decision: PricingDecision, accepted: bool) -> None:  # noqa: D401
         """Baselines ignore feedback."""
@@ -38,6 +46,17 @@ class _StatelessPricer(PostedPriceMechanism):
             exploratory=False,
             skipped=skipped,
             round_index=self._next_round(),
+        )
+
+    def _batch(self, prices: np.ndarray) -> BatchDecisions:
+        """Wrap a price column (``NaN`` = skip) and advance the round counter."""
+        prices = np.asarray(prices, dtype=float)
+        rounds = prices.shape[0]
+        self.advance_rounds(rounds)
+        return BatchDecisions(
+            link_prices=prices,
+            exploratory=np.zeros(rounds, dtype=bool),
+            skipped=np.isnan(prices),
         )
 
 
@@ -57,6 +76,14 @@ class RiskAversePricer(_StatelessPricer):
             raise ValueError("RiskAversePricer requires a reserve price each round")
         reserve = ensure_finite_scalar(reserve, name="reserve")
         return self._decision(features, reserve, reserve)
+
+    def propose_batch(self, features: np.ndarray, reserves: np.ndarray) -> BatchDecisions:
+        reserves = np.asarray(reserves, dtype=float)
+        if np.any(np.isnan(reserves)):
+            raise ValueError("RiskAversePricer requires a reserve price each round")
+        if not np.all(np.isfinite(reserves)):
+            raise ValueError("reserve must be finite")
+        return self._batch(reserves.copy())
 
 
 class OraclePricer(_StatelessPricer):
@@ -82,6 +109,19 @@ class OraclePricer(_StatelessPricer):
         price = value if reserve is None else max(float(reserve), value)
         return self._decision(features_arr, reserve, price)
 
+    def propose_batch(self, features: np.ndarray, reserves: np.ndarray) -> BatchDecisions:
+        features = np.asarray(features, dtype=float)
+        reserves = np.asarray(reserves, dtype=float)
+        # The value function is an arbitrary scalar callable; applying it per
+        # row keeps the values bit-identical to the sequential loop.
+        values = np.array(
+            [float(self._value_function(row)) for row in features], dtype=float
+        )
+        has_reserve = ~np.isnan(reserves)
+        prices = np.where(has_reserve, np.maximum(reserves, values), values)
+        prices[has_reserve & (reserves > values)] = np.nan
+        return self._batch(prices)
+
 
 class FixedPricePricer(_StatelessPricer):
     """Posts the same constant price in every round (respecting the reserve)."""
@@ -96,6 +136,14 @@ class FixedPricePricer(_StatelessPricer):
         if reserve is not None:
             price = max(price, ensure_finite_scalar(reserve, name="reserve"))
         return self._decision(features, reserve, price)
+
+    def propose_batch(self, features: np.ndarray, reserves: np.ndarray) -> BatchDecisions:
+        reserves = np.asarray(reserves, dtype=float)
+        has_reserve = ~np.isnan(reserves)
+        if np.any(~np.isfinite(reserves[has_reserve])):
+            raise ValueError("reserve must be finite")
+        prices = np.where(has_reserve, np.maximum(self.price, reserves), self.price)
+        return self._batch(prices)
 
 
 class ConstantMarkupPricer(_StatelessPricer):
@@ -116,3 +164,11 @@ class ConstantMarkupPricer(_StatelessPricer):
             raise ValueError("ConstantMarkupPricer requires a reserve price each round")
         reserve = ensure_finite_scalar(reserve, name="reserve")
         return self._decision(features, reserve, max(reserve, self.markup * reserve))
+
+    def propose_batch(self, features: np.ndarray, reserves: np.ndarray) -> BatchDecisions:
+        reserves = np.asarray(reserves, dtype=float)
+        if np.any(np.isnan(reserves)):
+            raise ValueError("ConstantMarkupPricer requires a reserve price each round")
+        if not np.all(np.isfinite(reserves)):
+            raise ValueError("reserve must be finite")
+        return self._batch(np.maximum(reserves, self.markup * reserves))

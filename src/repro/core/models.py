@@ -33,6 +33,11 @@ from repro.exceptions import ModelSpecificationError
 from repro.utils.validation import ensure_vector
 
 
+def _identity(value: float) -> float:
+    """Identity link ``g(z) = z`` (recognised by the engine's fast paths)."""
+    return value
+
+
 def _sigmoid(z: float) -> float:
     """Numerically stable logistic sigmoid."""
     if z >= 0:
@@ -82,6 +87,52 @@ class MarketValueModel(abc.ABC):
         """The deterministic market value ``g(φ(x)^T θ*)``."""
         return self.link(self.link_value(features))
 
+    # ------------------------------------------------------------------ #
+    # Batched application (columnar engine support)
+    # ------------------------------------------------------------------ #
+
+    #: Whether ``link`` is the identity map.  The engine's fast loops skip the
+    #: per-round ``link``/``link_inverse`` round-trips when this is set.
+    link_is_identity: bool = False
+
+    def feature_map_batch(self, features: np.ndarray) -> np.ndarray:
+        """Apply the feature map ``φ`` to a ``(rounds, raw_dim)`` matrix.
+
+        The default applies :meth:`feature_map` row by row, which guarantees
+        bit-identical results to the sequential loop for any subclass;
+        concrete models override it with vectorised implementations where the
+        vectorised arithmetic provably rounds identically.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(
+                "feature_map_batch expects a (rounds, dim) matrix, got shape %s"
+                % (features.shape,)
+            )
+        if features.shape[0] == 0:
+            return np.empty((0, self.weight_dimension))
+        return np.vstack([self.feature_map(row) for row in features])
+
+    def link_batch(self, z: np.ndarray) -> np.ndarray:
+        """Apply the link function ``g`` element-wise to an array.
+
+        ``NaN`` entries (skipped rounds) pass through untouched.  The default
+        calls the scalar :meth:`link` per element so results match the
+        sequential loop exactly; identity-link models return the input values
+        unchanged.
+        """
+        z = np.asarray(z, dtype=float)
+        if self.link_is_identity:
+            return z.copy()
+        out = np.full(z.shape, np.nan)
+        flat_in = z.ravel()
+        flat_out = out.ravel()
+        for index in range(flat_in.shape[0]):
+            value = flat_in[index]
+            if not math.isnan(value):
+                flat_out[index] = self.link(float(value))
+        return out
+
 
 class GeneralizedLinearMarketModel(MarketValueModel):
     """A concrete market value model with pluggable link and feature map.
@@ -110,6 +161,7 @@ class GeneralizedLinearMarketModel(MarketValueModel):
         self._link = link
         self._link_inverse = link_inverse
         self._feature_map = feature_map
+        self.link_is_identity = link is _identity
         self.name = name
 
     @property
@@ -127,6 +179,26 @@ class GeneralizedLinearMarketModel(MarketValueModel):
         else:
             mapped = np.asarray(self._feature_map(raw), dtype=float)
         return ensure_vector(mapped, dimension=self.weight_dimension, name="mapped features")
+
+    def feature_map_batch(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(
+                "feature_map_batch expects a (rounds, dim) matrix, got shape %s"
+                % (features.shape,)
+            )
+        if self._feature_map is None:
+            # Identity feature map: the stacked raw features *are* the mapped
+            # features (bit-identical to per-row application).
+            if features.shape[0] > 0 and features.shape[1] != self.weight_dimension:
+                raise ValueError(
+                    "mapped features must have dimension %d, got %d"
+                    % (self.weight_dimension, features.shape[1])
+                )
+            if not np.all(np.isfinite(features)):
+                raise ValueError("mapped features contains non-finite entries")
+            return features
+        return super().feature_map_batch(features)
 
     def link(self, z: float) -> float:
         return float(self._link(float(z)))
@@ -148,8 +220,8 @@ class LinearModel(GeneralizedLinearMarketModel):
     def __init__(self, theta) -> None:
         super().__init__(
             theta,
-            link=lambda z: z,
-            link_inverse=lambda v: v,
+            link=_identity,
+            link_inverse=_identity,
             feature_map=None,
             name="linear",
         )
@@ -231,8 +303,8 @@ class KernelizedModel(GeneralizedLinearMarketModel):
         self.bandwidth = float(bandwidth)
         super().__init__(
             theta,
-            link=lambda z: z,
-            link_inverse=lambda v: v,
+            link=_identity,
+            link_inverse=_identity,
             feature_map=self._kernel_features,
             name="kernelized",
         )
@@ -245,6 +317,26 @@ class KernelizedModel(GeneralizedLinearMarketModel):
                 % (self.anchors.shape[1], features.shape)
             )
         squared_distances = np.sum((self.anchors - features) ** 2, axis=1)
+        return np.exp(-squared_distances / (2.0 * self.bandwidth**2))
+
+    def feature_map_batch(self, features: np.ndarray) -> np.ndarray:
+        """Vectorised RBF features for a whole batch.
+
+        Element-wise ufunc arithmetic only (broadcast subtract, square,
+        last-axis pairwise sum, exp) — the same reduction order as the per-row
+        map, so the result is bit-identical to row-by-row application.
+        """
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2 or (features.shape[0] > 0 and features.shape[1] != self.anchors.shape[1]):
+            raise ModelSpecificationError(
+                "raw feature batch must have shape (rounds, %d), got %s"
+                % (self.anchors.shape[1], features.shape)
+            )
+        if features.shape[0] == 0:
+            return np.empty((0, self.anchors.shape[0]))
+        squared_distances = np.sum(
+            (features[:, None, :] - self.anchors[None, :, :]) ** 2, axis=2
+        )
         return np.exp(-squared_distances / (2.0 * self.bandwidth**2))
 
 

@@ -12,6 +12,7 @@ multi-dimensional Algorithms 1/2; only the knowledge-set update differs.
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Tuple
 
 import numpy as np
@@ -134,6 +135,83 @@ class OneDimensionalPricer(PostedPriceMechanism):
             changed = self.knowledge.cut(feature, decision.price + self.delta, keep="leq")
         if changed:
             self.cuts_applied += 1
+
+    # ------------------------------------------------------------------ #
+    # Columnar engine fast path
+    # ------------------------------------------------------------------ #
+
+    def run_batch(self, model, materialized, transcript) -> bool:
+        """Whole-horizon loop with the exact per-round arithmetic of
+        propose/update (interval bounds, bisection prices, interval cuts),
+        minus the per-round validation and decision allocation."""
+        features = materialized.mapped_features
+        if features.ndim != 2 or features.shape[1] != 1:
+            return False  # let the generic loop raise the usual shape error
+        if not np.all(np.isfinite(features)):
+            return False
+        knowledge = self.knowledge
+        use_reserve = self.use_reserve
+        delta = self.delta
+        epsilon = self.epsilon
+        allow_conservative_cuts = self.allow_conservative_cuts
+        link_reserves = materialized.link_reserves
+        market_values = materialized.market_values
+        identity_link = getattr(model, "link_is_identity", False)
+        link = model.link
+        link_prices = transcript.link_prices
+        posted_prices = transcript.posted_prices
+        sold_column = transcript.sold
+        skipped_column = transcript.skipped
+        exploratory_column = transcript.exploratory
+        isnan = math.isnan
+        rounds = features.shape[0]
+        skipped_rounds = exploratory_rounds = conservative_rounds = cuts_applied = 0
+        theta_lower, theta_upper = knowledge.lower, knowledge.upper
+        for index in range(rounds):
+            feature = float(features[index, 0])
+            # Inlined IntervalKnowledge.value_bounds (same expressions).
+            bound_a = feature * theta_lower
+            bound_b = feature * theta_upper
+            lower = min(bound_a, bound_b)
+            upper = max(bound_a, bound_b)
+            if use_reserve:
+                reserve = link_reserves[index]
+                effective_reserve = _NEGATIVE_INFINITY if isnan(reserve) else reserve
+            else:
+                effective_reserve = _NEGATIVE_INFINITY
+            if effective_reserve >= upper + delta:
+                skipped_rounds += 1
+                skipped_column[index] = True
+                continue
+            width = upper - lower
+            if width > epsilon:
+                price = max(effective_reserve, 0.5 * (lower + upper))
+                exploratory = True
+                exploratory_rounds += 1
+            else:
+                price = max(effective_reserve, lower - delta)
+                exploratory = False
+                conservative_rounds += 1
+            posted = price if identity_link else link(float(price))
+            accepted = posted <= market_values[index]
+            link_prices[index] = price
+            posted_prices[index] = posted
+            sold_column[index] = accepted
+            exploratory_column[index] = exploratory
+            if (exploratory or allow_conservative_cuts) and feature != 0.0:
+                if accepted:
+                    changed = knowledge.cut(feature, price - delta, keep="geq")
+                else:
+                    changed = knowledge.cut(feature, price + delta, keep="leq")
+                if changed:
+                    cuts_applied += 1
+                    theta_lower, theta_upper = knowledge.lower, knowledge.upper
+        self.skipped_rounds += skipped_rounds
+        self.exploratory_rounds += exploratory_rounds
+        self.conservative_rounds += conservative_rounds
+        self.cuts_applied += cuts_applied
+        self.advance_rounds(rounds)
+        return True
 
     # ------------------------------------------------------------------ #
 

@@ -225,6 +225,103 @@ class EllipsoidPricer(PostedPriceMechanism):
             self.cuts_applied += 1
 
     # ------------------------------------------------------------------ #
+    # Columnar engine fast path
+    # ------------------------------------------------------------------ #
+
+    def run_batch(self, model, materialized, transcript) -> bool:
+        """Run a whole horizon with the per-round arithmetic of propose/update.
+
+        The loop body performs exactly the floating-point operations of
+        :meth:`propose` (the support interval ``x^T c ± sqrt(x^T A x)``) and
+        :meth:`update` (the Löwner–John cut), in the same order — only the
+        per-round input validation and :class:`PricingDecision` allocation are
+        elided — so seeded transcripts are bit-identical to the sequential
+        loop.  Internal counters (`exploratory_rounds`, `cuts_applied`, ...)
+        are maintained exactly as in the sequential path.
+        """
+        config = self.config
+        features = materialized.mapped_features
+        if features.shape[1] != config.dimension:
+            return False  # let the generic loop raise the usual dimension error
+        if not np.all(np.isfinite(features)):
+            return False
+        knowledge = self.knowledge
+        fast_ellipsoid = isinstance(knowledge, EllipsoidKnowledge)
+        use_reserve = config.use_reserve
+        delta = config.delta
+        epsilon = config.epsilon
+        allow_conservative_cuts = config.allow_conservative_cuts
+        link_reserves = materialized.link_reserves
+        market_values = materialized.market_values
+        identity_link = getattr(model, "link_is_identity", False)
+        link = model.link
+        link_prices = transcript.link_prices
+        posted_prices = transcript.posted_prices
+        sold_column = transcript.sold
+        skipped_column = transcript.skipped
+        exploratory_column = transcript.exploratory
+        sqrt = math.sqrt
+        isnan = math.isnan
+        rounds = features.shape[0]
+        skipped_rounds = exploratory_rounds = conservative_rounds = cuts_applied = 0
+        if fast_ellipsoid:
+            ellipsoid = knowledge.ellipsoid
+            shape, center = ellipsoid.shape, ellipsoid.center
+        for index in range(rounds):
+            x = features[index]
+            if fast_ellipsoid:
+                # Inlined Ellipsoid.support_interval (same expressions).
+                gain = float(x @ shape @ x)
+                if gain < 0.0:
+                    gain = 0.0
+                half_width = sqrt(gain)
+                middle = float(x @ center)
+                lower = middle - half_width
+                upper = middle + half_width
+            else:
+                lower, upper = knowledge.value_bounds(x)
+            if use_reserve:
+                reserve = link_reserves[index]
+                effective_reserve = _NEGATIVE_INFINITY if isnan(reserve) else reserve
+            else:
+                effective_reserve = _NEGATIVE_INFINITY
+            if effective_reserve >= upper + delta:
+                skipped_rounds += 1
+                skipped_column[index] = True
+                continue
+            width = upper - lower
+            if width > epsilon:
+                price = max(effective_reserve, 0.5 * (lower + upper))
+                exploratory = True
+                exploratory_rounds += 1
+            else:
+                price = max(effective_reserve, lower - delta)
+                exploratory = False
+                conservative_rounds += 1
+            posted = price if identity_link else link(float(price))
+            accepted = posted <= market_values[index]
+            link_prices[index] = price
+            posted_prices[index] = posted
+            sold_column[index] = accepted
+            exploratory_column[index] = exploratory
+            if (exploratory or allow_conservative_cuts) and width > 1e-12:
+                if accepted:
+                    changed = knowledge.cut(x, price - delta, keep="geq")
+                else:
+                    changed = knowledge.cut(x, price + delta, keep="leq")
+                if changed:
+                    cuts_applied += 1
+                    if fast_ellipsoid:
+                        ellipsoid = knowledge.ellipsoid
+                        shape, center = ellipsoid.shape, ellipsoid.center
+        self.skipped_rounds += skipped_rounds
+        self.exploratory_rounds += exploratory_rounds
+        self.conservative_rounds += conservative_rounds
+        self.cuts_applied += cuts_applied
+        self.advance_rounds(rounds)
+        return True
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 

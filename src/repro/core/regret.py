@@ -75,6 +75,41 @@ def single_round_regret_curve(
     )
 
 
+def batch_regrets(
+    market_values: np.ndarray,
+    reserves: np.ndarray,
+    prices: np.ndarray,
+    sold: np.ndarray,
+) -> np.ndarray:
+    """Vectorised Equation (1) over a whole transcript.
+
+    Element-wise identical to calling :func:`single_round_regret` per round:
+
+    * ``reserves`` uses ``NaN`` for "no reserve constraint" and ``prices`` uses
+      ``NaN`` for "no price posted" (a skipped round, counted as a rejection),
+    * rounds where the reserve exceeds the market value contribute 0,
+    * sold rounds contribute ``v_t - p_t``; unsold rounds contribute ``v_t``.
+
+    The arithmetic per element (``market_value - price``) is the same scalar
+    subtraction the sequential loop performs, so seeded transcripts agree to
+    the last bit.
+    """
+    market_values = np.asarray(market_values, dtype=float)
+    reserves = np.asarray(reserves, dtype=float)
+    prices = np.asarray(prices, dtype=float)
+    sold = np.asarray(sold, dtype=bool)
+    if not (market_values.shape == reserves.shape == prices.shape == sold.shape):
+        raise ValueError(
+            "market_values, reserves, prices, and sold must share one shape, got %s/%s/%s/%s"
+            % (market_values.shape, reserves.shape, prices.shape, sold.shape)
+        )
+    # NaN prices only appear on unsold (skipped) rounds, where np.where picks
+    # the market value; the NaN in the discarded branch is harmless.
+    lost = np.where(sold, market_values - prices, market_values)
+    no_sale_possible = ~np.isnan(reserves) & (reserves > market_values)
+    return np.where(no_sale_possible, 0.0, lost)
+
+
 def regret_ratio(regrets: Sequence[float], market_values: Sequence[float]) -> float:
     """Cumulative regret divided by cumulative market value (Section V-A)."""
     regrets = np.asarray(regrets, dtype=float)
@@ -97,6 +132,20 @@ class RegretAccumulator:
     regrets: List[float] = field(default_factory=list)
     revenues: List[float] = field(default_factory=list)
     market_values: List[float] = field(default_factory=list)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        regrets: np.ndarray,
+        revenues: np.ndarray,
+        market_values: np.ndarray,
+    ) -> "RegretAccumulator":
+        """Build an accumulator from transcript columns (engine adapter)."""
+        return cls(
+            regrets=[float(r) for r in regrets],
+            revenues=[float(r) for r in revenues],
+            market_values=[float(v) for v in market_values],
+        )
 
     def record(self, market_value: float, reserve: Optional[float], price: Optional[float], sold: bool) -> float:
         """Record one round and return its regret."""

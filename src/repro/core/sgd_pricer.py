@@ -110,6 +110,66 @@ class SGDContextualPricer(PostedPriceMechanism):
             self.estimate = self.estimate * (self.radius / norm)
 
     # ------------------------------------------------------------------ #
+    # Columnar engine fast path
+    # ------------------------------------------------------------------ #
+
+    def run_batch(self, model, materialized, transcript) -> bool:
+        """Whole-horizon run for the weakly-stateful SGD pricer.
+
+        The price depends on the running estimate, which depends on feedback,
+        so the time loop itself cannot be collapsed — but the per-round
+        schedules (margin ``margin / t^{1/4}`` and step size
+        ``learning_rate / sqrt(t)``) are precomputed up front and the loop body
+        is reduced to the exact arithmetic of propose/update (one dot product,
+        one rank-one estimate update, one projection), with no decision-object
+        allocation or input re-validation.
+        """
+        features = materialized.mapped_features
+        if features.shape[1] != self.dimension:
+            return False  # let the generic loop raise the usual dimension error
+        if not np.all(np.isfinite(features)):
+            return False
+        link_reserves = materialized.link_reserves
+        market_values = materialized.market_values
+        identity_link = getattr(model, "link_is_identity", False)
+        link = model.link
+        link_prices = transcript.link_prices
+        posted_prices = transcript.posted_prices
+        sold_column = transcript.sold
+        exploratory_column = transcript.exploratory
+        rounds = features.shape[0]
+        start = self._round_index
+        # Same scalar expressions as propose/update, hoisted out of the loop.
+        margins = [self.margin / (start + t + 1) ** 0.25 for t in range(rounds)]
+        rates = [self.learning_rate / math.sqrt(start + t + 1) for t in range(rounds)]
+        use_reserve = self.use_reserve
+        radius = self.radius
+        isnan = math.isnan
+        estimate = self.estimate
+        for index in range(rounds):
+            x = features[index]
+            estimated_value = float(x @ estimate)
+            price = estimated_value - margins[index]
+            if use_reserve:
+                reserve = link_reserves[index]
+                if not isnan(reserve):
+                    price = max(price, reserve)
+            posted = price if identity_link else link(float(price))
+            accepted = posted <= market_values[index]
+            link_prices[index] = price
+            posted_prices[index] = posted
+            sold_column[index] = accepted
+            exploratory_column[index] = True
+            direction = 1.0 if accepted else -1.0
+            estimate = estimate + direction * rates[index] * x
+            norm = float(np.linalg.norm(estimate))
+            if norm > radius:
+                estimate = estimate * (radius / norm)
+        self.estimate = estimate
+        self.advance_rounds(rounds)
+        return True
+
+    # ------------------------------------------------------------------ #
 
     def state_arrays(self) -> Tuple[np.ndarray, ...]:
         return (self.estimate,)

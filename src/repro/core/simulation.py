@@ -1,4 +1,4 @@
-"""Online market simulation loop.
+"""Online market simulation (public API over the columnar engine).
 
 The simulator plays the repeated game of Section II-B between a posted price
 mechanism (the broker) and a stream of query arrivals (the consumers chosen by
@@ -14,140 +14,39 @@ the adversary):
 5. the pricer receives the accept/reject feedback and the regret of
    Equation (1) is recorded.
 
-All per-round information is kept in :class:`RoundOutcome` records so the
-experiment harness can regenerate every curve and table of the paper from a
-single simulation transcript.
+Since the columnar-engine refactor the per-round work is executed by
+:mod:`repro.engine`: arrivals are materialised once as struct-of-arrays
+columns, pricers run through batched fast paths where available, and the
+transcript is stored as preallocated NumPy columns.  :class:`QueryArrival` and
+:class:`RoundOutcome` remain the stable row-level API (re-exported here), and
+:class:`SimulationResult` exposes the same ``outcomes`` / ``accumulator`` /
+curve interface as before.  The original sequential loop is preserved in
+:mod:`repro.engine.reference` and pinned element-wise-identical by the
+equivalence tests.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
-
-import numpy as np
 
 from repro.core.base import PostedPriceMechanism
 from repro.core.models import MarketValueModel
 from repro.core.noise import NoNoise, SubGaussianNoise
-from repro.core.regret import RegretAccumulator
-from repro.exceptions import SimulationError
+from repro.engine.arrivals import ArrivalBatch, as_batch
+from repro.engine.records import QueryArrival, RoundOutcome
+from repro.engine.reference import simulate_reference
+from repro.engine.results import SimulationResult
+from repro.engine.runner import prepare, simulate
 from repro.utils.rng import RngLike, as_rng
-from repro.utils.timing import OnlineLatencyTracker
 
-
-@dataclass(frozen=True)
-class QueryArrival:
-    """One consumer arrival: a query's raw features, reserve price, and noise.
-
-    Attributes
-    ----------
-    features:
-        Raw feature vector of the query (before the model's feature map).
-    reserve_value:
-        Reserve price in *real* price space, or ``None`` when the scenario has
-        no reserve price (e.g. the impression application).
-    noise:
-        Optional pre-drawn link-space noise δ_t.  Pre-drawing the noise in the
-        arrival sequence lets several algorithm versions be compared on an
-        identical realization of the market (as in Fig. 4).
-    metadata:
-        Free-form extra information (query id, owner ids, ...).
-    """
-
-    features: np.ndarray
-    reserve_value: Optional[float] = None
-    noise: Optional[float] = None
-    metadata: dict = field(default_factory=dict)
-
-
-@dataclass
-class RoundOutcome:
-    """Everything that happened in one round of data trading."""
-
-    round_index: int
-    link_value: float
-    market_value: float
-    reserve_value: Optional[float]
-    posted_price: Optional[float]
-    link_price: Optional[float]
-    sold: bool
-    skipped: bool
-    exploratory: bool
-    regret: float
-    latency_seconds: float = 0.0
-
-
-@dataclass
-class SimulationResult:
-    """Transcript of a full simulation run."""
-
-    pricer_name: str
-    outcomes: List[RoundOutcome]
-    accumulator: RegretAccumulator
-    latency: OnlineLatencyTracker
-
-    @property
-    def rounds(self) -> int:
-        """Number of simulated rounds."""
-        return len(self.outcomes)
-
-    @property
-    def cumulative_regret(self) -> float:
-        """Total regret over the run."""
-        return self.accumulator.cumulative_regret
-
-    @property
-    def cumulative_revenue(self) -> float:
-        """Total broker revenue over the run."""
-        return self.accumulator.cumulative_revenue
-
-    @property
-    def regret_ratio(self) -> float:
-        """Final regret ratio (cumulative regret / cumulative market value)."""
-        return self.accumulator.ratio
-
-    def cumulative_regret_curve(self) -> np.ndarray:
-        """Cumulative regret after each round (Fig. 4 series)."""
-        return self.accumulator.cumulative_regret_curve()
-
-    def regret_ratio_curve(self) -> np.ndarray:
-        """Regret ratio after each round (Fig. 5 series)."""
-        return self.accumulator.regret_ratio_curve()
-
-    def sale_rate(self) -> float:
-        """Fraction of rounds in which a deal occurred."""
-        if not self.outcomes:
-            return 0.0
-        return sum(1 for o in self.outcomes if o.sold) / len(self.outcomes)
-
-    def summary_statistics(self) -> dict:
-        """Mean/standard deviation of per-round quantities (Table I columns)."""
-        market_values = np.array([o.market_value for o in self.outcomes], dtype=float)
-        reserves = np.array(
-            [o.reserve_value for o in self.outcomes if o.reserve_value is not None], dtype=float
-        )
-        posted = np.array(
-            [o.posted_price for o in self.outcomes if o.posted_price is not None], dtype=float
-        )
-        regrets = np.array([o.regret for o in self.outcomes], dtype=float)
-
-        def _mean_std(values: np.ndarray) -> tuple:
-            if values.size == 0:
-                return (0.0, 0.0)
-            return (float(np.mean(values)), float(np.std(values)))
-
-        return {
-            "rounds": self.rounds,
-            "market_value": _mean_std(market_values),
-            "reserve_price": _mean_std(reserves),
-            "posted_price": _mean_std(posted),
-            "regret": _mean_std(regrets),
-            "regret_ratio": self.regret_ratio,
-            "cumulative_regret": self.cumulative_regret,
-            "cumulative_revenue": self.cumulative_revenue,
-            "sale_rate": self.sale_rate(),
-        }
+__all__ = [
+    "ArrivalBatch",
+    "MarketSimulator",
+    "QueryArrival",
+    "RoundOutcome",
+    "SimulationResult",
+    "compare_pricers",
+]
 
 
 class MarketSimulator:
@@ -166,7 +65,9 @@ class MarketSimulator:
         Random source for on-the-fly noise sampling.
     track_latency:
         When true, the per-round wall-clock time spent inside the pricer is
-        recorded (the Section V-D latency measurement).
+        recorded (the Section V-D latency measurement); this forces the
+        sequential engine path, since batched strategies have no per-round
+        boundary to time.
     """
 
     def __init__(
@@ -184,94 +85,37 @@ class MarketSimulator:
         self.track_latency = bool(track_latency)
 
     def run(self, arrivals: Iterable[QueryArrival]) -> SimulationResult:
-        """Simulate the full sequence of arrivals and return the transcript."""
-        accumulator = RegretAccumulator()
-        latency = OnlineLatencyTracker()
-        outcomes: List[RoundOutcome] = []
+        """Simulate the full sequence of arrivals and return the transcript.
 
-        for round_index, arrival in enumerate(arrivals):
-            outcome = self._play_round(round_index, arrival, accumulator, latency)
-            outcomes.append(outcome)
-
-        return SimulationResult(
-            pricer_name=getattr(self.pricer, "name", type(self.pricer).__name__),
-            outcomes=outcomes,
-            accumulator=accumulator,
-            latency=latency,
+        ``arrivals`` may be a sequence of :class:`QueryArrival` objects or an
+        :class:`~repro.engine.arrivals.ArrivalBatch`.
+        """
+        return simulate(
+            self.model,
+            self.pricer,
+            arrivals=as_batch(arrivals),
+            noise=self.noise,
+            rng=self.rng,
+            track_latency=self.track_latency,
         )
 
-    # ------------------------------------------------------------------ #
-
-    def _play_round(
-        self,
-        round_index: int,
-        arrival: QueryArrival,
-        accumulator: RegretAccumulator,
-        latency: OnlineLatencyTracker,
-    ) -> RoundOutcome:
-        mapped_features = self.model.feature_map(arrival.features)
-        link_value = float(mapped_features @ self.model.theta)
-        noise_value = arrival.noise
-        if noise_value is None:
-            noise_value = float(self.noise.sample(self.rng))
-        market_value = self.model.link(link_value + noise_value)
-
-        reserve_value = arrival.reserve_value
-        link_reserve = None
-        if reserve_value is not None:
-            link_reserve = self.model.link_inverse(reserve_value)
-
-        start = time.perf_counter() if self.track_latency else 0.0
-        decision = self.pricer.propose(mapped_features, reserve=link_reserve)
-        elapsed_propose = (time.perf_counter() - start) if self.track_latency else 0.0
-
-        if decision.skipped or decision.price is None:
-            posted_price = None
-            link_price = None
-            sold = False
-        else:
-            link_price = float(decision.price)
-            posted_price = self.model.link(link_price)
-            sold = posted_price <= market_value
-
-        start = time.perf_counter() if self.track_latency else 0.0
-        self.pricer.update(decision, accepted=sold)
-        elapsed_update = (time.perf_counter() - start) if self.track_latency else 0.0
-
-        if self.track_latency:
-            latency.record(elapsed_propose + elapsed_update)
-
-        regret = accumulator.record(
-            market_value=market_value,
-            reserve=reserve_value,
-            price=posted_price,
-            sold=sold,
-        )
-
-        if not np.isfinite(regret):
-            raise SimulationError(
-                "non-finite regret %r in round %d; inconsistent market state" % (regret, round_index)
-            )
-
-        return RoundOutcome(
-            round_index=round_index,
-            link_value=link_value,
-            market_value=market_value,
-            reserve_value=reserve_value,
-            posted_price=posted_price,
-            link_price=link_price,
-            sold=sold,
-            skipped=decision.skipped,
-            exploratory=decision.exploratory,
-            regret=regret,
-            latency_seconds=(elapsed_propose + elapsed_update) if self.track_latency else 0.0,
+    def run_reference(self, arrivals: Iterable[QueryArrival]) -> SimulationResult:
+        """Run the legacy sequential loop (validation/debugging only)."""
+        batch = as_batch(arrivals)
+        return simulate_reference(
+            self.model,
+            self.pricer,
+            batch.to_arrivals(),
+            noise=self.noise,
+            rng=self.rng,
+            track_latency=self.track_latency,
         )
 
 
 def compare_pricers(
     model: MarketValueModel,
     pricers: Sequence[PostedPriceMechanism],
-    arrivals: Sequence[QueryArrival],
+    arrivals,
     noise: Optional[SubGaussianNoise] = None,
     rng: RngLike = None,
     track_latency: bool = False,
@@ -281,12 +125,20 @@ def compare_pricers(
     The arrivals are materialised once so every pricer faces exactly the same
     queries, reserve prices, and noise realization — the comparison protocol
     used for the four algorithm versions in Fig. 4 and Fig. 5.
+
+    Arrivals without a pre-drawn noise value have it drawn **once, up front**
+    from ``noise``/``rng`` and shared by every pricer.  (Before the columnar
+    engine, each pricer's run consumed the mutable ``rng`` independently, so
+    pricers silently faced *different* noise realizations despite the
+    same-market protocol.)
     """
-    materialised = list(arrivals)
-    results = []
-    for pricer in pricers:
-        simulator = MarketSimulator(
-            model=model, pricer=pricer, noise=noise, rng=rng, track_latency=track_latency
+    materialized = prepare(model, as_batch(arrivals), noise=noise, rng=rng)
+    return [
+        simulate(
+            model,
+            pricer,
+            materialized=materialized,
+            track_latency=track_latency,
         )
-        results.append(simulator.run(materialised))
-    return results
+        for pricer in pricers
+    ]

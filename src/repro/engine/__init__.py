@@ -1,0 +1,47 @@
+"""Columnar simulation engine.
+
+This package is the performance core of the repository: it materialises whole
+horizons of query arrivals as contiguous arrays (:mod:`repro.engine.arrivals`),
+records simulation transcripts as preallocated columns
+(:mod:`repro.engine.transcript`), drives pricers through batched or lean
+sequential strategies (:mod:`repro.engine.runner`), and fans
+(pricer × seed × scenario) experiment grids across workers
+(:mod:`repro.engine.runmatrix`).
+
+The engine is *provably transcript-identical* to the legacy sequential loop,
+which is preserved verbatim in :mod:`repro.engine.reference` and pinned by the
+equivalence test suite — see ``docs/architecture.md`` for the layering and the
+exactness contract.
+"""
+
+from repro.engine.arrivals import ArrivalBatch, MaterializedArrivals, as_batch, materialize
+from repro.engine.records import QueryArrival, RoundOutcome
+from repro.engine.reference import simulate_reference
+from repro.engine.results import SimulationResult
+from repro.engine.runmatrix import (
+    MarketScenario,
+    RunCell,
+    RunMatrix,
+    RunMatrixResult,
+)
+from repro.engine.runner import prepare, simulate
+from repro.engine.transcript import Transcript, TranscriptRows
+
+__all__ = [
+    "ArrivalBatch",
+    "MaterializedArrivals",
+    "MarketScenario",
+    "QueryArrival",
+    "RoundOutcome",
+    "RunCell",
+    "RunMatrix",
+    "RunMatrixResult",
+    "SimulationResult",
+    "Transcript",
+    "TranscriptRows",
+    "as_batch",
+    "materialize",
+    "prepare",
+    "simulate",
+    "simulate_reference",
+]

@@ -1,0 +1,62 @@
+"""Row-level records of the simulation engine.
+
+:class:`QueryArrival` is the object-level view of one consumer arrival and
+:class:`RoundOutcome` the object-level view of one simulated round.  The
+columnar engine stores full horizons as struct-of-arrays containers
+(:class:`repro.engine.arrivals.ArrivalBatch` and
+:class:`repro.engine.transcript.Transcript`); these dataclasses remain the
+stable row API — arrivals round-trip through the batch container and outcomes
+are materialised lazily from transcript columns.
+
+Both classes are re-exported from :mod:`repro.core.simulation` for backwards
+compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """One consumer arrival: a query's raw features, reserve price, and noise.
+
+    Attributes
+    ----------
+    features:
+        Raw feature vector of the query (before the model's feature map).
+    reserve_value:
+        Reserve price in *real* price space, or ``None`` when the scenario has
+        no reserve price (e.g. the impression application).
+    noise:
+        Optional pre-drawn link-space noise δ_t.  Pre-drawing the noise in the
+        arrival sequence lets several algorithm versions be compared on an
+        identical realization of the market (as in Fig. 4).
+    metadata:
+        Free-form extra information (query id, owner ids, ...).
+    """
+
+    features: np.ndarray
+    reserve_value: Optional[float] = None
+    noise: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass
+class RoundOutcome:
+    """Everything that happened in one round of data trading."""
+
+    round_index: int
+    link_value: float
+    market_value: float
+    reserve_value: Optional[float]
+    posted_price: Optional[float]
+    link_price: Optional[float]
+    sold: bool
+    skipped: bool
+    exploratory: bool
+    regret: float
+    latency_seconds: float = 0.0

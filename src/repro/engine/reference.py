@@ -1,0 +1,112 @@
+"""Reference sequential simulator (the legacy object-per-round loop).
+
+This is the original ``MarketSimulator._play_round`` inner loop, kept verbatim
+as the ground truth the columnar engine is validated against: it recomputes
+every model quantity scalar per round, drives the pricer through the
+object-level propose/update protocol, and accounts regret with the scalar
+:class:`~repro.core.regret.RegretAccumulator`.  The equivalence test suite
+asserts that :func:`repro.engine.runner.simulate` produces element-wise
+identical transcripts to this loop for every pricer and model.
+
+It is intentionally slow — use :func:`repro.engine.runner.simulate` (or
+:class:`repro.core.simulation.MarketSimulator`) everywhere else.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.noise import NoNoise
+from repro.core.regret import RegretAccumulator
+from repro.engine.records import QueryArrival
+from repro.engine.results import SimulationResult
+from repro.engine.transcript import Transcript
+from repro.exceptions import SimulationError
+from repro.utils.rng import RngLike, as_rng
+from repro.utils.timing import OnlineLatencyTracker
+
+
+def simulate_reference(
+    model,
+    pricer,
+    arrivals: Iterable[QueryArrival],
+    noise=None,
+    rng: RngLike = None,
+    track_latency: bool = False,
+) -> SimulationResult:
+    """Run the sequential reference loop and return a transcript-backed result."""
+    arrivals = list(arrivals)
+    noise_model = noise if noise is not None else NoNoise()
+    generator = as_rng(rng)
+    accumulator = RegretAccumulator()
+    latency = OnlineLatencyTracker()
+    transcript = Transcript(len(arrivals))
+
+    for round_index, arrival in enumerate(arrivals):
+        mapped_features = model.feature_map(arrival.features)
+        link_value = float(mapped_features @ model.theta)
+        noise_value = arrival.noise
+        if noise_value is None:
+            noise_value = float(noise_model.sample(generator))
+        market_value = model.link(link_value + noise_value)
+
+        reserve_value = arrival.reserve_value
+        link_reserve = None
+        if reserve_value is not None:
+            link_reserve = model.link_inverse(reserve_value)
+
+        start = time.perf_counter() if track_latency else 0.0
+        decision = pricer.propose(mapped_features, reserve=link_reserve)
+        elapsed_propose = (time.perf_counter() - start) if track_latency else 0.0
+
+        if decision.skipped or decision.price is None:
+            posted_price = None
+            link_price = None
+            sold = False
+        else:
+            link_price = float(decision.price)
+            posted_price = model.link(link_price)
+            sold = posted_price <= market_value
+
+        start = time.perf_counter() if track_latency else 0.0
+        pricer.update(decision, accepted=sold)
+        elapsed_update = (time.perf_counter() - start) if track_latency else 0.0
+
+        if track_latency:
+            elapsed = elapsed_propose + elapsed_update
+            latency.record(elapsed)
+            transcript.latency_seconds[round_index] = elapsed
+
+        regret = accumulator.record(
+            market_value=market_value,
+            reserve=reserve_value,
+            price=posted_price,
+            sold=sold,
+        )
+        if not np.isfinite(regret):
+            raise SimulationError(
+                "non-finite regret %r in round %d; inconsistent market state"
+                % (regret, round_index)
+            )
+
+        transcript.link_values[round_index] = link_value
+        transcript.market_values[round_index] = market_value
+        if reserve_value is not None:
+            transcript.reserve_values[round_index] = reserve_value
+        if link_price is not None:
+            transcript.link_prices[round_index] = link_price
+            transcript.posted_prices[round_index] = posted_price
+        transcript.sold[round_index] = sold
+        transcript.skipped[round_index] = decision.skipped
+        transcript.exploratory[round_index] = decision.exploratory
+        transcript.regrets[round_index] = regret
+
+    return SimulationResult(
+        pricer_name=getattr(pricer, "name", type(pricer).__name__),
+        transcript=transcript,
+        latency=latency,
+        _accumulator=accumulator,
+    )

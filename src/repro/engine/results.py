@@ -1,0 +1,108 @@
+"""Transcript-backed simulation results.
+
+:class:`SimulationResult` keeps the exact public API of the legacy
+object-per-round result (``outcomes``, ``accumulator``, the curve and summary
+methods) while storing everything in a columnar
+:class:`~repro.engine.transcript.Transcript`.  ``outcomes`` is a lazy row view
+and ``accumulator`` an adapter built on first access, so existing experiment
+and test code keeps working while the hot path stays allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.regret import RegretAccumulator
+from repro.engine.transcript import Transcript, TranscriptRows
+from repro.utils.timing import OnlineLatencyTracker
+
+
+@dataclass
+class SimulationResult:
+    """Transcript of a full simulation run."""
+
+    pricer_name: str
+    transcript: Transcript
+    latency: OnlineLatencyTracker = field(default_factory=OnlineLatencyTracker)
+    _accumulator: Optional[RegretAccumulator] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def outcomes(self) -> TranscriptRows:
+        """Lazy per-round :class:`~repro.engine.records.RoundOutcome` views."""
+        return self.transcript.rows()
+
+    @property
+    def accumulator(self) -> RegretAccumulator:
+        """Legacy accumulator adapter (built lazily from the columns)."""
+        if self._accumulator is None:
+            self._accumulator = RegretAccumulator.from_arrays(
+                self.transcript.regrets,
+                self.transcript.revenues,
+                self.transcript.market_values,
+            )
+        return self._accumulator
+
+    @property
+    def rounds(self) -> int:
+        """Number of simulated rounds."""
+        return self.transcript.rounds
+
+    @property
+    def cumulative_regret(self) -> float:
+        """Total regret over the run."""
+        return float(np.sum(self.transcript.regrets))
+
+    @property
+    def cumulative_revenue(self) -> float:
+        """Total broker revenue over the run."""
+        return float(np.sum(self.transcript.revenues))
+
+    @property
+    def regret_ratio(self) -> float:
+        """Final regret ratio (cumulative regret / cumulative market value)."""
+        total_value = float(np.sum(self.transcript.market_values))
+        if total_value <= 0.0:
+            return 0.0
+        return float(np.sum(self.transcript.regrets)) / total_value
+
+    def cumulative_regret_curve(self) -> np.ndarray:
+        """Cumulative regret after each round (Fig. 4 series)."""
+        return self.transcript.cumulative_regret_curve()
+
+    def regret_ratio_curve(self) -> np.ndarray:
+        """Regret ratio after each round (Fig. 5 series)."""
+        return self.transcript.regret_ratio_curve()
+
+    def sale_rate(self) -> float:
+        """Fraction of rounds in which a deal occurred."""
+        if self.rounds == 0:
+            return 0.0
+        return float(np.count_nonzero(self.transcript.sold)) / self.rounds
+
+    def summary_statistics(self) -> dict:
+        """Mean/standard deviation of per-round quantities (Table I columns)."""
+        transcript = self.transcript
+        reserves = transcript.reserve_values[~np.isnan(transcript.reserve_values)]
+        posted = transcript.posted_prices[~np.isnan(transcript.posted_prices)]
+
+        def _mean_std(values: np.ndarray) -> tuple:
+            if values.size == 0:
+                return (0.0, 0.0)
+            return (float(np.mean(values)), float(np.std(values)))
+
+        return {
+            "rounds": self.rounds,
+            "market_value": _mean_std(transcript.market_values),
+            "reserve_price": _mean_std(reserves),
+            "posted_price": _mean_std(posted),
+            "regret": _mean_std(transcript.regrets),
+            "regret_ratio": self.regret_ratio,
+            "cumulative_regret": self.cumulative_regret,
+            "cumulative_revenue": self.cumulative_revenue,
+            "sale_rate": self.sale_rate(),
+        }

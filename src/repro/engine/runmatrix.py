@@ -1,0 +1,358 @@
+"""Run-matrix executor: fan (pricer × seed × scenario) cells across workers.
+
+Every figure and table of the paper is a grid of independent simulation cells
+— one market scenario (environment + seed) replayed by one pricer.  The
+:class:`RunMatrix` executor materialises each scenario's arrivals **once** and
+fans the cells across workers:
+
+* ``serial`` — run in the calling process (the default on single-core hosts),
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; useful when
+  the per-cell work is dominated by BLAS calls that release the GIL,
+* ``process`` — a fork-based :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Scenarios are built and materialised in the parent before the fork, so the
+  (read-only) arrival arrays are shared with every worker through
+  copy-on-write; only the scenario/pricer keys cross the pipe going in and the
+  columnar results coming back.
+* ``auto`` — ``process`` when more than one CPU is available and the platform
+  supports ``fork``, otherwise ``serial``.
+
+Seeds live in the scenario: a seed sweep registers one scenario per seed (see
+:meth:`RunMatrix.add_scenario_sweep`), which keeps a cell fully described by
+the ``(scenario, pricer)`` key pair.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.arrivals import ArrivalBatch, MaterializedArrivals, as_batch, materialize
+from repro.engine.results import SimulationResult
+from repro.engine.runner import simulate
+
+
+@dataclass
+class MarketScenario:
+    """One fully-specified market: a model plus a (noise-resolved) arrival batch.
+
+    ``context`` carries arbitrary caller data (e.g. the originating
+    :class:`~repro.apps.common.AppEnvironment`) so pricer factories can read
+    hyper-parameters like the knowledge-ball radius or ε.
+    """
+
+    name: str
+    model: Any
+    batch: ArrivalBatch
+    context: Any = None
+
+    def __post_init__(self) -> None:
+        self.batch = as_batch(self.batch)
+        if self.batch.has_missing_noise:
+            raise ValueError(
+                "scenario %r has arrivals with undrawn noise; resolve it with "
+                "ArrivalBatch.with_noise() so every cell replays the same market"
+                % self.name
+            )
+
+
+ScenarioBuilder = Callable[[], MarketScenario]
+PricerFactory = Callable[[MarketScenario], Any]
+
+
+@dataclass(frozen=True)
+class RunCell:
+    """One cell of the run matrix: a scenario replayed by a pricer."""
+
+    scenario: str
+    pricer: str
+
+
+class RunMatrixResult:
+    """Results of a run-matrix execution, keyed by ``(scenario, pricer)``."""
+
+    def __init__(self, results: Dict[RunCell, SimulationResult]) -> None:
+        self._results = results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __iter__(self):
+        return iter(self._results.items())
+
+    def get(self, scenario: str, pricer: str) -> SimulationResult:
+        """The result of one cell."""
+        return self._results[RunCell(scenario=scenario, pricer=pricer)]
+
+    def by_scenario(self, scenario: str) -> Dict[str, SimulationResult]:
+        """All results of one scenario, keyed by pricer name."""
+        return {
+            cell.pricer: result
+            for cell, result in self._results.items()
+            if cell.scenario == scenario
+        }
+
+    def by_pricer(self, pricer: str) -> Dict[str, SimulationResult]:
+        """All results of one pricer, keyed by scenario name."""
+        return {
+            cell.scenario: result
+            for cell, result in self._results.items()
+            if cell.pricer == pricer
+        }
+
+
+class RunMatrix:
+    """Declarative (pricer × seed × scenario) experiment grid.
+
+    Example
+    -------
+    >>> matrix = RunMatrix()
+    >>> matrix.add_scenario("n=20", lambda: build_scenario(dimension=20))
+    ... # doctest: +SKIP
+    >>> matrix.add_pricer("pure version", lambda s: make_pricer(...))
+    ... # doctest: +SKIP
+    >>> results = matrix.run(executor="auto")  # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._scenario_builders: Dict[str, ScenarioBuilder] = {}
+        self._pricer_factories: Dict[str, PricerFactory] = {}
+        self._cells: List[RunCell] = []
+        self._built_scenarios: Dict[str, MarketScenario] = {}
+
+    # ------------------------------------------------------------------ #
+    # Declaration
+    # ------------------------------------------------------------------ #
+
+    def add_scenario(self, key: str, builder) -> None:
+        """Register a scenario under ``key``.
+
+        ``builder`` is either a :class:`MarketScenario` or a zero-argument
+        callable returning one (built lazily, once, when first needed).
+        """
+        if key in self._scenario_builders:
+            raise ValueError("scenario %r already registered" % key)
+        if isinstance(builder, MarketScenario):
+            scenario = builder
+            self._scenario_builders[key] = lambda: scenario
+        else:
+            self._scenario_builders[key] = builder
+
+    def add_scenario_sweep(
+        self, prefix: str, builder_for_seed: Callable[[int], MarketScenario], seeds: Iterable[int]
+    ) -> List[str]:
+        """Register one scenario per seed and return the generated keys."""
+        keys = []
+        for seed in seeds:
+            key = "%s/seed=%d" % (prefix, seed)
+            self.add_scenario(key, _SeededBuilder(builder_for_seed, seed))
+            keys.append(key)
+        return keys
+
+    def add_pricer(self, key: str, factory: PricerFactory) -> None:
+        """Register a pricer factory under ``key``.
+
+        The factory receives the cell's :class:`MarketScenario` and must
+        return a fresh pricer (cells never share pricer state).
+        """
+        if key in self._pricer_factories:
+            raise ValueError("pricer %r already registered" % key)
+        self._pricer_factories[key] = factory
+
+    def add_cell(self, scenario: str, pricer: str) -> None:
+        """Add one (scenario, pricer) cell to the grid."""
+        if scenario not in self._scenario_builders:
+            raise ValueError("unknown scenario %r" % scenario)
+        if pricer not in self._pricer_factories:
+            raise ValueError("unknown pricer %r" % pricer)
+        self._cells.append(RunCell(scenario=scenario, pricer=pricer))
+
+    def add_cross(
+        self,
+        scenarios: Optional[Sequence[str]] = None,
+        pricers: Optional[Sequence[str]] = None,
+    ) -> None:
+        """Add the full cross product of the given (default: all) keys."""
+        for scenario in scenarios if scenarios is not None else self._scenario_builders:
+            for pricer in pricers if pricers is not None else self._pricer_factories:
+                self.add_cell(scenario, pricer)
+
+    @property
+    def cells(self) -> Tuple[RunCell, ...]:
+        """The declared cells, in declaration order."""
+        return tuple(self._cells)
+
+    @property
+    def built_scenarios(self) -> Dict[str, MarketScenario]:
+        """Scenarios built by :meth:`run` so far (for metadata access)."""
+        return dict(self._built_scenarios)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        executor: str = "auto",
+        max_workers: Optional[int] = None,
+        track_latency: bool = False,
+    ) -> RunMatrixResult:
+        """Execute every declared cell and return the result grid.
+
+        ``track_latency`` forces per-round timing, and with it the serial
+        executor: the per-round wall-clock the paper reports (Section V-D)
+        must not include CPU contention from sibling worker cells, so latency
+        runs are serialised across cells as well as within them.
+        """
+        if not self._cells:
+            return RunMatrixResult({})
+        self._validate_executor(executor)
+        if track_latency:
+            executor = "serial"
+
+        needed = []
+        for cell in self._cells:
+            if cell.scenario not in needed:
+                needed.append(cell.scenario)
+
+        if executor == "auto" and not self._parallel_worthwhile():
+            executor = "serial"
+        if executor == "serial":
+            # Lazy per-scenario execution: each scenario is built, materialised,
+            # replayed by its cells, and its materialisation dropped before the
+            # next one — peak memory is one market, not the whole grid.
+            results: Dict[RunCell, SimulationResult] = {}
+            for key in needed:
+                scenario = self._scenario_builders[key]()
+                self._built_scenarios[key] = scenario
+                materialized = materialize(scenario.model, scenario.batch)
+                for cell in self._cells:
+                    if cell.scenario == key:
+                        results[cell] = self._run_cell(
+                            (scenario, materialized), cell, track_latency
+                        )
+            return RunMatrixResult({cell: results[cell] for cell in self._cells})
+
+        # Parallel executors: build + materialise every scenario up front —
+        # thread workers share the arrays directly, process workers inherit
+        # them copy-on-write through the fork.
+        prepared: Dict[str, Tuple[MarketScenario, MaterializedArrivals]] = {}
+        for key in needed:
+            scenario = self._scenario_builders[key]()
+            prepared[key] = (scenario, materialize(scenario.model, scenario.batch))
+            self._built_scenarios[key] = scenario
+
+        if executor == "auto":
+            workload = sum(prepared[cell.scenario][1].rounds for cell in self._cells)
+            executor = "process" if workload >= self.AUTO_PROCESS_THRESHOLD else "serial"
+            if executor == "serial":
+                results = {
+                    cell: self._run_cell(prepared[cell.scenario], cell, track_latency)
+                    for cell in self._cells
+                }
+                return RunMatrixResult(results)
+
+        if executor == "thread":
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    cell: pool.submit(
+                        self._run_cell, prepared[cell.scenario], cell, track_latency
+                    )
+                    for cell in self._cells
+                }
+                return RunMatrixResult({cell: f.result() for cell, f in futures.items()})
+
+        # Fork-based process pool: expose the prepared scenarios and factories
+        # through a module-level registry so workers reach them via
+        # copy-on-write and only the run token + cell keys are pickled.  The
+        # registry is keyed per run, so overlapping runs (nested matrices,
+        # threads) never clobber each other's state.
+        token = "%d-%d" % (os.getpid(), next(_RUN_TOKENS))
+        _WORKER_STATES[token] = (prepared, dict(self._pricer_factories), track_latency)
+        try:
+            context = multiprocessing.get_context("fork")
+            workers = max_workers or min(len(self._cells), os.cpu_count() or 1)
+            with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+                futures = {
+                    cell: pool.submit(_run_cell_in_worker, token, cell)
+                    for cell in self._cells
+                }
+                return RunMatrixResult({cell: f.result() for cell, f in futures.items()})
+        finally:
+            _WORKER_STATES.pop(token, None)
+
+    def _run_cell(
+        self,
+        prepared: Tuple[MarketScenario, MaterializedArrivals],
+        cell: RunCell,
+        track_latency: bool,
+    ) -> SimulationResult:
+        scenario, materialized = prepared
+        pricer = self._pricer_factories[cell.pricer](scenario)
+        return simulate(
+            scenario.model,
+            pricer,
+            materialized=materialized,
+            track_latency=track_latency,
+            pricer_name=cell.pricer,
+        )
+
+    #: Minimum total round-cells before "auto" pays the fork overhead of the
+    #: process executor.
+    AUTO_PROCESS_THRESHOLD = 200_000
+
+    def _validate_executor(self, executor: str) -> None:
+        if executor not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                "executor must be one of 'auto', 'serial', 'thread', 'process', got %r"
+                % executor
+            )
+        if executor == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            raise ValueError(
+                "the process executor requires the 'fork' start method; "
+                "use executor='thread' or 'serial' on this platform"
+            )
+
+    def _parallel_worthwhile(self) -> bool:
+        """Whether "auto" should even consider the process executor."""
+        fork_available = "fork" in multiprocessing.get_all_start_methods()
+        return (os.cpu_count() or 1) >= 2 and fork_available and len(self._cells) >= 2
+
+
+class _SeededBuilder:
+    """Picklable zero-argument builder binding a seed to a seed-taking builder."""
+
+    def __init__(self, builder_for_seed: Callable[[int], MarketScenario], seed: int) -> None:
+        self._builder = builder_for_seed
+        self._seed = seed
+
+    def __call__(self) -> MarketScenario:
+        return self._builder(self._seed)
+
+
+#: Per-run worker state, registered by :meth:`RunMatrix.run` immediately
+#: before forking process workers and removed when the run completes.
+_WORKER_STATES: Dict[str, Tuple[dict, dict, bool]] = {}
+_RUN_TOKENS = itertools.count()
+
+
+def _run_cell_in_worker(token: str, cell: RunCell) -> SimulationResult:
+    """Process-pool entry point: run one cell from the fork-inherited state."""
+    state = _WORKER_STATES.get(token)
+    if state is None:  # pragma: no cover - defensive
+        raise RuntimeError(
+            "run-matrix worker state %r missing (not forked from run()?)" % token
+        )
+    prepared, factories, track_latency = state
+    scenario, materialized = prepared[cell.scenario]
+    pricer = factories[cell.pricer](scenario)
+    return simulate(
+        scenario.model,
+        pricer,
+        materialized=materialized,
+        track_latency=track_latency,
+        pricer_name=cell.pricer,
+    )

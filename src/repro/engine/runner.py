@@ -1,0 +1,170 @@
+"""Columnar simulation runner.
+
+:func:`simulate` drives one posted price mechanism through a batch of arrivals
+and returns a transcript-backed result.  Three execution strategies are
+dispatched in order:
+
+1. **Vectorised** — pricers that set ``supports_batch_propose`` (the stateless
+   baselines) decide the whole horizon in one ``propose_batch`` call; sales
+   and feedback are then computed as array operations.
+2. **Pricer fast path** — learning pricers whose ``run_batch`` hook returns
+   ``True`` (the ellipsoid, one-dimensional, and SGD pricers) run a lean loop
+   with the exact per-round arithmetic of propose/update.
+3. **Loop fallback** — any other pricer is driven through the classic
+   propose/update object protocol, identical to the legacy sequential
+   simulator, writing straight into transcript columns.
+
+All three strategies consume the same :class:`~repro.engine.arrivals.
+MaterializedArrivals`, so the environment (feature map, link values, noise,
+reserve translation) is computed once per market no matter how many pricers
+replay it.  Latency tracking always uses the loop fallback: per-round
+wall-clock only makes sense around real ``propose``/``update`` calls.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.core.noise import NoNoise
+from repro.engine.arrivals import MaterializedArrivals, as_batch, materialize
+from repro.engine.results import SimulationResult
+from repro.engine.transcript import Transcript
+from repro.utils.rng import RngLike
+from repro.utils.timing import OnlineLatencyTracker
+
+
+def prepare(model, arrivals, noise=None, rng: RngLike = None) -> MaterializedArrivals:
+    """Resolve noise and apply the model to an arrival sequence or batch.
+
+    Missing per-round noise is pre-drawn here — *before* any pricer runs — so
+    every pricer simulated over the returned materialisation faces the same
+    realization of the market.
+    """
+    batch = as_batch(arrivals)
+    noise_model = noise if noise is not None else NoNoise()
+    batch = batch.with_noise(noise_model, rng)
+    return materialize(model, batch)
+
+
+def simulate(
+    model,
+    pricer,
+    arrivals=None,
+    noise=None,
+    rng: RngLike = None,
+    track_latency: bool = False,
+    materialized: Optional[MaterializedArrivals] = None,
+    pricer_name: Optional[str] = None,
+) -> SimulationResult:
+    """Simulate one pricer over a batch of arrivals (columnar engine).
+
+    Parameters
+    ----------
+    model / pricer:
+        The market value model and the posted price mechanism under test.
+    arrivals:
+        Arrival sequence or :class:`ArrivalBatch`; ignored when
+        ``materialized`` is supplied.
+    noise / rng:
+        Noise model and random source used to pre-draw missing per-round noise.
+    track_latency:
+        Record per-round wall-clock time spent inside the pricer (forces the
+        sequential loop fallback, since batched paths have no per-round
+        boundary to time).
+    materialized:
+        Pre-computed :class:`MaterializedArrivals`, shared across pricers by
+        :func:`repro.core.simulation.compare_pricers` and the run-matrix
+        executor.
+    """
+    if materialized is None:
+        if arrivals is None:
+            raise ValueError("either arrivals or materialized must be provided")
+        materialized = prepare(model, arrivals, noise=noise, rng=rng)
+    transcript = Transcript.for_materialized(materialized)
+    latency = OnlineLatencyTracker()
+
+    if track_latency:
+        _run_loop(model, pricer, materialized, transcript, latency=latency)
+    elif getattr(pricer, "supports_batch_propose", False):
+        _run_vectorized(model, pricer, materialized, transcript)
+    elif not pricer.run_batch(model, materialized, transcript):
+        _run_loop(model, pricer, materialized, transcript, latency=None)
+
+    transcript.finalize_regrets()
+    return SimulationResult(
+        pricer_name=pricer_name or getattr(pricer, "name", type(pricer).__name__),
+        transcript=transcript,
+        latency=latency,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+
+def _run_vectorized(model, pricer, materialized: MaterializedArrivals, transcript: Transcript) -> None:
+    """Whole-horizon array path for feedback-independent pricers."""
+    decisions = pricer.propose_batch(materialized.mapped_features, materialized.link_reserves)
+    if decisions.rounds != materialized.rounds:
+        raise ValueError(
+            "propose_batch returned %d decisions for %d rounds"
+            % (decisions.rounds, materialized.rounds)
+        )
+    posted = model.link_batch(decisions.link_prices)
+    sold = posted <= materialized.market_values
+    sold &= ~decisions.skipped
+    pricer.update_batch(decisions, sold)
+    transcript.link_prices[:] = decisions.link_prices
+    transcript.posted_prices[:] = posted
+    transcript.sold[:] = sold
+    transcript.skipped[:] = decisions.skipped
+    transcript.exploratory[:] = decisions.exploratory
+
+
+def _run_loop(
+    model,
+    pricer,
+    materialized: MaterializedArrivals,
+    transcript: Transcript,
+    latency: Optional[OnlineLatencyTracker],
+) -> None:
+    """Sequential propose/update fallback (exact legacy round protocol)."""
+    mapped = materialized.mapped_features
+    market_values = materialized.market_values
+    link_reserves = materialized.link_reserves
+    timed = latency is not None
+    rounds = materialized.rounds
+    for index in range(rounds):
+        link_reserve = link_reserves[index]
+        reserve = None if np.isnan(link_reserve) else float(link_reserve)
+
+        start = time.perf_counter() if timed else 0.0
+        decision = pricer.propose(mapped[index], reserve=reserve)
+        elapsed_propose = (time.perf_counter() - start) if timed else 0.0
+
+        if decision.skipped or decision.price is None:
+            sold = False
+        else:
+            link_price = float(decision.price)
+            posted_price = model.link(link_price)
+            sold = posted_price <= market_values[index]
+            transcript.link_prices[index] = link_price
+            transcript.posted_prices[index] = posted_price
+            transcript.sold[index] = sold
+
+        start = time.perf_counter() if timed else 0.0
+        pricer.update(decision, accepted=sold)
+        elapsed_update = (time.perf_counter() - start) if timed else 0.0
+
+        if timed:
+            # Measured once and reused for both the tracker and the column.
+            elapsed = elapsed_propose + elapsed_update
+            latency.record(elapsed)
+            transcript.latency_seconds[index] = elapsed
+
+        transcript.skipped[index] = decision.skipped
+        transcript.exploratory[index] = decision.exploratory

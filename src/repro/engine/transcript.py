@@ -1,0 +1,177 @@
+"""Columnar simulation transcript.
+
+The legacy transcript was a ``List[RoundOutcome]`` — one Python object and a
+dozen boxed floats per round.  :class:`Transcript` keeps the same information
+as preallocated NumPy columns (prices, sales, regret, latency), which is what
+lets the engine write a 100k-round horizon without a single per-round
+allocation and compute every derived curve (Fig. 4 / Fig. 5) vectorised.
+
+:class:`RoundOutcome` remains available as a *lazy row view*
+(:meth:`Transcript.row` / :class:`TranscriptRows`), so all call sites that
+iterate ``result.outcomes`` keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Union
+
+import numpy as np
+
+from repro.core.regret import batch_regrets
+from repro.engine.records import RoundOutcome
+from repro.exceptions import SimulationError
+
+
+class Transcript:
+    """Preallocated struct-of-arrays record of a full simulation run.
+
+    ``NaN`` encodes "absent" in the float columns: a ``NaN`` reserve means the
+    round had no reserve price, a ``NaN`` posted/link price means the pricer
+    skipped the round.
+    """
+
+    __slots__ = (
+        "link_values",
+        "market_values",
+        "reserve_values",
+        "link_prices",
+        "posted_prices",
+        "sold",
+        "skipped",
+        "exploratory",
+        "regrets",
+        "latency_seconds",
+    )
+
+    def __init__(self, rounds: int) -> None:
+        if rounds < 0:
+            raise ValueError("rounds must be non-negative, got %d" % rounds)
+        self.link_values = np.empty(rounds)
+        self.market_values = np.empty(rounds)
+        self.reserve_values = np.full(rounds, np.nan)
+        self.link_prices = np.full(rounds, np.nan)
+        self.posted_prices = np.full(rounds, np.nan)
+        self.sold = np.zeros(rounds, dtype=bool)
+        self.skipped = np.zeros(rounds, dtype=bool)
+        self.exploratory = np.zeros(rounds, dtype=bool)
+        self.regrets = np.zeros(rounds)
+        self.latency_seconds = np.zeros(rounds)
+
+    @classmethod
+    def for_materialized(cls, materialized) -> "Transcript":
+        """A transcript with the environment columns pre-filled from a
+        :class:`~repro.engine.arrivals.MaterializedArrivals`."""
+        transcript = cls(materialized.rounds)
+        transcript.link_values[:] = materialized.link_values
+        transcript.market_values[:] = materialized.market_values
+        transcript.reserve_values[:] = materialized.batch.reserve_values
+        return transcript
+
+    # ------------------------------------------------------------------ #
+    # Finalisation
+    # ------------------------------------------------------------------ #
+
+    def finalize_regrets(self) -> None:
+        """Compute the regret column vectorised (Equation (1)) and validate it.
+
+        Regret is pure accounting — it never feeds back into pricing decisions
+        — so it is computed in one vectorised pass after the pricer loop.
+        """
+        self.regrets = batch_regrets(
+            self.market_values, self.reserve_values, self.posted_prices, self.sold
+        )
+        if not np.all(np.isfinite(self.regrets)):
+            bad = int(np.flatnonzero(~np.isfinite(self.regrets))[0])
+            raise SimulationError(
+                "non-finite regret %r in round %d; inconsistent market state"
+                % (float(self.regrets[bad]), bad)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived columns
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rounds(self) -> int:
+        """Number of recorded rounds."""
+        return self.market_values.shape[0]
+
+    def __len__(self) -> int:
+        return self.rounds
+
+    @property
+    def revenues(self) -> np.ndarray:
+        """Per-round broker revenue (the posted price on sold rounds, else 0)."""
+        return np.where(self.sold, np.where(np.isnan(self.posted_prices), 0.0, self.posted_prices), 0.0)
+
+    def cumulative_regret_curve(self) -> np.ndarray:
+        """Cumulative regret after each round (the curves of Fig. 4)."""
+        return np.cumsum(self.regrets)
+
+    def regret_ratio_curve(self) -> np.ndarray:
+        """Regret ratio after each round (the curves of Fig. 5)."""
+        cumulative_regret = np.cumsum(self.regrets)
+        cumulative_value = np.cumsum(self.market_values)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(cumulative_value > 0, cumulative_regret / cumulative_value, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # Lazy row views
+    # ------------------------------------------------------------------ #
+
+    def row(self, index: int) -> RoundOutcome:
+        """Materialise the object-level view of one round."""
+        rounds = self.rounds
+        if index < 0:
+            index += rounds
+        if not 0 <= index < rounds:
+            raise IndexError("round index %d out of range [0, %d)" % (index, rounds))
+        reserve = self.reserve_values[index]
+        link_price = self.link_prices[index]
+        posted = self.posted_prices[index]
+        return RoundOutcome(
+            round_index=index,
+            link_value=float(self.link_values[index]),
+            market_value=float(self.market_values[index]),
+            reserve_value=None if np.isnan(reserve) else float(reserve),
+            posted_price=None if np.isnan(posted) else float(posted),
+            link_price=None if np.isnan(link_price) else float(link_price),
+            sold=bool(self.sold[index]),
+            skipped=bool(self.skipped[index]),
+            exploratory=bool(self.exploratory[index]),
+            regret=float(self.regrets[index]),
+            latency_seconds=float(self.latency_seconds[index]),
+        )
+
+    def rows(self) -> "TranscriptRows":
+        """A lazy, sequence-like view producing :class:`RoundOutcome` rows."""
+        return TranscriptRows(self)
+
+
+class TranscriptRows:
+    """Sequence adapter exposing a :class:`Transcript` as lazy ``RoundOutcome`` rows.
+
+    Supports ``len``, iteration, integer indexing (including negative), and
+    slicing (which returns a list of rows), mirroring the legacy
+    ``List[RoundOutcome]`` API without holding any per-round objects.
+    """
+
+    __slots__ = ("_transcript",)
+
+    def __init__(self, transcript: Transcript) -> None:
+        self._transcript = transcript
+
+    def __len__(self) -> int:
+        return self._transcript.rounds
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[RoundOutcome, List[RoundOutcome]]:
+        if isinstance(index, slice):
+            return [self._transcript.row(i) for i in range(*index.indices(len(self)))]
+        return self._transcript.row(index)
+
+    def __iter__(self) -> Iterator[RoundOutcome]:
+        for index in range(len(self)):
+            yield self._transcript.row(index)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

@@ -10,13 +10,13 @@ version at logarithmically spaced checkpoints.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import functools
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
-from repro.apps.common import ALGORITHM_VERSIONS
-from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, run_noisy_query_experiment
+from repro.apps.common import ALGORITHM_VERSIONS, VersionPricerFactory
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_scenario
+from repro.engine import RunMatrix
 from repro.experiments.reporting import checkpoints_for, format_series_table
 
 #: The horizons the paper pairs with each dimension in Fig. 4 / Table I.
@@ -56,8 +56,15 @@ def run_fig4(
     delta: float = 0.01,
     seed: int = 7,
     checkpoint_count: int = 12,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> Dict[int, Fig4Result]:
     """Regenerate the Fig. 4 series.
+
+    The (dimension × version) grid is declared as one
+    :class:`~repro.engine.RunMatrix`: each dimension's market is materialised
+    once and all four algorithm versions replay it, with the cells fanned
+    across workers when the workload warrants it.
 
     Parameters
     ----------
@@ -70,12 +77,16 @@ def run_fig4(
         Passed through to :class:`NoisyLinearQueryConfig`.
     checkpoint_count:
         Number of logarithmically spaced checkpoints per series.
+    executor / max_workers:
+        Run-matrix execution strategy (see :meth:`repro.engine.RunMatrix.run`).
     """
-    results: Dict[int, Fig4Result] = {}
+    matrix = RunMatrix()
+    horizons: Dict[int, int] = {}
     for dimension in dimensions:
         horizon = rounds if rounds is not None else min(
             PAPER_ROUNDS_BY_DIMENSION.get(dimension, 10_000), 20_000
         )
+        horizons[dimension] = horizon
         config = NoisyLinearQueryConfig(
             dimension=dimension,
             rounds=horizon,
@@ -83,7 +94,18 @@ def run_fig4(
             delta=delta,
             seed=seed + dimension,
         )
-        simulations = run_noisy_query_experiment(config, versions=ALGORITHM_VERSIONS)
+        matrix.add_scenario(
+            "n=%d" % dimension, functools.partial(build_noisy_query_scenario, config)
+        )
+    for version in ALGORITHM_VERSIONS:
+        matrix.add_pricer(version, VersionPricerFactory(version))
+    matrix.add_cross()
+    grid = matrix.run(executor=executor, max_workers=max_workers)
+
+    results: Dict[int, Fig4Result] = {}
+    for dimension in dimensions:
+        horizon = horizons[dimension]
+        simulations = grid.by_scenario("n=%d" % dimension)
         checkpoints = checkpoints_for(horizon, checkpoint_count)
         series: Dict[str, List[float]] = {}
         finals: Dict[str, float] = {}

@@ -11,13 +11,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import functools
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps.accommodation import AccommodationConfig, build_accommodation_environment
-from repro.apps.common import ALGORITHM_VERSIONS, run_versions
+from repro.apps.common import ALGORITHM_VERSIONS, RISK_AVERSE, VersionPricerFactory, run_versions
 from repro.apps.impression import ImpressionConfig, build_impression_environment
 from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
+from repro.engine import RunMatrix
 from repro.experiments.reporting import checkpoints_for, format_series_table
 
 
@@ -57,6 +59,8 @@ def run_fig5a(
     delta: float = 0.01,
     seed: int = 11,
     checkpoint_count: int = 12,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> Fig5aResult:
     """Regenerate the Fig. 5(a) regret-ratio series."""
     config = NoisyLinearQueryConfig(
@@ -64,7 +68,11 @@ def run_fig5a(
     )
     environment = build_noisy_query_environment(config)
     simulations = run_versions(
-        environment, versions=ALGORITHM_VERSIONS, include_risk_averse=True
+        environment,
+        versions=ALGORITHM_VERSIONS,
+        include_risk_averse=True,
+        executor=executor,
+        max_workers=max_workers,
     )
     checkpoints = checkpoints_for(rounds, checkpoint_count)
     series: Dict[str, List[float]] = {}
@@ -119,8 +127,15 @@ def run_fig5b(
     seed: int = 13,
     checkpoint_count: int = 12,
     low_dimension_variant: Optional[int] = 16,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> Fig5bResult:
     """Regenerate the Fig. 5(b) regret-ratio series.
+
+    The figure is a sparse run matrix — the pure version runs on one listings
+    stream, the reserve version and the risk-averse baseline on one scenario
+    per reserve ratio, plus the optional low-dimension variant — so the cells
+    are declared individually rather than as a full cross product.
 
     Parameters
     ----------
@@ -137,7 +152,13 @@ def run_fig5b(
     finals: Dict[str, float] = {}
     risk_averse: Dict[float, float] = {}
     checkpoints = checkpoints_for(listing_count, checkpoint_count)
-    test_mse = float("nan")
+
+    def _accommodation_scenario(config: AccommodationConfig, name: str):
+        return build_accommodation_environment(config).as_scenario(name)
+
+    matrix = RunMatrix()
+    for version in ("pure version", "with reserve price", RISK_AVERSE):
+        matrix.add_pricer(version, VersionPricerFactory(version))
 
     # Pure version: the reserve price is ignored by the pricer but kept in the
     # environment (it defines the regret of Equation (1)); the paper plots one
@@ -148,29 +169,24 @@ def run_fig5b(
         reserve_log_ratio=min(reserve_log_ratios),
         seed=seed,
     )
-    pure_env = build_accommodation_environment(pure_config)
-    test_mse = float(pure_env.metadata["test_mse"])
-    pure_result = run_versions(pure_env, versions=("pure version",))["pure version"]
-    curve = pure_result.regret_ratio_curve()
-    series["pure version"] = [float(curve[c - 1]) for c in checkpoints]
-    finals["pure version"] = float(curve[-1])
+    matrix.add_scenario("pure", functools.partial(_accommodation_scenario, pure_config, "pure"))
+    matrix.add_cell("pure", "pure version")
 
-    for ratio in reserve_log_ratios:
+    # Scenario keys carry the sweep index so ratios that collide at "%.1f"
+    # (e.g. 0.61 and 0.64) still get their own cells.
+    ratio_keys = {}
+    for index, ratio in enumerate(reserve_log_ratios):
         config = AccommodationConfig(
             listing_count=listing_count,
             dimension=dimension,
             reserve_log_ratio=ratio,
             seed=seed,
         )
-        environment = build_accommodation_environment(config)
-        simulations = run_versions(
-            environment, versions=("with reserve price",), include_risk_averse=True
-        )
-        label = "with reserve price (r=%.1f)" % ratio
-        curve = simulations["with reserve price"].regret_ratio_curve()
-        series[label] = [float(curve[c - 1]) for c in checkpoints]
-        finals[label] = float(curve[-1])
-        risk_averse[ratio] = float(simulations["risk-averse baseline"].regret_ratio)
+        key = "r=%.1f/%d" % (ratio, index)
+        ratio_keys[index] = key
+        matrix.add_scenario(key, functools.partial(_accommodation_scenario, config, key))
+        matrix.add_cell(key, "with reserve price")
+        matrix.add_cell(key, RISK_AVERSE)
 
     if low_dimension_variant is not None:
         config = AccommodationConfig(
@@ -180,10 +196,30 @@ def run_fig5b(
             reserve_log_ratio=0.6,
             seed=seed,
         )
-        environment = build_accommodation_environment(config)
-        result = run_versions(environment, versions=("with reserve price",))["with reserve price"]
+        matrix.add_scenario(
+            "low-dim", functools.partial(_accommodation_scenario, config, "low-dim")
+        )
+        matrix.add_cell("low-dim", "with reserve price")
+
+    grid = matrix.run(executor=executor, max_workers=max_workers)
+
+    pure_result = grid.get("pure", "pure version")
+    test_mse = float(matrix.built_scenarios["pure"].context.metadata["test_mse"])
+    curve = pure_result.regret_ratio_curve()
+    series["pure version"] = [float(curve[c - 1]) for c in checkpoints]
+    finals["pure version"] = float(curve[-1])
+
+    for index, ratio in enumerate(reserve_log_ratios):
+        key = ratio_keys[index]
+        label = "with reserve price (r=%.1f)" % ratio
+        curve = grid.get(key, "with reserve price").regret_ratio_curve()
+        series[label] = [float(curve[c - 1]) for c in checkpoints]
+        finals[label] = float(curve[-1])
+        risk_averse[ratio] = float(grid.get(key, RISK_AVERSE).regret_ratio)
+
+    if low_dimension_variant is not None:
         label = "with reserve price (r=0.6, n=%d)" % low_dimension_variant
-        curve = result.regret_ratio_curve()
+        curve = grid.get("low-dim", "with reserve price").regret_ratio_curve()
         series[label] = [float(curve[c - 1]) for c in checkpoints]
         finals[label] = float(curve[-1])
 
@@ -231,14 +267,26 @@ def run_fig5c(
     dimensions: Sequence[int] = (128, 1024),
     seed: int = 17,
     checkpoint_count: int = 12,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> Fig5cResult:
-    """Regenerate the Fig. 5(c) regret-ratio series (sparse and dense cases)."""
+    """Regenerate the Fig. 5(c) regret-ratio series (sparse and dense cases).
+
+    One run-matrix scenario per (hashing dimension, density) case, all replayed
+    by the pure version.
+    """
     series: Dict[str, List[float]] = {}
     finals: Dict[str, float] = {}
     nonzeros: Dict[str, int] = {}
     losses: Dict[str, float] = {}
     checkpoints = checkpoints_for(impression_count, checkpoint_count)
 
+    def _impression_scenario(config: ImpressionConfig, name: str):
+        return build_impression_environment(config).as_scenario(name)
+
+    matrix = RunMatrix()
+    matrix.add_pricer("pure version", VersionPricerFactory("pure version"))
+    labels: List[str] = []
     for dimension in dimensions:
         for dense in (False, True):
             config = ImpressionConfig(
@@ -248,14 +296,20 @@ def run_fig5c(
                 dense=dense,
                 seed=seed,
             )
-            environment = build_impression_environment(config)
-            result = run_versions(environment, versions=("pure version",))["pure version"]
             label = "n=%d (%s)" % (dimension, "dense" if dense else "sparse")
-            curve = result.regret_ratio_curve()
-            series[label] = [float(curve[c - 1]) for c in checkpoints]
-            finals[label] = float(curve[-1])
-            nonzeros[label] = int(environment.metadata["nonzero_weights"])
-            losses[label] = float(environment.metadata["holdout_log_loss"])
+            labels.append(label)
+            matrix.add_scenario(label, functools.partial(_impression_scenario, config, label))
+            matrix.add_cell(label, "pure version")
+    grid = matrix.run(executor=executor, max_workers=max_workers)
+
+    for label in labels:
+        result = grid.get(label, "pure version")
+        environment = matrix.built_scenarios[label].context
+        curve = result.regret_ratio_curve()
+        series[label] = [float(curve[c - 1]) for c in checkpoints]
+        finals[label] = float(curve[-1])
+        nonzeros[label] = int(environment.metadata["nonzero_weights"])
+        losses[label] = float(environment.metadata["holdout_log_loss"])
 
     return Fig5cResult(
         rounds=impression_count,

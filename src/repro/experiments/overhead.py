@@ -16,10 +16,10 @@ overhead on a Broadwell-E workstation.  On our side:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.apps.accommodation import AccommodationConfig, build_accommodation_environment
-from repro.apps.common import AppEnvironment, build_pricer_for_version, run_versions
+from repro.apps.common import AppEnvironment, build_pricer_for_version
 from repro.apps.impression import ImpressionConfig, build_impression_environment
 from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
 from repro.core.simulation import MarketSimulator
@@ -58,10 +58,16 @@ class OverheadReport:
 def measure_environment(
     environment: AppEnvironment, version: str, knowledge: str = "ellipsoid"
 ) -> OverheadReport:
-    """Measure latency and memory for one pricer version over one environment."""
+    """Measure latency and memory for one pricer version over one environment.
+
+    Latency tracking forces the engine's sequential loop (the batched paths
+    have no per-round boundary to time), so the numbers measure exactly the
+    online propose+update cost the paper reports; the cached arrival batch is
+    shared across versions measured on the same environment.
+    """
     pricer = build_pricer_for_version(environment, version, knowledge=knowledge)
     simulator = MarketSimulator(model=environment.model, pricer=pricer, track_latency=True)
-    result = simulator.run(environment.arrivals)
+    result = simulator.run(environment.arrival_batch())
     memory = pricer.memory_report()
     return OverheadReport(
         application=environment.name,

@@ -10,14 +10,20 @@ called out in DESIGN.md:
   dimension ``n`` (Theorem 1 predicts roughly quadratic growth),
 * :func:`run_epsilon_ablation` — cumulative regret versus the exploration
   threshold ε around the theoretical ``max(n²/T, 4nδ)`` setting.
+
+Each sweep is declared as a :class:`~repro.engine.RunMatrix` — one scenario
+per sweep point — so the points run in parallel when the workload warrants it.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
-from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, run_noisy_query_experiment
+from repro.apps.common import VersionPricerFactory
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_scenario
+from repro.engine import RunMatrix
 from repro.experiments.reporting import format_table
 
 
@@ -43,31 +49,63 @@ class ScalingResult:
         ]
 
 
+def _run_sweep(
+    parameter_name: str,
+    points: List[Tuple[float, NoisyLinearQueryConfig]],
+    version: str,
+    executor: str,
+    max_workers: Optional[int],
+) -> List[ScalingResult]:
+    """Run one (scenario per sweep point) × (one version) matrix.
+
+    Scenario keys carry the point index so repeated (or near-equal) sweep
+    values each get their own cell.
+    """
+    matrix = RunMatrix()
+    for index, (value, config) in enumerate(points):
+        matrix.add_scenario(
+            "%s=%g/%d" % (parameter_name, value, index),
+            functools.partial(build_noisy_query_scenario, config),
+        )
+    matrix.add_pricer(version, VersionPricerFactory(version))
+    matrix.add_cross()
+    grid = matrix.run(executor=executor, max_workers=max_workers)
+    results: List[ScalingResult] = []
+    for index, (value, config) in enumerate(points):
+        outcome = grid.get("%s=%g/%d" % (parameter_name, value, index), version)
+        results.append(
+            ScalingResult(
+                parameter_name=parameter_name,
+                parameter_value=float(value),
+                rounds=config.rounds,
+                dimension=config.dimension,
+                cumulative_regret=outcome.cumulative_regret,
+                regret_ratio=outcome.regret_ratio,
+            )
+        )
+    return results
+
+
 def run_horizon_scaling(
     horizons: Sequence[int] = (1_000, 2_000, 5_000, 10_000, 20_000),
     dimension: int = 20,
     owner_count: int = 300,
     version: str = "with reserve price",
     seed: int = 29,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> List[ScalingResult]:
     """Cumulative regret as the horizon ``T`` grows (fixed dimension)."""
-    results: List[ScalingResult] = []
-    for horizon in horizons:
-        config = NoisyLinearQueryConfig(
-            dimension=dimension, rounds=horizon, owner_count=owner_count, seed=seed
+    points = [
+        (
+            float(horizon),
+            NoisyLinearQueryConfig(
+                dimension=dimension, rounds=horizon, owner_count=owner_count, seed=seed
+            ),
         )
-        outcome = run_noisy_query_experiment(config, versions=(version,))[version]
-        results.append(
-            ScalingResult(
-                parameter_name="T",
-                parameter_value=float(horizon),
-                rounds=horizon,
-                dimension=dimension,
-                cumulative_regret=outcome.cumulative_regret,
-                regret_ratio=outcome.regret_ratio,
-            )
-        )
-    return results
+        for horizon in horizons
+    ]
+    return _run_sweep("T", points, version, executor, max_workers)
 
 
 def run_dimension_scaling(
@@ -76,25 +114,20 @@ def run_dimension_scaling(
     owner_count: int = 300,
     version: str = "with reserve price",
     seed: int = 31,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> List[ScalingResult]:
     """Cumulative regret as the feature dimension ``n`` grows (fixed horizon)."""
-    results: List[ScalingResult] = []
-    for dimension in dimensions:
-        config = NoisyLinearQueryConfig(
-            dimension=dimension, rounds=rounds, owner_count=owner_count, seed=seed
+    points = [
+        (
+            float(dimension),
+            NoisyLinearQueryConfig(
+                dimension=dimension, rounds=rounds, owner_count=owner_count, seed=seed
+            ),
         )
-        outcome = run_noisy_query_experiment(config, versions=(version,))[version]
-        results.append(
-            ScalingResult(
-                parameter_name="n",
-                parameter_value=float(dimension),
-                rounds=rounds,
-                dimension=dimension,
-                cumulative_regret=outcome.cumulative_regret,
-                regret_ratio=outcome.regret_ratio,
-            )
-        )
-    return results
+        for dimension in dimensions
+    ]
+    return _run_sweep("n", points, version, executor, max_workers)
 
 
 def run_epsilon_ablation(
@@ -104,33 +137,28 @@ def run_epsilon_ablation(
     owner_count: int = 300,
     version: str = "with reserve price",
     seed: int = 37,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> List[ScalingResult]:
     """Cumulative regret as ε is scaled around the theoretical setting."""
     base_config = NoisyLinearQueryConfig(
         dimension=dimension, rounds=rounds, owner_count=owner_count, seed=seed
     )
     base_epsilon = base_config.resolved_epsilon()
-    results: List[ScalingResult] = []
-    for multiplier in epsilon_multipliers:
-        config = NoisyLinearQueryConfig(
-            dimension=dimension,
-            rounds=rounds,
-            owner_count=owner_count,
-            epsilon=base_epsilon * multiplier,
-            seed=seed,
-        )
-        outcome = run_noisy_query_experiment(config, versions=(version,))[version]
-        results.append(
-            ScalingResult(
-                parameter_name="epsilon multiplier",
-                parameter_value=float(multiplier),
-                rounds=rounds,
+    points = [
+        (
+            float(multiplier),
+            NoisyLinearQueryConfig(
                 dimension=dimension,
-                cumulative_regret=outcome.cumulative_regret,
-                regret_ratio=outcome.regret_ratio,
-            )
+                rounds=rounds,
+                owner_count=owner_count,
+                epsilon=base_epsilon * multiplier,
+                seed=seed,
+            ),
         )
-    return results
+        for multiplier in epsilon_multipliers
+    ]
+    return _run_sweep("epsilon multiplier", points, version, executor, max_workers)
 
 
 def format_scaling(results: Sequence[ScalingResult]) -> str:

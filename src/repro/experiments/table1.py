@@ -8,10 +8,13 @@ the version with reserve price, together with the horizon ``T``.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, run_noisy_query_experiment
+from repro.apps.common import VersionPricerFactory
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_scenario
+from repro.engine import RunMatrix
 from repro.experiments.fig4 import PAPER_ROUNDS_BY_DIMENSION
 from repro.experiments.reporting import format_table
 
@@ -47,13 +50,22 @@ def run_table1(
     owner_count: int = 300,
     delta: float = 0.01,
     seed: int = 7,
+    executor: str = "auto",
+    max_workers: Optional[int] = None,
 ) -> List[Table1Row]:
-    """Regenerate the rows of Table I (version with reserve price)."""
-    rows: List[Table1Row] = []
+    """Regenerate the rows of Table I (version with reserve price).
+
+    One run-matrix cell per dimension, fanned across workers when the
+    workload warrants it.
+    """
+    version = "with reserve price"
+    matrix = RunMatrix()
+    horizons: Dict[int, int] = {}
     for dimension in dimensions:
         horizon = rounds if rounds is not None else min(
             PAPER_ROUNDS_BY_DIMENSION.get(dimension, 10_000), 20_000
         )
+        horizons[dimension] = horizon
         config = NoisyLinearQueryConfig(
             dimension=dimension,
             rounds=horizon,
@@ -61,8 +73,17 @@ def run_table1(
             delta=delta,
             seed=seed + dimension,
         )
-        simulations = run_noisy_query_experiment(config, versions=("with reserve price",))
-        stats = simulations["with reserve price"].summary_statistics()
+        matrix.add_scenario(
+            "n=%d" % dimension, functools.partial(build_noisy_query_scenario, config)
+        )
+    matrix.add_pricer(version, VersionPricerFactory(version))
+    matrix.add_cross()
+    grid = matrix.run(executor=executor, max_workers=max_workers)
+
+    rows: List[Table1Row] = []
+    for dimension in dimensions:
+        horizon = horizons[dimension]
+        stats = grid.get("n=%d" % dimension, version).summary_statistics()
         rows.append(
             Table1Row(
                 dimension=dimension,

@@ -1,0 +1,123 @@
+"""Unit tests for the struct-of-arrays arrival container."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import LinearModel, LogLinearModel
+from repro.core.noise import GaussianNoise, NoNoise
+from repro.engine import ArrivalBatch, QueryArrival, as_batch, materialize
+
+
+def _mixed_arrivals():
+    return [
+        QueryArrival(
+            features=np.array([1.0, 2.0]),
+            reserve_value=0.5,
+            noise=0.1,
+            metadata={"query_id": 7, "noise_scale": 0.01},
+        ),
+        QueryArrival(features=np.array([3.0, 4.0]), reserve_value=None, noise=None),
+        QueryArrival(features=np.array([0.5, 0.25]), reserve_value=1.25, noise=-0.2),
+    ]
+
+
+class TestRoundTrip:
+    def test_arrivals_round_trip_losslessly(self):
+        arrivals = _mixed_arrivals()
+        batch = ArrivalBatch.from_arrivals(arrivals)
+        restored = batch.to_arrivals()
+        assert len(restored) == len(arrivals)
+        for original, back in zip(arrivals, restored):
+            assert np.array_equal(back.features, np.asarray(original.features, dtype=float))
+            assert back.reserve_value == original.reserve_value
+            assert back.noise == original.noise
+            assert back.metadata == original.metadata
+
+    def test_nan_encoding_of_absent_values(self):
+        batch = ArrivalBatch.from_arrivals(_mixed_arrivals())
+        assert np.isnan(batch.reserve_values[1])
+        assert np.isnan(batch.noise[1])
+        assert batch.reserve_values[0] == 0.5
+        assert batch.has_missing_noise
+
+    def test_metadata_omitted_when_uniformly_empty(self):
+        arrivals = [QueryArrival(features=np.array([1.0]), noise=0.0) for _ in range(3)]
+        batch = ArrivalBatch.from_arrivals(arrivals)
+        assert batch.metadata is None
+        assert batch.row(0).metadata == {}
+
+    def test_empty_sequence(self):
+        batch = ArrivalBatch.from_arrivals([])
+        assert len(batch) == 0
+        assert batch.to_arrivals() == []
+
+    def test_ragged_features_rejected(self):
+        arrivals = [
+            QueryArrival(features=np.array([1.0, 2.0]), noise=0.0),
+            QueryArrival(features=np.array([1.0]), noise=0.0),
+        ]
+        with pytest.raises(ValueError):
+            ArrivalBatch.from_arrivals(arrivals)
+
+    def test_as_batch_passthrough(self):
+        batch = ArrivalBatch.from_arrivals(_mixed_arrivals())
+        assert as_batch(batch) is batch
+        rebuilt = as_batch(_mixed_arrivals())
+        assert isinstance(rebuilt, ArrivalBatch)
+
+
+class TestNoiseResolution:
+    def test_with_noise_fills_only_missing_entries(self):
+        batch = ArrivalBatch.from_arrivals(_mixed_arrivals())
+        filled = batch.with_noise(GaussianNoise(0.1), rng=0)
+        assert not filled.has_missing_noise
+        assert filled.noise[0] == 0.1
+        assert filled.noise[2] == -0.2
+        assert filled.noise[1] != 0.0
+
+    def test_with_noise_matches_sequential_draw_order(self):
+        arrivals = [QueryArrival(features=np.array([1.0]), noise=None) for _ in range(5)]
+        batch = ArrivalBatch.from_arrivals(arrivals).with_noise(GaussianNoise(0.3), rng=42)
+        expected_rng = np.random.default_rng(42)
+        expected = [float(GaussianNoise(0.3).sample(expected_rng)) for _ in range(5)]
+        assert np.array_equal(batch.noise, np.array(expected))
+
+    def test_with_noise_is_noop_when_complete(self):
+        batch = ArrivalBatch.from_arrivals(
+            [QueryArrival(features=np.array([1.0]), noise=0.5)]
+        )
+        assert batch.with_noise(NoNoise()) is batch
+
+
+class TestMaterialize:
+    def test_materialize_matches_scalar_model_calls(self):
+        rng = np.random.default_rng(5)
+        theta = np.array([0.4, 0.6])
+        model = LogLinearModel(theta)
+        arrivals = [
+            QueryArrival(
+                features=rng.uniform(0.5, 1.5, size=2),
+                reserve_value=float(rng.uniform(1.0, 2.0)),
+                noise=float(rng.normal(0, 0.01)),
+            )
+            for _ in range(50)
+        ]
+        batch = ArrivalBatch.from_arrivals(arrivals)
+        materialized = materialize(model, batch)
+        for index, arrival in enumerate(arrivals):
+            mapped = model.feature_map(arrival.features)
+            link_value = float(mapped @ model.theta)
+            assert materialized.link_values[index] == link_value
+            assert materialized.market_values[index] == model.link(link_value + arrival.noise)
+            assert materialized.link_reserves[index] == model.link_inverse(arrival.reserve_value)
+
+    def test_materialize_requires_resolved_noise(self):
+        batch = ArrivalBatch.from_arrivals(_mixed_arrivals())
+        with pytest.raises(ValueError, match="missing noise"):
+            materialize(LinearModel([1.0, 1.0]), batch)
+
+    def test_nan_reserve_stays_nan_in_link_space(self):
+        batch = ArrivalBatch.from_arrivals(_mixed_arrivals()).with_noise(NoNoise())
+        materialized = materialize(LinearModel([1.0, 1.0]), batch)
+        assert np.isnan(materialized.link_reserves[1])
+        assert materialized.link_reserves[0] == 0.5
