@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Regenerate the golden-transcript fixtures under ``tests/golden/``.
+
+Each fixture pins the full transcript of one pricer family over a seeded
+T=512 market (see ``tests/golden/golden_specs.py`` for the family specs).
+The replay test asserts exact float equality against these artifacts, so the
+engine's exactness contract is pinned by committed data, not just by the
+in-process reference loop.
+
+Regenerate (and commit the diff) ONLY when a change is *supposed* to alter
+transcripts — e.g. a deliberate algorithm fix.  A perf refactor must never
+need this.
+
+Run:  PYTHONPATH=src python scripts/make_golden_transcripts.py
+"""
+
+import os
+import sys
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "tests", "golden"))
+
+import golden_specs  # noqa: E402
+
+from repro.engine import simulate  # noqa: E402
+
+
+def main() -> int:
+    for family in sorted(golden_specs.GOLDEN_SPECS):
+        model, batch, theta = golden_specs.build_market(family)
+        pricer = golden_specs.build_pricer(family, theta)
+        result = simulate(model, pricer, arrivals=batch)
+        payload = {
+            "family": np.array(family),
+            "theta": theta,
+            "features": batch.features,
+            "reserve_values": batch.reserve_values,
+            "noise": batch.noise,
+        }
+        for name in golden_specs.GOLDEN_COLUMNS:
+            payload["expected_%s" % name] = getattr(result.transcript, name)
+        path = golden_specs.fixture_path(family)
+        np.savez_compressed(path, **payload)
+        print(
+            "wrote %s (%d rounds, %d sold, cumulative regret %.4f)"
+            % (
+                os.path.relpath(path),
+                result.rounds,
+                int(np.count_nonzero(result.transcript.sold)),
+                result.cumulative_regret,
+            )
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,15 +6,38 @@ at the largest scale that is practical on a laptop, prints the series, and
 stores everything in ``results/experiments_report.txt`` plus a machine-readable
 ``results/experiments_report.json``.
 
-Run:  python scripts/run_experiments.py [--quick]
+The multi-seed sweep runs on a :class:`repro.engine.RunMatrix` seed sweep with
+optional checkpointed progress: pass ``--checkpoint-dir`` and every finished
+(scenario, pricer) cell is persisted, so an interrupted pass resumes where it
+stopped instead of re-simulating minutes of completed work.
+
+The exactness contract is additionally pinned by a committed smoke report:
+
+    python scripts/run_experiments.py --smoke           # (re)write the report
+    python scripts/run_experiments.py --smoke --diff    # compare against it
+
+``--smoke`` runs a small, deterministic seed sweep and writes
+``results/experiments_smoke.json``; ``--smoke --diff`` re-runs it and fails
+(exit code 2, diff written to ``results/smoke_diff.json``) if any number
+drifted beyond ``--rtol`` from the committed report — CI runs this on every
+push, so perf work cannot silently change results.
+
+Run:  python scripts/run_experiments.py [--quick] [--smoke [--diff]]
 """
 
 import argparse
 import json
+import math
 import os
 import sys
 import time
 
+import numpy as np
+
+from repro.core.baselines import RiskAversePricer
+from repro.core.models import LinearModel
+from repro.core.pricing import PricerConfig, make_pricer
+from repro.engine import ArrivalBatch, MarketScenario, RunMatrix
 from repro.experiments.adversarial import run_adversarial_example
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
@@ -25,14 +48,230 @@ from repro.experiments.regret_scaling import (
     run_epsilon_ablation,
     run_horizon_scaling,
 )
+from repro.experiments.reporting import format_table
 from repro.experiments.table1 import format_table1, run_table1
 
+#: Algorithm versions covered by the seed sweep (paper names + baseline).
+SWEEP_VERSIONS = (
+    "pure version",
+    "with reserve price",
+    "with reserve price and uncertainty",
+    "risk-averse baseline",
+)
 
-def main() -> None:
+#: Parameters of the deterministic smoke sweep pinned by the committed report.
+SMOKE_PARAMS = {"dimension": 5, "rounds": 400, "seeds": (1, 2, 3), "delta": 0.01}
+
+
+class _SweepScenarioBuilder:
+    """Picklable seed → scenario builder for the noisy-linear seed sweep.
+
+    The market is generated from *uniform* RNG draws and the identity-link
+    linear model only (no ``normal``/``exp``/``log``), so the committed smoke
+    report does not depend on the platform's libm — the same determinism
+    discipline as the golden-transcript fixtures.
+    """
+
+    def __init__(self, dimension: int, rounds: int) -> None:
+        self.dimension = dimension
+        self.rounds = rounds
+
+    def __call__(self, seed: int) -> MarketScenario:
+        rng = np.random.default_rng(seed)
+        theta = rng.random(self.dimension) + 0.1
+        theta *= np.sqrt(2.0 * self.dimension) / np.linalg.norm(theta)
+        features = rng.random((self.rounds, self.dimension)) + 0.05
+        features /= np.linalg.norm(features, axis=1, keepdims=True)
+        reserves = 0.6 * np.array([float(row @ theta) for row in features])
+        noise = 0.01 * (rng.random(self.rounds) - 0.5)
+        return MarketScenario(
+            name="noisy-linear/seed=%d" % seed,
+            model=LinearModel(theta),
+            batch=ArrivalBatch(features=features, reserve_values=reserves, noise=noise),
+            context={"seed": seed},
+        )
+
+
+class _SweepPricerFactory:
+    """Picklable pricer factory for one sweep version."""
+
+    def __init__(self, version: str, rounds: int, delta: float) -> None:
+        self.version = version
+        self.rounds = rounds
+        self.delta = delta
+
+    def __call__(self, scenario: MarketScenario):
+        if self.version == "risk-averse baseline":
+            return RiskAversePricer()
+        dimension = scenario.batch.raw_dimension
+        delta = self.delta if "uncertainty" in self.version else 0.0
+        return make_pricer(
+            dimension=dimension,
+            radius=2.0 * np.sqrt(dimension),
+            epsilon=PricerConfig.theoretical_epsilon(dimension, self.rounds, delta),
+            delta=delta,
+            use_reserve="reserve price" in self.version,
+        )
+
+
+def run_seed_sweep(
+    dimension: int,
+    rounds: int,
+    seeds,
+    delta: float = 0.01,
+    executor: str = "auto",
+    checkpoint_dir=None,
+) -> dict:
+    """Run the (version × seed) grid through the run matrix and summarise it."""
+    matrix = RunMatrix()
+    keys = matrix.add_scenario_sweep(
+        "noisy-linear", _SweepScenarioBuilder(dimension, rounds), seeds
+    )
+    for version in SWEEP_VERSIONS:
+        matrix.add_pricer(version, _SweepPricerFactory(version, rounds, delta))
+    matrix.add_cross()
+    # The tag fingerprints the workload, so smoke/quick/full passes can share
+    # one checkpoint directory without ever reusing each other's results.
+    grid = matrix.run(
+        executor=executor,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_tag="noisy-linear/d=%d/T=%d/delta=%g" % (dimension, rounds, delta),
+    )
+
+    per_version = {}
+    for version in SWEEP_VERSIONS:
+        per_seed = {}
+        for seed, key in zip(seeds, keys):
+            result = grid.get(key, version)
+            per_seed[str(seed)] = {
+                "cumulative_regret": result.cumulative_regret,
+                "regret_ratio": result.regret_ratio,
+                "sale_rate": result.sale_rate(),
+            }
+        ratios = [cell["regret_ratio"] for cell in per_seed.values()]
+        regrets = [cell["cumulative_regret"] for cell in per_seed.values()]
+        per_version[version] = {
+            "mean_regret_ratio": sum(ratios) / len(ratios),
+            "mean_cumulative_regret": sum(regrets) / len(regrets),
+            "per_seed": per_seed,
+        }
+    return {
+        "workload": {
+            "dimension": dimension,
+            "rounds": rounds,
+            "seeds": list(seeds),
+            "delta": delta,
+        },
+        "per_version": per_version,
+    }
+
+
+def format_seed_sweep(sweep: dict) -> str:
+    headers = ["version", "mean regret ratio", "mean cumulative regret"]
+    rows = [
+        [version, "%.6f" % cells["mean_regret_ratio"], "%.4f" % cells["mean_cumulative_regret"]]
+        for version, cells in sweep["per_version"].items()
+    ]
+    return format_table(headers, rows)
+
+
+def diff_payloads(expected, actual, rtol: float, path: str = "") -> list:
+    """Recursive numeric diff; returns a list of mismatch records."""
+    mismatches = []
+    if isinstance(expected, dict) and isinstance(actual, dict):
+        for key in sorted(set(expected) | set(actual)):
+            child = "%s.%s" % (path, key) if path else str(key)
+            if key not in expected:
+                mismatches.append({"path": child, "error": "unexpected key"})
+            elif key not in actual:
+                mismatches.append({"path": child, "error": "missing key"})
+            else:
+                mismatches.extend(diff_payloads(expected[key], actual[key], rtol, child))
+    elif isinstance(expected, list) and isinstance(actual, list):
+        if len(expected) != len(actual):
+            mismatches.append(
+                {"path": path, "error": "length %d != %d" % (len(actual), len(expected))}
+            )
+        else:
+            for index, (left, right) in enumerate(zip(expected, actual)):
+                mismatches.extend(
+                    diff_payloads(left, right, rtol, "%s[%d]" % (path, index))
+                )
+    elif isinstance(expected, (int, float)) and isinstance(actual, (int, float)):
+        if not math.isclose(float(expected), float(actual), rel_tol=rtol, abs_tol=rtol):
+            mismatches.append(
+                {"path": path, "expected": expected, "actual": actual}
+            )
+    elif expected != actual:
+        mismatches.append({"path": path, "expected": expected, "actual": actual})
+    return mismatches
+
+
+def run_smoke(args) -> int:
+    """Run the deterministic smoke sweep; write or diff the committed report."""
+    report_path = os.path.join(args.output_dir, "experiments_smoke.json")
+    sweep = run_seed_sweep(
+        dimension=SMOKE_PARAMS["dimension"],
+        rounds=SMOKE_PARAMS["rounds"],
+        seeds=SMOKE_PARAMS["seeds"],
+        delta=SMOKE_PARAMS["delta"],
+        executor="serial",
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    print(format_seed_sweep(sweep))
+    if not args.diff:
+        os.makedirs(args.output_dir, exist_ok=True)
+        with open(report_path, "w") as handle:
+            json.dump(sweep, handle, indent=2, sort_keys=True)
+        print("smoke report written to %s" % report_path)
+        return 0
+
+    if not os.path.exists(report_path):
+        print("no committed smoke report at %s; run --smoke without --diff first" % report_path)
+        return 2
+    with open(report_path) as handle:
+        expected = json.load(handle)
+    mismatches = diff_payloads(expected, sweep, rtol=args.rtol)
+    if not mismatches:
+        print("results-diff: OK (matches %s at rtol=%g)" % (report_path, args.rtol))
+        return 0
+    diff_path = os.path.join(args.output_dir, "smoke_diff.json")
+    os.makedirs(args.output_dir, exist_ok=True)
+    with open(diff_path, "w") as handle:
+        json.dump({"rtol": args.rtol, "mismatches": mismatches, "actual": sweep}, handle, indent=2)
+    print("results-diff: %d mismatch(es) vs %s; diff written to %s" % (
+        len(mismatches), report_path, diff_path))
+    for record in mismatches[:10]:
+        print("  %s" % json.dumps(record))
+    return 2
+
+
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="run a fast, scaled-down pass")
     parser.add_argument("--output-dir", default="results")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run only the small deterministic seed sweep (the committed results-diff tier)",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="with --smoke: compare against the committed report instead of rewriting it",
+    )
+    parser.add_argument(
+        "--rtol", type=float, default=1e-9, help="relative tolerance for --diff comparisons"
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist finished sweep cells here and resume from them on re-run",
+    )
     args = parser.parse_args()
+
+    if args.smoke:
+        return run_smoke(args)
 
     os.makedirs(args.output_dir, exist_ok=True)
     lines = []
@@ -207,6 +446,22 @@ def main() -> None:
         "dimension": {r.dimension: r.cumulative_regret for r in dimension_sweep},
         "epsilon": {r.parameter_value: r.cumulative_regret for r in epsilon},
     }
+    emit("[scaling done at %.0fs]" % (time.time() - start))
+
+    # ------------------------------------------------- multi-seed run matrix
+    emit()
+    emit("=" * 78)
+    emit("Multi-seed sweep — (version × seed) run matrix, checkpointed progress")
+    emit("=" * 78)
+    sweep = run_seed_sweep(
+        dimension=20 if not quick else 5,
+        rounds=10_000 if not quick else 500,
+        seeds=(1, 2, 3, 4, 5) if not quick else (1, 2),
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    emit(format_seed_sweep(sweep))
+    summary["seed_sweep"] = sweep
+    emit("[seed sweep done at %.0fs]" % (time.time() - start))
 
     emit()
     emit("total wall-clock: %.0f seconds" % (time.time() - start))
@@ -217,6 +472,7 @@ def main() -> None:
     with open(os.path.join(args.output_dir, "experiments_report.json"), "w") as handle:
         json.dump(summary, handle, indent=2, default=str)
     print("\nreport written to %s" % report_path)
+    return 0
 
 
 if __name__ == "__main__":

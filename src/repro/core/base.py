@@ -206,7 +206,86 @@ class PostedPriceMechanism(abc.ABC):
         """Memory footprint of this pricer (Section V-D style accounting)."""
         return report_for_arrays(self.state_arrays())
 
+    # ------------------------------------------------------------------ #
+    # Checkpoint / restore protocol
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """A complete snapshot of the pricer's mutable state.
+
+        The contract is *exact resumability*: for any round boundary ``k``,
+        running rounds ``[0, k)``, snapshotting, loading the snapshot into a
+        freshly constructed pricer (same constructor arguments), and running
+        rounds ``[k, T)`` must produce decisions bit-identical to an
+        uninterrupted run.  The snapshot therefore covers the round counter,
+        the knowledge-set / learner state, all bookkeeping counters, and —
+        for pricers that carry a random source in an ``rng`` attribute — the
+        RNG position.
+
+        The returned mapping contains only JSON-compatible scalars, nested
+        dicts/lists, and ``numpy.ndarray`` leaves, so it can be persisted by
+        :mod:`repro.engine.checkpoint` without pickling.
+        """
+        state: dict = {"round_index": int(self._round_index)}
+        rng = getattr(self, "rng", None)
+        if isinstance(rng, np.random.Generator):
+            state["rng_state"] = rng.bit_generator.state
+        state.update(self._extra_state())
+        return state
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The pricer must have been constructed with the same configuration as
+        the one that produced the snapshot; ``load_state`` replaces only the
+        mutable state.
+        """
+        self._round_index = int(state["round_index"])
+        rng_state = state.get("rng_state")
+        if rng_state is not None:
+            rng = getattr(self, "rng", None)
+            if not isinstance(rng, np.random.Generator):
+                raise ValueError(
+                    "checkpoint carries an RNG position but %s has no rng attribute"
+                    % type(self).__name__
+                )
+            rng.bit_generator.state = rng_state
+        self._load_extra_state(state)
+
+    def _extra_state(self) -> dict:
+        """Subclass hook: additional entries for :meth:`state_dict`."""
+        return {}
+
+    def _load_extra_state(self, state: dict) -> None:
+        """Subclass hook: restore the entries produced by :meth:`_extra_state`."""
+
     def _next_round(self) -> int:
         index = self._round_index
         self._round_index += 1
         return index
+
+
+class KnowledgePricerStateMixin:
+    """Snapshot plumbing shared by the knowledge-set pricers.
+
+    The ellipsoid and one-dimensional pricers carry exactly the same mutable
+    extras — a ``knowledge`` set plus the four bookkeeping counters — so the
+    snapshot hooks live here once; a counter added to one family's snapshot
+    cannot silently miss the other.
+    """
+
+    def _extra_state(self) -> dict:
+        return {
+            "exploratory_rounds": int(self.exploratory_rounds),
+            "conservative_rounds": int(self.conservative_rounds),
+            "skipped_rounds": int(self.skipped_rounds),
+            "cuts_applied": int(self.cuts_applied),
+            "knowledge": self.knowledge.state_dict(),
+        }
+
+    def _load_extra_state(self, state: dict) -> None:
+        self.exploratory_rounds = int(state["exploratory_rounds"])
+        self.conservative_rounds = int(state["conservative_rounds"])
+        self.skipped_rounds = int(state["skipped_rounds"])
+        self.cuts_applied = int(state["cuts_applied"])
+        self.knowledge.load_state(state["knowledge"])

@@ -54,6 +54,28 @@ class KnowledgeSet(abc.ABC):
     def state_arrays(self) -> Tuple[np.ndarray, ...]:
         """Arrays making up the state (for memory accounting)."""
 
+    @abc.abstractmethod
+    def state_dict(self) -> dict:
+        """Complete snapshot of the mutable state (see ``repro.engine.checkpoint``).
+
+        The snapshot must allow :meth:`load_state` to restore a same-shaped
+        knowledge set bit-identically: every subsequent ``value_bounds`` /
+        ``cut`` call must produce exactly the floats an uninterrupted instance
+        would have produced.
+        """
+
+    @abc.abstractmethod
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` (same kind/shape)."""
+
+    def _require_kind(self, state: dict, kind: str) -> None:
+        found = state.get("kind")
+        if found != kind:
+            raise ValueError(
+                "cannot load %r knowledge state into %s (expected kind %r)"
+                % (found, type(self).__name__, kind)
+            )
+
     def width_along(self, direction) -> float:
         """Width of the knowledge set along ``direction`` (``p̄ - p̲``)."""
         lower, upper = self.value_bounds(direction)
@@ -119,6 +141,18 @@ class IntervalKnowledge(KnowledgeSet):
     def state_arrays(self) -> Tuple[np.ndarray, ...]:
         return (np.array([self.lower, self.upper]),)
 
+    def state_dict(self) -> dict:
+        return {"kind": "interval", "lower": float(self.lower), "upper": float(self.upper)}
+
+    def load_state(self, state: dict) -> None:
+        self._require_kind(state, "interval")
+        lower = float(state["lower"])
+        upper = float(state["upper"])
+        if upper < lower:
+            raise ValueError("interval state has upper (%g) < lower (%g)" % (upper, lower))
+        self.lower = lower
+        self.upper = upper
+
     def __repr__(self) -> str:  # pragma: no cover
         return "IntervalKnowledge([%g, %g])" % (self.lower, self.upper)
 
@@ -166,6 +200,32 @@ class EllipsoidKnowledge(KnowledgeSet):
 
     def state_arrays(self) -> Tuple[np.ndarray, ...]:
         return tuple(self.ellipsoid.state_arrays())
+
+    def state_dict(self) -> dict:
+        # ``last_cut`` is diagnostic-only (never read by propose/update) and
+        # is deliberately not part of the resumable state.
+        return {
+            "kind": "ellipsoid",
+            "center": self.ellipsoid.center.copy(),
+            "shape": self.ellipsoid.shape.copy(),
+            "cut_count": int(self.cut_count),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._require_kind(state, "ellipsoid")
+        center = np.asarray(state["center"], dtype=float)
+        shape = np.asarray(state["shape"], dtype=float)
+        if center.shape[0] != self.dimension:
+            raise DimensionMismatchError(
+                "ellipsoid state has dimension %d, expected %d"
+                % (center.shape[0], self.dimension)
+            )
+        # The stored shape matrix is already exactly symmetric, so the
+        # constructor's re-symmetrisation 0.5 * (S + S^T) is a bit-exact no-op
+        # and the restored ellipsoid reproduces the snapshot verbatim.
+        self.ellipsoid = Ellipsoid(center.copy(), shape.copy(), validate=False)
+        self.cut_count = int(state["cut_count"])
+        self.last_cut = None
 
     def volume(self) -> float:
         """Volume of the current ellipsoid."""
@@ -269,6 +329,38 @@ class PolytopeKnowledge(KnowledgeSet):
             arrays.append(np.array(self._constraint_directions))
             arrays.append(np.array(self._constraint_offsets))
         return tuple(arrays)
+
+    def state_dict(self) -> dict:
+        directions = (
+            np.array(self._constraint_directions, dtype=float)
+            if self._constraint_directions
+            else np.empty((0, self.dimension))
+        )
+        return {
+            "kind": "polytope",
+            "lower": self.lower.copy(),
+            "upper": self.upper.copy(),
+            "constraint_directions": directions,
+            "constraint_offsets": np.array(self._constraint_offsets, dtype=float),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self._require_kind(state, "polytope")
+        lower = ensure_vector(state["lower"], dimension=self.dimension, name="lower")
+        upper = ensure_vector(state["upper"], dimension=self.dimension, name="upper")
+        directions = np.asarray(state["constraint_directions"], dtype=float)
+        offsets = np.asarray(state["constraint_offsets"], dtype=float)
+        if directions.ndim != 2 or directions.shape[1] != self.dimension:
+            raise DimensionMismatchError(
+                "polytope state constraints have shape %s, expected (k, %d)"
+                % (directions.shape, self.dimension)
+            )
+        if offsets.shape != (directions.shape[0],):
+            raise ValueError("constraint offsets do not match the direction rows")
+        self.lower = lower.copy()
+        self.upper = upper.copy()
+        self._constraint_directions = [row.copy() for row in directions]
+        self._constraint_offsets = [float(value) for value in offsets]
 
     def __repr__(self) -> str:  # pragma: no cover
         return "PolytopeKnowledge(dimension=%d, constraints=%d)" % (

@@ -17,14 +17,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.base import PostedPriceMechanism, PricingDecision
+from repro.core.base import KnowledgePricerStateMixin, PostedPriceMechanism, PricingDecision
 from repro.core.knowledge import IntervalKnowledge
 from repro.utils.validation import ensure_finite_scalar, ensure_positive
 
 _NEGATIVE_INFINITY = float("-inf")
 
 
-class OneDimensionalPricer(PostedPriceMechanism):
+class OneDimensionalPricer(KnowledgePricerStateMixin, PostedPriceMechanism):
     """Posted price mechanism for a one-dimensional feature (``n = 1``).
 
     Parameters

@@ -29,7 +29,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.core.base import PostedPriceMechanism, PricingDecision
+from repro.core.base import KnowledgePricerStateMixin, PostedPriceMechanism, PricingDecision
 from repro.core.knowledge import EllipsoidKnowledge, KnowledgeSet, PolytopeKnowledge
 from repro.utils.validation import ensure_finite_scalar, ensure_positive, ensure_vector
 
@@ -97,7 +97,7 @@ class PricerConfig:
         return max(dimension**2 / total_rounds, 4.0 * dimension * delta, 1e-12)
 
 
-class EllipsoidPricer(PostedPriceMechanism):
+class EllipsoidPricer(KnowledgePricerStateMixin, PostedPriceMechanism):
     """The paper's contextual dynamic pricing mechanism with reserve price.
 
     Parameters

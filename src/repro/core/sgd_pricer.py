@@ -174,6 +174,18 @@ class SGDContextualPricer(PostedPriceMechanism):
     def state_arrays(self) -> Tuple[np.ndarray, ...]:
         return (self.estimate,)
 
+    def _extra_state(self) -> dict:
+        return {"estimate": self.estimate.copy()}
+
+    def _load_extra_state(self, state: dict) -> None:
+        estimate = np.asarray(state["estimate"], dtype=float)
+        if estimate.shape != (self.dimension,):
+            raise ValueError(
+                "estimate state has shape %s, expected (%d,)"
+                % (estimate.shape, self.dimension)
+            )
+        self.estimate = estimate.copy()
+
     def _effective_reserve(self, reserve: Optional[float]) -> float:
         if not self.use_reserve or reserve is None:
             return _NEGATIVE_INFINITY

@@ -15,33 +15,56 @@ exactness contract.
 """
 
 from repro.engine.arrivals import ArrivalBatch, MaterializedArrivals, as_batch, materialize
+from repro.engine.checkpoint import (
+    CheckpointError,
+    PricerCheckpoint,
+    deserialize_state,
+    load_checkpoint,
+    load_result,
+    restore_pricer,
+    save_checkpoint,
+    save_result,
+    serialize_state,
+)
 from repro.engine.records import QueryArrival, RoundOutcome
 from repro.engine.reference import simulate_reference
 from repro.engine.results import SimulationResult
 from repro.engine.runmatrix import (
     MarketScenario,
     RunCell,
+    RunCellError,
     RunMatrix,
     RunMatrixResult,
 )
-from repro.engine.runner import prepare, simulate
+from repro.engine.runner import prepare, run_batch_chunked, simulate
 from repro.engine.transcript import Transcript, TranscriptRows
 
 __all__ = [
     "ArrivalBatch",
+    "CheckpointError",
     "MaterializedArrivals",
     "MarketScenario",
+    "PricerCheckpoint",
     "QueryArrival",
     "RoundOutcome",
     "RunCell",
+    "RunCellError",
     "RunMatrix",
     "RunMatrixResult",
     "SimulationResult",
     "Transcript",
     "TranscriptRows",
     "as_batch",
+    "deserialize_state",
+    "load_checkpoint",
+    "load_result",
     "materialize",
     "prepare",
+    "restore_pricer",
+    "run_batch_chunked",
+    "save_checkpoint",
+    "save_result",
+    "serialize_state",
     "simulate",
     "simulate_reference",
 ]

@@ -153,6 +153,20 @@ class ArrivalBatch:
         """Whether any round still needs its noise drawn."""
         return bool(np.any(np.isnan(self.noise)))
 
+    def slice(self, start: int, stop: int) -> "ArrivalBatch":
+        """The sub-horizon ``[start, stop)`` as a zero-copy column view.
+
+        Used by the chunked runner: slicing shares the underlying arrays, so
+        sharding a horizon never duplicates the market.
+        """
+        start, stop = _check_slice(start, stop, len(self))
+        return ArrivalBatch(
+            features=self.features[start:stop],
+            reserve_values=self.reserve_values[start:stop],
+            noise=self.noise[start:stop],
+            metadata=self.metadata[start:stop] if self.metadata is not None else None,
+        )
+
     # ------------------------------------------------------------------ #
     # Noise resolution
     # ------------------------------------------------------------------ #
@@ -220,6 +234,32 @@ class MaterializedArrivals:
     def dimension(self) -> int:
         """Link-space feature dimension seen by the pricers."""
         return self.mapped_features.shape[1]
+
+    def slice(self, start: int, stop: int) -> "MaterializedArrivals":
+        """The sub-horizon ``[start, stop)`` as a zero-copy column view.
+
+        The per-round quantities of round ``t`` are identical between the
+        full and the sliced materialisation — they were computed once, up
+        front — which is one half of the chunked-execution exactness
+        argument (the other half is the pricer state snapshot).
+        """
+        start, stop = _check_slice(start, stop, self.rounds)
+        return MaterializedArrivals(
+            batch=self.batch.slice(start, stop),
+            mapped_features=self.mapped_features[start:stop],
+            link_values=self.link_values[start:stop],
+            market_values=self.market_values[start:stop],
+            link_reserves=self.link_reserves[start:stop],
+        )
+
+
+def _check_slice(start: int, stop: int, rounds: int):
+    start, stop = int(start), int(stop)
+    if not 0 <= start <= stop <= rounds:
+        raise ValueError(
+            "invalid slice [%d, %d) of a %d-round horizon" % (start, stop, rounds)
+        )
+    return start, stop
 
 
 def materialize(model, batch: ArrivalBatch) -> MaterializedArrivals:

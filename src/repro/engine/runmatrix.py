@@ -19,20 +19,60 @@ fans the cells across workers:
 Seeds live in the scenario: a seed sweep registers one scenario per seed (see
 :meth:`RunMatrix.add_scenario_sweep`), which keeps a cell fully described by
 the ``(scenario, pricer)`` key pair.
+
+Two orthogonal extensions ride on the pricer checkpoint subsystem
+(:mod:`repro.engine.checkpoint`):
+
+* **within-cell horizon sharding** (``shard_rounds``) — one huge-``T`` cell is
+  executed as a chain of chunks; each chunk may run on a different worker,
+  resuming from the previous chunk's serialised state snapshot, and the chunk
+  chains of different cells are pipelined across the pool so a long-horizon
+  sweep keeps every core busy even when a single cell dominates;
+* **resume-after-crash** (``checkpoint_dir``) — each completed cell's result
+  is persisted; re-running the same matrix skips finished cells and reloads
+  their transcripts from disk.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import re
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.engine import checkpoint as checkpoint_store
 from repro.engine.arrivals import ArrivalBatch, MaterializedArrivals, as_batch, materialize
 from repro.engine.results import SimulationResult
-from repro.engine.runner import simulate
+from repro.engine.runner import _DECISION_COLUMNS, _dispatch, run_batch_chunked, simulate
+from repro.engine.transcript import Transcript
+
+
+class RunCellError(RuntimeError):
+    """One run-matrix cell failed; carries the failing cell's identity.
+
+    Worker pools strip tracebacks down to the raised exception, so a bare
+    pool error is useless for locating the failing (pricer, seed, scenario)
+    cell of a large sweep.  Every executor therefore wraps cell failures in
+    this exception, whose message and attributes name the cell.  The seed is
+    part of the scenario key (``add_scenario_sweep`` registers
+    ``prefix/seed=N`` keys), so the triple is fully identified.
+    """
+
+    def __init__(self, scenario: str, pricer: str, message: str) -> None:
+        super().__init__(scenario, pricer, message)
+        self.scenario = scenario
+        self.pricer = pricer
+
+    def __str__(self) -> str:
+        return "run-matrix cell (scenario=%r, pricer=%r) failed: %s" % (
+            self.scenario,
+            self.pricer,
+            self.args[2],
+        )
 
 
 @dataclass
@@ -122,6 +162,7 @@ class RunMatrix:
         self._pricer_factories: Dict[str, PricerFactory] = {}
         self._cells: List[RunCell] = []
         self._built_scenarios: Dict[str, MarketScenario] = {}
+        self._checkpoint_tag = ""
 
     # ------------------------------------------------------------------ #
     # Declaration
@@ -199,22 +240,61 @@ class RunMatrix:
         executor: str = "auto",
         max_workers: Optional[int] = None,
         track_latency: bool = False,
+        shard_rounds: Optional[int] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_tag: Optional[str] = None,
     ) -> RunMatrixResult:
         """Execute every declared cell and return the result grid.
 
         ``track_latency`` forces per-round timing, and with it the serial
         executor: the per-round wall-clock the paper reports (Section V-D)
         must not include CPU contention from sibling worker cells, so latency
-        runs are serialised across cells as well as within them.
+        runs are serialised across cells as well as within them (sharding is
+        disabled for the same reason).
+
+        ``shard_rounds`` enables within-cell horizon sharding: every cell's
+        horizon is executed as a chain of ``shard_rounds``-sized chunks
+        through pricer state checkpoints.  Under a parallel executor the
+        chunk chains of different cells are pipelined across the pool —
+        worker N resumes a cell from the serialised snapshot worker N-1
+        produced — so one huge-``T`` cell no longer serialises the whole
+        sweep behind a single core.  Sharded transcripts are bit-identical
+        to unsharded ones (the chunked-execution exactness contract).
+
+        ``checkpoint_dir`` persists every completed cell's result under the
+        given directory and, on a re-run, loads finished cells from disk
+        instead of re-simulating them — crash/resume for minutes-long sweeps.
+        Cells restored from disk do not re-build their scenario, so results
+        are matched purely by file name: pass ``checkpoint_tag`` — a string
+        fingerprinting the workload parameters (dimension, horizon, δ, …) —
+        whenever the same scenario/pricer keys can describe different
+        workloads (e.g. a smoke pass and a full pass sharing one directory).
+        The tag is baked into every cell's file name, so a mismatched run
+        never silently reuses a foreign result.
         """
         if not self._cells:
             return RunMatrixResult({})
         self._validate_executor(executor)
+        if shard_rounds is not None and shard_rounds < 1:
+            raise ValueError("shard_rounds must be at least 1, got %d" % shard_rounds)
         if track_latency:
             executor = "serial"
+            shard_rounds = None
+
+        self._checkpoint_tag = checkpoint_tag or ""
+        results: Dict[RunCell, SimulationResult] = {}
+        if checkpoint_dir is not None:
+            os.makedirs(checkpoint_dir, exist_ok=True)
+            for cell in self._cells:
+                path = _cell_result_path(checkpoint_dir, cell, self._checkpoint_tag)
+                if os.path.exists(path):
+                    results[cell] = checkpoint_store.load_result(path)
+        pending = [cell for cell in self._cells if cell not in results]
+        if not pending:
+            return RunMatrixResult({cell: results[cell] for cell in self._cells})
 
         needed = []
-        for cell in self._cells:
+        for cell in pending:
             if cell.scenario not in needed:
                 needed.append(cell.scenario)
 
@@ -224,16 +304,16 @@ class RunMatrix:
             # Lazy per-scenario execution: each scenario is built, materialised,
             # replayed by its cells, and its materialisation dropped before the
             # next one — peak memory is one market, not the whole grid.
-            results: Dict[RunCell, SimulationResult] = {}
             for key in needed:
                 scenario = self._scenario_builders[key]()
                 self._built_scenarios[key] = scenario
                 materialized = materialize(scenario.model, scenario.batch)
-                for cell in self._cells:
+                for cell in pending:
                     if cell.scenario == key:
-                        results[cell] = self._run_cell(
-                            (scenario, materialized), cell, track_latency
+                        result = self._run_cell(
+                            (scenario, materialized), cell, track_latency, shard_rounds
                         )
+                        self._store(results, cell, result, checkpoint_dir)
             return RunMatrixResult({cell: results[cell] for cell in self._cells})
 
         # Parallel executors: build + materialise every scenario up front —
@@ -246,24 +326,49 @@ class RunMatrix:
             self._built_scenarios[key] = scenario
 
         if executor == "auto":
-            workload = sum(prepared[cell.scenario][1].rounds for cell in self._cells)
+            workload = sum(prepared[cell.scenario][1].rounds for cell in pending)
             executor = "process" if workload >= self.AUTO_PROCESS_THRESHOLD else "serial"
             if executor == "serial":
-                results = {
-                    cell: self._run_cell(prepared[cell.scenario], cell, track_latency)
-                    for cell in self._cells
-                }
-                return RunMatrixResult(results)
+                for cell in pending:
+                    result = self._run_cell(
+                        prepared[cell.scenario], cell, track_latency, shard_rounds
+                    )
+                    self._store(results, cell, result, checkpoint_dir)
+                return RunMatrixResult({cell: results[cell] for cell in self._cells})
 
         if executor == "thread":
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                futures = {
-                    cell: pool.submit(
-                        self._run_cell, prepared[cell.scenario], cell, track_latency
+                if shard_rounds is not None:
+                    self._run_sharded(
+                        pool,
+                        pending,
+                        shard_rounds,
+                        results,
+                        checkpoint_dir,
+                        submit=lambda cell, start, stop, blob: pool.submit(
+                            _run_chunk,
+                            prepared[cell.scenario],
+                            self._pricer_factories[cell.pricer],
+                            cell,
+                            start,
+                            stop,
+                            blob,
+                        ),
+                        rounds_of=lambda cell: prepared[cell.scenario][1].rounds,
+                        transcript_for=lambda cell: Transcript.for_materialized(
+                            prepared[cell.scenario][1]
+                        ),
                     )
-                    for cell in self._cells
-                }
-                return RunMatrixResult({cell: f.result() for cell, f in futures.items()})
+                else:
+                    futures = {
+                        cell: pool.submit(
+                            self._run_cell, prepared[cell.scenario], cell, track_latency, None
+                        )
+                        for cell in pending
+                    }
+                    for cell, future in futures.items():
+                        self._store(results, cell, future.result(), checkpoint_dir)
+            return RunMatrixResult({cell: results[cell] for cell in self._cells})
 
         # Fork-based process pool: expose the prepared scenarios and factories
         # through a module-level registry so workers reach them via
@@ -274,31 +379,133 @@ class RunMatrix:
         _WORKER_STATES[token] = (prepared, dict(self._pricer_factories), track_latency)
         try:
             context = multiprocessing.get_context("fork")
-            workers = max_workers or min(len(self._cells), os.cpu_count() or 1)
+            workers = max_workers or min(len(pending), os.cpu_count() or 1)
             with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-                futures = {
-                    cell: pool.submit(_run_cell_in_worker, token, cell)
-                    for cell in self._cells
-                }
-                return RunMatrixResult({cell: f.result() for cell, f in futures.items()})
+                if shard_rounds is not None:
+                    self._run_sharded(
+                        pool,
+                        pending,
+                        shard_rounds,
+                        results,
+                        checkpoint_dir,
+                        submit=lambda cell, start, stop, blob: pool.submit(
+                            _run_chunk_in_worker, token, cell, start, stop, blob
+                        ),
+                        rounds_of=lambda cell: prepared[cell.scenario][1].rounds,
+                        transcript_for=lambda cell: Transcript.for_materialized(
+                            prepared[cell.scenario][1]
+                        ),
+                    )
+                else:
+                    futures = {
+                        cell: pool.submit(_run_cell_in_worker, token, cell)
+                        for cell in pending
+                    }
+                    for cell, future in futures.items():
+                        self._store(results, cell, future.result(), checkpoint_dir)
+            return RunMatrixResult({cell: results[cell] for cell in self._cells})
         finally:
             _WORKER_STATES.pop(token, None)
+
+    def _run_sharded(
+        self,
+        pool,
+        cells: Sequence[RunCell],
+        shard_rounds: int,
+        results: Dict[RunCell, SimulationResult],
+        checkpoint_dir: Optional[str],
+        submit,
+        rounds_of,
+        transcript_for,
+    ) -> None:
+        """Pipeline the chunk chains of ``cells`` across a worker pool.
+
+        Chunks of one cell are strictly ordered (chunk ``k+1`` resumes from
+        the serialised pricer state chunk ``k`` returned), but chunks of
+        *different* cells interleave freely: at any moment each unfinished
+        cell has exactly one chunk in flight, so the pool stays busy as long
+        as there are more unfinished cells than workers — and a single
+        huge-horizon cell still makes forward progress chunk by chunk.
+        """
+        transcripts: Dict[RunCell, Transcript] = {}
+        state_blobs: Dict[RunCell, Optional[bytes]] = {}
+        in_flight = {}
+
+        def _submit_next(cell: RunCell, start: int) -> None:
+            stop = min(start + shard_rounds, rounds_of(cell))
+            future = submit(cell, start, stop, state_blobs.get(cell))
+            in_flight[future] = (cell, start, stop)
+
+        for cell in cells:
+            transcripts[cell] = transcript_for(cell)
+            state_blobs[cell] = None
+            if rounds_of(cell) == 0:
+                self._store(
+                    results, cell, _finalize_cell(cell, transcripts[cell]), checkpoint_dir
+                )
+            else:
+                _submit_next(cell, 0)
+
+        while in_flight:
+            done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+            for future in done:
+                cell, start, stop = in_flight.pop(future)
+                columns, blob = future.result()
+                transcript = transcripts[cell]
+                for name in _DECISION_COLUMNS:
+                    getattr(transcript, name)[start:stop] = columns[name]
+                state_blobs[cell] = blob
+                if stop < rounds_of(cell):
+                    _submit_next(cell, stop)
+                else:
+                    self._store(
+                        results, cell, _finalize_cell(cell, transcript), checkpoint_dir
+                    )
+
+    def _store(
+        self,
+        results: Dict[RunCell, SimulationResult],
+        cell: RunCell,
+        result: SimulationResult,
+        checkpoint_dir: Optional[str],
+    ) -> None:
+        results[cell] = result
+        if checkpoint_dir is not None:
+            checkpoint_store.save_result(
+                _cell_result_path(checkpoint_dir, cell, self._checkpoint_tag), result
+            )
 
     def _run_cell(
         self,
         prepared: Tuple[MarketScenario, MaterializedArrivals],
         cell: RunCell,
         track_latency: bool,
+        shard_rounds: Optional[int] = None,
     ) -> SimulationResult:
         scenario, materialized = prepared
-        pricer = self._pricer_factories[cell.pricer](scenario)
-        return simulate(
-            scenario.model,
-            pricer,
-            materialized=materialized,
-            track_latency=track_latency,
-            pricer_name=cell.pricer,
-        )
+        try:
+            pricer = self._pricer_factories[cell.pricer](scenario)
+            if shard_rounds is not None:
+                return run_batch_chunked(
+                    scenario.model,
+                    pricer,
+                    materialized=materialized,
+                    chunk_size=shard_rounds,
+                    pricer_name=cell.pricer,
+                )
+            return simulate(
+                scenario.model,
+                pricer,
+                materialized=materialized,
+                track_latency=track_latency,
+                pricer_name=cell.pricer,
+            )
+        except RunCellError:
+            raise
+        except Exception as exc:
+            raise RunCellError(
+                cell.scenario, cell.pricer, "%s: %s" % (type(exc).__name__, exc)
+            ) from exc
 
     #: Minimum total round-cells before "auto" pays the fork overhead of the
     #: process executor.
@@ -348,11 +555,84 @@ def _run_cell_in_worker(token: str, cell: RunCell) -> SimulationResult:
         )
     prepared, factories, track_latency = state
     scenario, materialized = prepared[cell.scenario]
-    pricer = factories[cell.pricer](scenario)
-    return simulate(
-        scenario.model,
-        pricer,
-        materialized=materialized,
-        track_latency=track_latency,
-        pricer_name=cell.pricer,
-    )
+    try:
+        pricer = factories[cell.pricer](scenario)
+        return simulate(
+            scenario.model,
+            pricer,
+            materialized=materialized,
+            track_latency=track_latency,
+            pricer_name=cell.pricer,
+        )
+    except Exception as exc:
+        # RunCellError pickles cleanly across the pool pipe (its args are the
+        # three strings), so the parent sees the failing cell's identity
+        # instead of a bare traceback-less pool error.
+        raise RunCellError(
+            cell.scenario, cell.pricer, "%s: %s" % (type(exc).__name__, exc)
+        ) from exc
+
+
+def _run_chunk_in_worker(
+    token: str, cell: RunCell, start: int, stop: int, state_blob: Optional[bytes]
+):
+    """Process-pool entry point: run one chunk of one sharded cell."""
+    state = _WORKER_STATES.get(token)
+    if state is None:  # pragma: no cover - defensive
+        raise RuntimeError(
+            "run-matrix worker state %r missing (not forked from run()?)" % token
+        )
+    prepared, factories, _track_latency = state
+    return _run_chunk(prepared[cell.scenario], factories[cell.pricer], cell, start, stop, state_blob)
+
+
+def _run_chunk(
+    prepared: Tuple[MarketScenario, MaterializedArrivals],
+    factory: PricerFactory,
+    cell: RunCell,
+    start: int,
+    stop: int,
+    state_blob: Optional[bytes],
+):
+    """Run rounds ``[start, stop)`` of one cell from a serialised snapshot.
+
+    A *fresh* pricer is built for every chunk and the previous chunk's
+    serialised state is loaded into it — the same restore path a
+    crash-resume would take, so the sharded executor continuously exercises
+    the checkpoint contract.  Returns the chunk's decision columns and the
+    serialised state after the chunk.
+    """
+    scenario, materialized = prepared
+    try:
+        pricer = factory(scenario)
+        if state_blob is not None:
+            pricer.load_state(checkpoint_store.deserialize_state(state_blob))
+        chunk = materialized.slice(start, stop)
+        transcript = Transcript.for_materialized(chunk)
+        _dispatch(scenario.model, pricer, chunk, transcript)
+        columns = {name: getattr(transcript, name) for name in _DECISION_COLUMNS}
+        return columns, checkpoint_store.serialize_state(pricer.state_dict())
+    except Exception as exc:
+        raise RunCellError(
+            cell.scenario,
+            cell.pricer,
+            "chunk [%d, %d): %s: %s" % (start, stop, type(exc).__name__, exc),
+        ) from exc
+
+
+def _finalize_cell(cell: RunCell, transcript: Transcript) -> SimulationResult:
+    transcript.finalize_regrets()
+    return SimulationResult(pricer_name=cell.pricer, transcript=transcript)
+
+
+def _cell_result_path(checkpoint_dir: str, cell: RunCell, tag: str = "") -> str:
+    """A stable, filesystem-safe result path for one (scenario, pricer) cell.
+
+    The workload ``tag`` participates in the digest, so two sweeps sharing
+    scenario/pricer keys but differing in workload parameters never collide.
+    """
+    digest = hashlib.sha1(
+        ("%s\x00%s\x00%s" % (cell.scenario, cell.pricer, tag)).encode("utf-8")
+    ).hexdigest()[:12]
+    slug = re.sub(r"[^A-Za-z0-9._=-]+", "-", "%s__%s" % (cell.scenario, cell.pricer))
+    return os.path.join(checkpoint_dir, "%s-%s.result.npz" % (slug[:80], digest))

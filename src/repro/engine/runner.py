@@ -23,6 +23,8 @@ wall-clock only makes sense around real ``propose``/``update`` calls.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import time
 from typing import Optional
 
@@ -88,10 +90,8 @@ def simulate(
 
     if track_latency:
         _run_loop(model, pricer, materialized, transcript, latency=latency)
-    elif getattr(pricer, "supports_batch_propose", False):
-        _run_vectorized(model, pricer, materialized, transcript)
-    elif not pricer.run_batch(model, materialized, transcript):
-        _run_loop(model, pricer, materialized, transcript, latency=None)
+    else:
+        _dispatch(model, pricer, materialized, transcript)
 
     transcript.finalize_regrets()
     return SimulationResult(
@@ -101,9 +101,167 @@ def simulate(
     )
 
 
+def run_batch_chunked(
+    model,
+    pricer,
+    arrivals=None,
+    noise=None,
+    rng: RngLike = None,
+    chunk_size: int = 4096,
+    materialized: Optional[MaterializedArrivals] = None,
+    pricer_name: Optional[str] = None,
+    checkpoint_path: Optional[str] = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
+) -> SimulationResult:
+    """Execute one horizon as a sequence of chunks through checkpoints.
+
+    The horizon is split into ``ceil(T / chunk_size)`` chunks.  Each chunk is
+    driven through the same strategy dispatch as :func:`simulate` over a
+    zero-copy slice of the materialised market; at every chunk boundary the
+    pricer's state is pushed through a full ``state_dict → serialise →
+    deserialise → load_state`` round-trip, so the continuation always resumes
+    from the serialised snapshot.  The result is **bit-identical** to the
+    unchunked run for every chunk size (pinned by the checkpoint property
+    tests and the golden-transcript tier).
+
+    Parameters
+    ----------
+    chunk_size:
+        Rounds per chunk (the final chunk may be shorter).
+    checkpoint_path:
+        Optional file updated atomically at checkpoint boundaries with the
+        pricer state, the number of completed rounds, the partial transcript
+        columns, and a fingerprint of the materialised market — everything
+        needed to resume after a crash.
+    resume:
+        When true and ``checkpoint_path`` exists, restore the pricer state
+        and the completed-round columns from it and continue from where the
+        interrupted run stopped.  ``pricer`` must then be a freshly
+        constructed instance with the interrupted run's configuration; a
+        checkpoint taken against a *different market* is rejected via the
+        stored fingerprint.
+    checkpoint_every:
+        Persist the checkpoint every N-th chunk boundary (the final boundary
+        is always written).  Each write contains the whole completed prefix,
+        so total checkpoint I/O is ``O(T² / (chunk_size · N))`` — raise N on
+        huge horizons with small chunks.
+
+    Latency tracking is intentionally unsupported here: per-round timing
+    forces the sequential loop and gains nothing from chunking — use
+    :func:`simulate` with ``track_latency=True``.
+    """
+    from repro.engine import checkpoint as checkpoint_module
+
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1, got %d" % chunk_size)
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be at least 1, got %d" % checkpoint_every)
+    if materialized is None:
+        if arrivals is None:
+            raise ValueError("either arrivals or materialized must be provided")
+        materialized = prepare(model, arrivals, noise=noise, rng=rng)
+    rounds = materialized.rounds
+    transcript = Transcript.for_materialized(materialized)
+    fingerprint = (
+        _market_fingerprint(materialized) if checkpoint_path is not None else None
+    )
+
+    start = 0
+    if resume and checkpoint_path is not None and os.path.exists(checkpoint_path):
+        loaded = checkpoint_module.load_checkpoint(checkpoint_path)
+        stored_fingerprint = loaded.meta.get("market_fingerprint")
+        if stored_fingerprint is not None and stored_fingerprint != fingerprint:
+            raise checkpoint_module.CheckpointError(
+                "checkpoint %r was taken against a different market "
+                "(fingerprint %s != %s); refusing to resume"
+                % (checkpoint_path, stored_fingerprint, fingerprint)
+            )
+        checkpoint_module.restore_pricer(pricer, loaded)
+        start = int(loaded.rounds_done)
+        if start > rounds:
+            raise checkpoint_module.CheckpointError(
+                "checkpoint has %d completed rounds but the horizon is %d"
+                % (start, rounds)
+            )
+        stored = loaded.meta.get("columns", {})
+        for name in _DECISION_COLUMNS:
+            column = stored.get(name)
+            if column is None or column.shape[0] != start:
+                raise checkpoint_module.CheckpointError(
+                    "checkpoint column %r is missing or mis-sized" % name
+                )
+            getattr(transcript, name)[:start] = column
+
+    chunk_index = 0
+    while start < rounds:
+        stop = min(start + chunk_size, rounds)
+        chunk = materialized.slice(start, stop)
+        chunk_transcript = Transcript.for_materialized(chunk)
+        _dispatch(model, pricer, chunk, chunk_transcript)
+        for name in _DECISION_COLUMNS:
+            getattr(transcript, name)[start:stop] = getattr(chunk_transcript, name)
+        start = stop
+        chunk_index += 1
+        if start < rounds:
+            # Resume the next chunk from the serialised snapshot, never from
+            # live in-memory state, so incomplete snapshots cannot hide.
+            checkpoint_module.roundtrip_state(pricer)
+        if checkpoint_path is not None and (
+            start == rounds or chunk_index % checkpoint_every == 0
+        ):
+            columns = {
+                name: getattr(transcript, name)[:start].copy()
+                for name in _DECISION_COLUMNS
+            }
+            checkpoint_module.save_checkpoint(
+                checkpoint_path,
+                pricer,
+                start,
+                meta={"columns": columns, "market_fingerprint": fingerprint},
+            )
+
+    transcript.finalize_regrets()
+    return SimulationResult(
+        pricer_name=pricer_name or getattr(pricer, "name", type(pricer).__name__),
+        transcript=transcript,
+        latency=OnlineLatencyTracker(),
+    )
+
+
+#: Transcript columns written by the pricer strategies (the environment
+#: columns are pre-filled by :meth:`Transcript.for_materialized`, regret is
+#: finalised vectorised at the end).
+_DECISION_COLUMNS = ("link_prices", "posted_prices", "sold", "skipped", "exploratory")
+
+
+def _market_fingerprint(materialized: MaterializedArrivals) -> str:
+    """A cheap identity digest of one materialised market.
+
+    Stored inside chunked-run checkpoints and verified on resume, so a
+    checkpoint taken against one market can never be silently continued on
+    another (which would stitch two unrelated half-transcripts together).
+    Computed once per run from the realised values and reserves — the two
+    columns every decision depends on.
+    """
+    digest = hashlib.sha1()
+    digest.update(b"%d:%d:" % (materialized.rounds, materialized.dimension))
+    digest.update(np.ascontiguousarray(materialized.market_values).tobytes())
+    digest.update(np.ascontiguousarray(materialized.link_reserves).tobytes())
+    return digest.hexdigest()
+
+
 # --------------------------------------------------------------------------- #
 # Strategies
 # --------------------------------------------------------------------------- #
+
+
+def _dispatch(model, pricer, materialized: MaterializedArrivals, transcript: Transcript) -> None:
+    """Strategy dispatch shared by :func:`simulate` and the chunked runner."""
+    if getattr(pricer, "supports_batch_propose", False):
+        _run_vectorized(model, pricer, materialized, transcript)
+    elif not pricer.run_batch(model, materialized, transcript):
+        _run_loop(model, pricer, materialized, transcript, latency=None)
 
 
 def _run_vectorized(model, pricer, materialized: MaterializedArrivals, transcript: Transcript) -> None:

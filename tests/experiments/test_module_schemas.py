@@ -1,0 +1,159 @@
+"""Output-schema smoke tests for the experiments support modules.
+
+Each module named by the roadmap (``cold_start``, ``adversarial``,
+``noise_robustness``, ``reporting``, ``export``) is smoke-run on a tiny grid
+and its output *schema* asserted — field names, key sets, value types, and
+formatting invariants — so refactors of the result dataclasses cannot
+silently break downstream consumers (``run_experiments.py``, the CLI, CSV
+exports).
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.adversarial import AdversarialResult, run_adversarial_example
+from repro.experiments.cold_start import ColdStartResult, run_cold_start
+from repro.experiments.export import (
+    read_series_csv,
+    write_json,
+    write_rows_csv,
+    write_series_csv,
+)
+from repro.experiments.noise_robustness import (
+    NoiseRobustnessResult,
+    format_noise_robustness,
+    run_noise_robustness,
+)
+from repro.experiments.reporting import checkpoints_for, format_series_table, format_table
+
+
+class TestColdStartSchema:
+    def test_result_schema(self):
+        result = run_cold_start(dimension=5, rounds=200, window=50, owner_count=30, seed=3)
+        assert isinstance(result, ColdStartResult)
+        assert result.dimension == 5
+        assert result.window == 50
+        assert result.rounds == 200
+        version_keys = {
+            "pure version",
+            "with uncertainty",
+            "with reserve price",
+            "with reserve price and uncertainty",
+        }
+        for mapping in (
+            result.early_regret_ratio,
+            result.early_cumulative_regret,
+            result.final_regret_ratio,
+        ):
+            assert set(mapping) == version_keys
+            assert all(isinstance(value, float) for value in mapping.values())
+            assert all(math.isfinite(value) for value in mapping.values())
+        assert isinstance(result.reserve_cold_start_reduction_percent(), float)
+        text = result.format()
+        assert "regret ratio @ 50" in text
+        assert "regret ratio @ 200" in text
+
+
+class TestAdversarialSchema:
+    def test_result_schema(self):
+        results = run_adversarial_example(rounds=200)
+        assert set(results) == {"forbidden", "allowed"}
+        for key, result in results.items():
+            assert isinstance(result, AdversarialResult)
+            assert result.allow_conservative_cuts == (key == "allowed")
+            assert result.rounds == 200
+            assert result.dimension == 2
+            assert math.isfinite(result.cumulative_regret)
+            assert result.second_half_regret <= result.cumulative_regret + 1e-9
+            assert isinstance(result.exploratory_rounds_second_half, int)
+            assert result.width_along_second_axis_at_half_time >= 0.0
+            line = result.format()
+            assert "total regret" in line
+            assert "conservative cuts" in line
+
+
+class TestNoiseRobustnessSchema:
+    def test_result_schema(self):
+        results = run_noise_robustness(
+            sigmas=(0.0, 0.004), use_buffer=True, dimension=4, rounds=150, seed=9
+        )
+        assert [r.sigma for r in results] == [0.0, 0.004]
+        for result in results:
+            assert isinstance(result, NoiseRobustnessResult)
+            assert result.rounds == 150
+            assert result.dimension == 4
+            assert isinstance(result.theta_retained, bool)
+            cells = result.as_cells()
+            assert len(cells) == 5
+            assert all(isinstance(cell, str) for cell in cells)
+        table = format_noise_robustness(results)
+        header = table.splitlines()[0]
+        for column in ("sigma", "delta (buffer)", "cumulative regret", "theta retained"):
+            assert column in header
+
+
+class TestReportingSchema:
+    def test_format_table_structure(self):
+        text = format_table(["name", "value"], [["a", 1.0], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert set(lines[1]) <= {"-", " "}
+        # Columns stay aligned: every line is equally wide or shorter.
+        assert len(lines[0]) == len(lines[1])
+
+    def test_format_series_table_structure(self):
+        text = format_series_table(
+            [1, 10, 100], {"alpha": [0.5, 0.2, 0.1], "beta": [0.6, 0.3, 0.2]},
+            value_label="regret ratio",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "regret ratio at checkpoints"
+        assert lines[1].split()[:1] == ["rounds"]
+        assert "alpha" in lines[1] and "beta" in lines[1]
+        assert len(lines) == 3 + 3  # title, header, rule, one row per checkpoint
+
+    def test_format_series_table_pads_short_series(self):
+        text = format_series_table([1, 10], {"short": [0.5]})
+        assert "nan" in text
+
+    def test_checkpoints_schema(self):
+        points = checkpoints_for(500, count=8)
+        assert all(isinstance(point, int) for point in points)
+        assert points[0] >= 1 and points[-1] == 500
+
+
+class TestExportSchema:
+    def test_series_csv_schema(self, tmp_path):
+        path = str(tmp_path / "series.csv")
+        write_series_csv(path, [1, 2], {"a": [0.1, 0.2], "b": [0.3]}, index_label="t")
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert lines[0] == "t,a,b"
+        assert len(lines) == 3
+        # Missing tail values serialise as empty cells, read back as NaN.
+        checkpoints, series = read_series_csv(path)
+        assert checkpoints == [1, 2]
+        assert set(series) == {"a", "b"}
+        assert math.isnan(series["b"][1])
+
+    def test_rows_csv_schema(self, tmp_path):
+        path = str(tmp_path / "rows.csv")
+        write_rows_csv(path, ["x", "y"], [[1, "a"], [2, "b"]])
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+        assert lines == ["x,y", "1,a", "2,b"]
+
+    def test_write_json_stringifies_unknown_types(self, tmp_path):
+        path = str(tmp_path / "payload.json")
+        write_json(path, {"value": np.float64(1.5), "array_like": [1, 2]})
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["array_like"] == [1, 2]
+        assert float(payload["value"]) == 1.5
+
+    def test_export_returns_written_path(self, tmp_path):
+        path = str(tmp_path / "nested" / "deep" / "file.json")
+        assert write_json(path, {"k": 1}) == path
