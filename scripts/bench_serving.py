@@ -1,0 +1,194 @@
+#!/usr/bin/env python
+"""Load-generate the online quote-serving subsystem and report throughput.
+
+The workload is the fig4-style market (noisy linear query, the same
+environment ``scripts/bench_engine.py`` times offline): one shared arrival
+stream replayed closed-loop by N concurrent pricing sessions — each round
+submits one quote per session, the micro-batch window coalesces them into a
+single drain, sales are settled against the realised market values, and the
+accept/reject outcomes go back through the batched feedback path before the
+next round (so every session runs the exact online protocol).
+
+The report (``BENCH_serving.json``) carries quotes/sec, p50/p99 per-quote
+latency (enqueue → response, i.e. including micro-batch queueing delay),
+sessions resident, and the registry/service lifecycle counters.  CI runs a
+short burst of this script and uploads the report alongside the engine
+smoke bench.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serving.py --rounds 5000 --sessions 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.apps.common import ALGORITHM_VERSIONS, build_pricer_for_version
+from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
+from repro.engine import prepare, stream_rounds
+from repro.serving import (
+    FeedbackEvent,
+    MicroBatchConfig,
+    PricerRegistry,
+    QuoteRequest,
+    QuoteService,
+    SessionKey,
+)
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rounds", type=int, default=5_000, help="rounds per session")
+    parser.add_argument("--sessions", type=int, default=4, help="concurrent pricing sessions")
+    parser.add_argument("--dimension", type=int, default=20, help="feature dimension n")
+    parser.add_argument("--owner-count", type=int, default=200, help="data owner count")
+    parser.add_argument("--seed", type=int, default=7, help="master seed")
+    parser.add_argument("--delta", type=float, default=0.01, help="uncertainty buffer")
+    parser.add_argument("--max-batch", type=int, default=64, help="micro-batch size bound")
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=1.0, help="micro-batch window in milliseconds"
+    )
+    parser.add_argument(
+        "--snapshot-dir", default=None, help="session snapshot directory (default: off)"
+    )
+    parser.add_argument(
+        "--persist-every",
+        type=int,
+        default=0,
+        help="write-behind cadence in feedback updates (0 = only on flush/evict)",
+    )
+    parser.add_argument(
+        "--max-sessions", type=int, default=None, help="LRU residency bound (default: unbounded)"
+    )
+    parser.add_argument(
+        "--min-qps",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when quotes/sec lands below this floor (0 = report only)",
+    )
+    parser.add_argument("--output", default="BENCH_serving.json", help="JSON output path")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    config = NoisyLinearQueryConfig(
+        dimension=args.dimension,
+        rounds=args.rounds,
+        owner_count=args.owner_count,
+        delta=args.delta,
+        seed=args.seed,
+    )
+    print(
+        "building fig4 workload (n=%d, T=%d per session, %d sessions) ..."
+        % (args.dimension, args.rounds, args.sessions)
+    )
+    environment = build_noisy_query_environment(config)
+    materialized = prepare(environment.model, environment.arrival_batch())
+
+    versions = list(ALGORITHM_VERSIONS)
+    keys = [
+        SessionKey(app="fig4", segment="shard=%d/%s" % (index, versions[index % len(versions)]))
+        for index in range(args.sessions)
+    ]
+    version_of = {
+        key: versions[index % len(versions)] for index, key in enumerate(keys)
+    }
+
+    def factory(key: SessionKey):
+        return environment.model, build_pricer_for_version(environment, version_of[key])
+
+    registry = PricerRegistry(
+        factory,
+        snapshot_dir=args.snapshot_dir,
+        max_sessions=args.max_sessions,
+        persist_every=args.persist_every,
+    )
+    service = QuoteService(
+        registry,
+        config=MicroBatchConfig(
+            max_batch=max(args.max_batch, args.sessions),
+            max_wait_seconds=args.max_wait_ms / 1000.0,
+        ),
+    )
+
+    print("serving %d quotes ..." % (args.rounds * args.sessions))
+    start = time.perf_counter()
+    for round_ in stream_rounds(materialized):
+        for key in keys:
+            service.submit(
+                QuoteRequest(key=key, features=round_.features, reserve=round_.reserve)
+            )
+        events = []
+        for response in service.flush():
+            sold = (
+                not response.skipped
+                and response.posted_price is not None
+                and response.posted_price <= round_.market_value
+            )
+            events.append(
+                FeedbackEvent(key=response.key, quote_id=response.quote_id, accepted=sold)
+            )
+        service.feedback_batch(events)
+    wall_seconds = time.perf_counter() - start
+    if args.snapshot_dir:
+        registry.flush()
+
+    quotes = service.stats.quotes_served
+    qps = quotes / wall_seconds if wall_seconds > 0 else float("inf")
+    latency = service.stats.latency_summary()
+    print(
+        "served %d quotes in %.2fs  ->  %.0f quotes/sec   p50 %.4f ms   p99 %.4f ms"
+        % (quotes, wall_seconds, qps, latency.p50_ms, latency.p99_ms)
+    )
+
+    report = {
+        "benchmark": "bench_serving (fig4-style closed-loop, noisy linear query)",
+        "config": {
+            "rounds": args.rounds,
+            "sessions": args.sessions,
+            "dimension": args.dimension,
+            "owner_count": args.owner_count,
+            "delta": args.delta,
+            "seed": args.seed,
+            "max_batch": max(args.max_batch, args.sessions),
+            "max_wait_ms": args.max_wait_ms,
+            "persist_every": args.persist_every,
+            "snapshot_dir": bool(args.snapshot_dir),
+        },
+        "cpu_count": os.cpu_count(),
+        "quotes": quotes,
+        "wall_seconds": round(wall_seconds, 4),
+        "quotes_per_second": round(qps, 1),
+        "latency": {name: round(value, 6) for name, value in latency.as_dict().items()},
+        "sessions_resident": registry.resident_count,
+        "service": {
+            "drains": service.stats.drains,
+            "batched_proposals": service.stats.batched_proposals,
+            "feedback_applied": service.stats.feedback_applied,
+        },
+        "registry": registry.stats.as_dict(),
+    }
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+
+    if args.min_qps > 0 and qps < args.min_qps:
+        print(
+            "ERROR: %.0f quotes/sec below the required %.0f" % (qps, args.min_qps),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -59,6 +59,45 @@ class BatchDecisions:
         """Number of decided rounds."""
         return self.link_prices.shape[0]
 
+    def to_decisions(
+        self, features: np.ndarray, reserves: np.ndarray, start_index: int
+    ) -> "list":
+        """Expand the columnar decisions into object-level :class:`PricingDecision`\\ s.
+
+        The engine discards decision objects on its batched paths, but the
+        serving layer needs one per quote to route asynchronous accept/reject
+        feedback back through :meth:`PostedPriceMechanism.update`.  Only
+        stateless pricers produce :class:`BatchDecisions` (the
+        ``supports_batch_propose`` contract), so the bounds are the ±∞ they
+        report from :meth:`propose` as well; ``start_index`` is the pricer's
+        ``rounds_seen`` *before* the ``propose_batch`` call, matching the
+        ``round_index`` sequence the object protocol would have assigned.
+        """
+        features = np.asarray(features, dtype=float)
+        reserves = np.asarray(reserves, dtype=float)
+        if features.shape[0] != self.rounds or reserves.shape[0] != self.rounds:
+            raise ValueError(
+                "expected %d feature rows / reserves, got %d / %d"
+                % (self.rounds, features.shape[0], reserves.shape[0])
+            )
+        decisions = []
+        for index in range(self.rounds):
+            price = self.link_prices[index]
+            reserve = reserves[index]
+            decisions.append(
+                PricingDecision(
+                    features=features[index],
+                    reserve=None if np.isnan(reserve) else float(reserve),
+                    lower_bound=float("-inf"),
+                    upper_bound=float("inf"),
+                    price=None if np.isnan(price) else float(price),
+                    exploratory=bool(self.exploratory[index]),
+                    skipped=bool(self.skipped[index]),
+                    round_index=int(start_index) + index,
+                )
+            )
+        return decisions
+
 
 @dataclass
 class PricingDecision:

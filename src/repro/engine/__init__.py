@@ -37,6 +37,7 @@ from repro.engine.runmatrix import (
     RunMatrixResult,
 )
 from repro.engine.runner import prepare, run_batch_chunked, simulate
+from repro.engine.streaming import StreamedRound, stream_rounds
 from repro.engine.transcript import Transcript, TranscriptRows
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "RunMatrix",
     "RunMatrixResult",
     "SimulationResult",
+    "StreamedRound",
     "Transcript",
     "TranscriptRows",
     "as_batch",
@@ -67,4 +69,5 @@ __all__ = [
     "serialize_state",
     "simulate",
     "simulate_reference",
+    "stream_rounds",
 ]

@@ -233,6 +233,30 @@ def save_checkpoint(path: str, pricer, rounds_done: int, meta: Optional[dict] = 
     return path
 
 
+def save_state_checkpoint(
+    path: str, pricer_type: str, rounds_done: int, state: dict, meta: Optional[dict] = None
+) -> str:
+    """Write a pricer checkpoint from an already-extracted state mapping.
+
+    The run-matrix sharded executor holds serialised pricer state in the
+    parent (workers return it over the pool pipe) without ever holding the
+    pricer itself; this entry point lets it persist mid-cell progress in the
+    exact on-disk format :func:`save_checkpoint` produces, so the file is
+    interchangeable with one written by ``run_batch_chunked`` — either side
+    can resume the other's interrupted cell.
+    """
+    if rounds_done < 0:
+        raise ValueError("rounds_done must be non-negative, got %d" % rounds_done)
+    checkpoint = PricerCheckpoint(
+        pricer_type=str(pricer_type),
+        rounds_done=int(rounds_done),
+        state=state,
+        meta=dict(meta or {}),
+    )
+    _atomic_write(path, checkpoint_to_bytes(checkpoint))
+    return path
+
+
 def load_checkpoint(path: str) -> PricerCheckpoint:
     """Read a pricer checkpoint written by :func:`save_checkpoint`."""
     with open(path, "rb") as handle:

@@ -47,7 +47,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.engine import checkpoint as checkpoint_store
 from repro.engine.arrivals import ArrivalBatch, MaterializedArrivals, as_batch, materialize
 from repro.engine.results import SimulationResult
-from repro.engine.runner import _DECISION_COLUMNS, _dispatch, run_batch_chunked, simulate
+from repro.engine.runner import (
+    _DECISION_COLUMNS,
+    _dispatch,
+    _market_fingerprint,
+    run_batch_chunked,
+    simulate,
+)
 from repro.engine.transcript import Transcript
 
 
@@ -243,6 +249,7 @@ class RunMatrix:
         shard_rounds: Optional[int] = None,
         checkpoint_dir: Optional[str] = None,
         checkpoint_tag: Optional[str] = None,
+        chunk_checkpoint_every: int = 1,
     ) -> RunMatrixResult:
         """Execute every declared cell and return the result grid.
 
@@ -264,6 +271,18 @@ class RunMatrix:
         ``checkpoint_dir`` persists every completed cell's result under the
         given directory and, on a re-run, loads finished cells from disk
         instead of re-simulating them — crash/resume for minutes-long sweeps.
+        Combined with ``shard_rounds`` the resume is additionally *mid-cell*:
+        every chunk boundary of an unfinished cell is persisted as a pricer
+        checkpoint (``*.chunk.npz``, the ``run_batch_chunked`` format), so a
+        crashed sweep re-runs only the chunks after the last completed
+        boundary of the interrupted cell instead of the whole huge-``T``
+        horizon.  Chunk files are deleted once their cell's result file is
+        written; a stale or foreign chunk file (workload changed under the
+        same keys without a ``checkpoint_tag``) is detected via the stored
+        market fingerprint and ignored.  Each chunk write persists the whole
+        completed prefix, so ``chunk_checkpoint_every=N`` persists only every
+        N-th boundary — raise it on huge horizons with small chunks (the
+        ``run_batch_chunked(checkpoint_every=...)`` trade-off).
         Cells restored from disk do not re-build their scenario, so results
         are matched purely by file name: pass ``checkpoint_tag`` — a string
         fingerprinting the workload parameters (dimension, horizon, δ, …) —
@@ -277,6 +296,10 @@ class RunMatrix:
         self._validate_executor(executor)
         if shard_rounds is not None and shard_rounds < 1:
             raise ValueError("shard_rounds must be at least 1, got %d" % shard_rounds)
+        if chunk_checkpoint_every < 1:
+            raise ValueError(
+                "chunk_checkpoint_every must be at least 1, got %d" % chunk_checkpoint_every
+            )
         if track_latency:
             executor = "serial"
             shard_rounds = None
@@ -311,7 +334,14 @@ class RunMatrix:
                 for cell in pending:
                     if cell.scenario == key:
                         result = self._run_cell(
-                            (scenario, materialized), cell, track_latency, shard_rounds
+                            (scenario, materialized),
+                            cell,
+                            track_latency,
+                            shard_rounds,
+                            chunk_checkpoint_path=self._chunk_path(
+                                cell, shard_rounds, checkpoint_dir
+                            ),
+                            chunk_checkpoint_every=chunk_checkpoint_every,
                         )
                         self._store(results, cell, result, checkpoint_dir)
             return RunMatrixResult({cell: results[cell] for cell in self._cells})
@@ -331,7 +361,14 @@ class RunMatrix:
             if executor == "serial":
                 for cell in pending:
                     result = self._run_cell(
-                        prepared[cell.scenario], cell, track_latency, shard_rounds
+                        prepared[cell.scenario],
+                        cell,
+                        track_latency,
+                        shard_rounds,
+                        chunk_checkpoint_path=self._chunk_path(
+                            cell, shard_rounds, checkpoint_dir
+                        ),
+                        chunk_checkpoint_every=chunk_checkpoint_every,
                     )
                     self._store(results, cell, result, checkpoint_dir)
                 return RunMatrixResult({cell: results[cell] for cell in self._cells})
@@ -358,6 +395,8 @@ class RunMatrix:
                         transcript_for=lambda cell: Transcript.for_materialized(
                             prepared[cell.scenario][1]
                         ),
+                        materialized_of=lambda cell: prepared[cell.scenario][1],
+                        chunk_checkpoint_every=chunk_checkpoint_every,
                     )
                 else:
                     futures = {
@@ -395,6 +434,8 @@ class RunMatrix:
                         transcript_for=lambda cell: Transcript.for_materialized(
                             prepared[cell.scenario][1]
                         ),
+                        materialized_of=lambda cell: prepared[cell.scenario][1],
+                        chunk_checkpoint_every=chunk_checkpoint_every,
                     )
                 else:
                     futures = {
@@ -417,6 +458,8 @@ class RunMatrix:
         submit,
         rounds_of,
         transcript_for,
+        materialized_of=None,
+        chunk_checkpoint_every: int = 1,
     ) -> None:
         """Pipeline the chunk chains of ``cells`` across a worker pool.
 
@@ -426,9 +469,19 @@ class RunMatrix:
         cell has exactly one chunk in flight, so the pool stays busy as long
         as there are more unfinished cells than workers — and a single
         huge-horizon cell still makes forward progress chunk by chunk.
+
+        With ``checkpoint_dir`` set, every ``chunk_checkpoint_every``-th
+        completed chunk boundary is additionally persisted as a pricer
+        checkpoint (state + completed transcript prefix + market
+        fingerprint, the ``run_batch_chunked`` on-disk format), and cells
+        whose chunk file survives a crash resume from its boundary instead
+        of round zero.  The final boundary is never persisted — the cell's
+        result file is written in the same step and supersedes it.
         """
         transcripts: Dict[RunCell, Transcript] = {}
         state_blobs: Dict[RunCell, Optional[bytes]] = {}
+        chunk_paths: Dict[RunCell, str] = {}
+        fingerprints: Dict[RunCell, str] = {}
         in_flight = {}
 
         def _submit_next(cell: RunCell, start: int) -> None:
@@ -439,28 +492,97 @@ class RunMatrix:
         for cell in cells:
             transcripts[cell] = transcript_for(cell)
             state_blobs[cell] = None
-            if rounds_of(cell) == 0:
+            start = 0
+            if checkpoint_dir is not None and materialized_of is not None:
+                chunk_paths[cell] = _cell_chunk_path(
+                    checkpoint_dir, cell, self._checkpoint_tag
+                )
+                fingerprints[cell] = _market_fingerprint(materialized_of(cell))
+                start = self._restore_chunk_progress(
+                    chunk_paths[cell], fingerprints[cell], rounds_of(cell),
+                    transcripts[cell], state_blobs, cell,
+                )
+            if rounds_of(cell) <= start:
                 self._store(
                     results, cell, _finalize_cell(cell, transcripts[cell]), checkpoint_dir
                 )
             else:
-                _submit_next(cell, 0)
+                _submit_next(cell, start)
 
         while in_flight:
             done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
             for future in done:
                 cell, start, stop = in_flight.pop(future)
-                columns, blob = future.result()
+                columns, blob, pricer_type = future.result()
                 transcript = transcripts[cell]
                 for name in _DECISION_COLUMNS:
                     getattr(transcript, name)[start:stop] = columns[name]
                 state_blobs[cell] = blob
+                boundary = (stop + shard_rounds - 1) // shard_rounds
+                if (
+                    cell in chunk_paths
+                    and stop < rounds_of(cell)
+                    and boundary % chunk_checkpoint_every == 0
+                ):
+                    prefix = {
+                        name: getattr(transcript, name)[:stop].copy()
+                        for name in _DECISION_COLUMNS
+                    }
+                    checkpoint_store.save_state_checkpoint(
+                        chunk_paths[cell],
+                        pricer_type,
+                        stop,
+                        checkpoint_store.deserialize_state(blob),
+                        meta={
+                            "columns": prefix,
+                            "market_fingerprint": fingerprints[cell],
+                        },
+                    )
                 if stop < rounds_of(cell):
                     _submit_next(cell, stop)
                 else:
                     self._store(
                         results, cell, _finalize_cell(cell, transcript), checkpoint_dir
                     )
+
+    def _restore_chunk_progress(
+        self,
+        chunk_path: str,
+        fingerprint: str,
+        rounds: int,
+        transcript: Transcript,
+        state_blobs: Dict[RunCell, Optional[bytes]],
+        cell: RunCell,
+    ) -> int:
+        """Load one cell's mid-cell chunk checkpoint, if a valid one exists.
+
+        Returns the round to resume from (0 when there is no usable file).
+        A file whose market fingerprint does not match, whose columns are
+        mis-sized, or that is unreadable is treated as absent — the cell
+        simply re-runs from scratch and overwrites it at the next boundary.
+        """
+        if not os.path.exists(chunk_path):
+            return 0
+        try:
+            loaded = checkpoint_store.load_checkpoint(chunk_path)
+        except (checkpoint_store.CheckpointError, OSError):
+            # Malformed or unreadable (e.g. unlinked by a concurrent sweep
+            # between the existence check and the open) — run from scratch.
+            return 0
+        if loaded.meta.get("market_fingerprint") != fingerprint:
+            return 0
+        done = int(loaded.rounds_done)
+        if not 0 < done <= rounds:
+            return 0
+        columns = loaded.meta.get("columns", {})
+        for name in _DECISION_COLUMNS:
+            column = columns.get(name)
+            if column is None or column.shape[0] != done:
+                return 0
+        for name in _DECISION_COLUMNS:
+            getattr(transcript, name)[:done] = columns[name]
+        state_blobs[cell] = checkpoint_store.serialize_state(loaded.state)
+        return done
 
     def _store(
         self,
@@ -474,6 +596,21 @@ class RunMatrix:
             checkpoint_store.save_result(
                 _cell_result_path(checkpoint_dir, cell, self._checkpoint_tag), result
             )
+            # The cell is complete; its mid-cell progress file (if any) is
+            # superseded by the result file.
+            chunk_path = _cell_chunk_path(checkpoint_dir, cell, self._checkpoint_tag)
+            try:
+                os.unlink(chunk_path)
+            except OSError:
+                pass
+
+    def _chunk_path(
+        self, cell: RunCell, shard_rounds: Optional[int], checkpoint_dir: Optional[str]
+    ) -> Optional[str]:
+        """The mid-cell chunk checkpoint path, when both features are on."""
+        if shard_rounds is None or checkpoint_dir is None:
+            return None
+        return _cell_chunk_path(checkpoint_dir, cell, self._checkpoint_tag)
 
     def _run_cell(
         self,
@@ -481,18 +618,52 @@ class RunMatrix:
         cell: RunCell,
         track_latency: bool,
         shard_rounds: Optional[int] = None,
+        chunk_checkpoint_path: Optional[str] = None,
+        chunk_checkpoint_every: int = 1,
     ) -> SimulationResult:
         scenario, materialized = prepared
         try:
             pricer = self._pricer_factories[cell.pricer](scenario)
             if shard_rounds is not None:
-                return run_batch_chunked(
-                    scenario.model,
-                    pricer,
-                    materialized=materialized,
-                    chunk_size=shard_rounds,
-                    pricer_name=cell.pricer,
-                )
+                if chunk_checkpoint_path is None:
+                    return run_batch_chunked(
+                        scenario.model,
+                        pricer,
+                        materialized=materialized,
+                        chunk_size=shard_rounds,
+                        pricer_name=cell.pricer,
+                    )
+                try:
+                    return run_batch_chunked(
+                        scenario.model,
+                        pricer,
+                        materialized=materialized,
+                        chunk_size=shard_rounds,
+                        pricer_name=cell.pricer,
+                        checkpoint_path=chunk_checkpoint_path,
+                        resume=True,
+                        checkpoint_every=chunk_checkpoint_every,
+                        checkpoint_final=False,
+                    )
+                except checkpoint_store.CheckpointError:
+                    # Stale or foreign chunk file (e.g. the workload changed
+                    # under unchanged keys) — drop it and run the cell fresh
+                    # on a clean pricer.
+                    try:
+                        os.unlink(chunk_checkpoint_path)
+                    except OSError:
+                        pass
+                    pricer = self._pricer_factories[cell.pricer](scenario)
+                    return run_batch_chunked(
+                        scenario.model,
+                        pricer,
+                        materialized=materialized,
+                        chunk_size=shard_rounds,
+                        pricer_name=cell.pricer,
+                        checkpoint_path=chunk_checkpoint_path,
+                        checkpoint_every=chunk_checkpoint_every,
+                        checkpoint_final=False,
+                    )
             return simulate(
                 scenario.model,
                 pricer,
@@ -599,8 +770,10 @@ def _run_chunk(
     A *fresh* pricer is built for every chunk and the previous chunk's
     serialised state is loaded into it — the same restore path a
     crash-resume would take, so the sharded executor continuously exercises
-    the checkpoint contract.  Returns the chunk's decision columns and the
-    serialised state after the chunk.
+    the checkpoint contract.  Returns the chunk's decision columns, the
+    serialised state after the chunk, and the pricer's type name (recorded
+    in mid-cell chunk checkpoints so a serial ``run_batch_chunked`` resume
+    can type-check against them).
     """
     scenario, materialized = prepared
     try:
@@ -611,7 +784,7 @@ def _run_chunk(
         transcript = Transcript.for_materialized(chunk)
         _dispatch(scenario.model, pricer, chunk, transcript)
         columns = {name: getattr(transcript, name) for name in _DECISION_COLUMNS}
-        return columns, checkpoint_store.serialize_state(pricer.state_dict())
+        return columns, checkpoint_store.serialize_state(pricer.state_dict()), type(pricer).__name__
     except Exception as exc:
         raise RunCellError(
             cell.scenario,
@@ -636,3 +809,13 @@ def _cell_result_path(checkpoint_dir: str, cell: RunCell, tag: str = "") -> str:
     ).hexdigest()[:12]
     slug = re.sub(r"[^A-Za-z0-9._=-]+", "-", "%s__%s" % (cell.scenario, cell.pricer))
     return os.path.join(checkpoint_dir, "%s-%s.result.npz" % (slug[:80], digest))
+
+
+def _cell_chunk_path(checkpoint_dir: str, cell: RunCell, tag: str = "") -> str:
+    """The mid-cell chunk-checkpoint path of one sharded (scenario, pricer) cell.
+
+    Shares the result-file naming scheme (slug + workload-tagged digest) with
+    a distinct suffix, so the two artifact kinds of one cell sit next to each
+    other and never collide across workloads.
+    """
+    return _cell_result_path(checkpoint_dir, cell, tag)[: -len(".result.npz")] + ".chunk.npz"

@@ -113,6 +113,7 @@ def run_batch_chunked(
     checkpoint_path: Optional[str] = None,
     resume: bool = False,
     checkpoint_every: int = 1,
+    checkpoint_final: bool = True,
 ) -> SimulationResult:
     """Execute one horizon as a sequence of chunks through checkpoints.
 
@@ -146,6 +147,11 @@ def run_batch_chunked(
         is always written).  Each write contains the whole completed prefix,
         so total checkpoint I/O is ``O(T² / (chunk_size · N))`` — raise N on
         huge horizons with small chunks.
+    checkpoint_final:
+        Whether to persist the final boundary (default true).  The run
+        matrix passes false: it writes the cell's result file immediately
+        after this function returns and deletes the chunk checkpoint, so a
+        full-horizon final write would never be read.
 
     Latency tracking is intentionally unsupported here: per-round timing
     forces the sequential loop and gains nothing from chunking — use
@@ -208,7 +214,8 @@ def run_batch_chunked(
             # live in-memory state, so incomplete snapshots cannot hide.
             checkpoint_module.roundtrip_state(pricer)
         if checkpoint_path is not None and (
-            start == rounds or chunk_index % checkpoint_every == 0
+            (start == rounds and checkpoint_final)
+            or (start < rounds and chunk_index % checkpoint_every == 0)
         ):
             columns = {
                 name: getattr(transcript, name)[:start].copy()

@@ -1,0 +1,85 @@
+"""Streaming hand-off from the columnar engine to the serving layer.
+
+The offline engine consumes a whole :class:`~repro.engine.arrivals.
+MaterializedArrivals` at once; the online serving subsystem
+(:mod:`repro.serving`) consumes the *same* market one round at a time — a
+quote request per arrival, feedback after each outcome.  :func:`stream_rounds`
+is the bridge: it walks a materialisation in round order and yields one
+:class:`StreamedRound` per arrival, carrying exactly the per-round quantities
+the engine's sequential loop reads (the mapped feature row, the link-space
+reserve translated to ``None`` where absent, and the realised market value).
+
+Because materialisation computes every per-round quantity once, up front, the
+floats a streamed round carries are bit-identical to the ones the offline
+loop sees — this is one half of the serving transcript-equivalence contract
+(the other half is that the serving feedback path drives the identical
+propose/update protocol).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Optional
+
+import numpy as np
+
+from repro.engine.arrivals import MaterializedArrivals
+
+
+class StreamedRound(NamedTuple):
+    """One arrival of a materialised market, in serving-friendly form.
+
+    Attributes
+    ----------
+    index:
+        Round index within the streamed window (0-based).
+    features:
+        The link-space mapped feature row ``φ(x_t)`` (a view into the
+        materialised matrix — treat as read-only).
+    reserve:
+        Link-space reserve price, or ``None`` when the round has no reserve
+        (the ``NaN`` encoding of the columnar batch, resolved here exactly
+        like the engine's sequential loop resolves it).
+    market_value:
+        The realised real-space market value ``g(φ(x_t)^T θ* + δ_t)`` — what
+        a closed-loop feed compares the posted price against.
+    link_value:
+        The deterministic link-space value ``φ(x_t)^T θ*``.
+    """
+
+    index: int
+    features: np.ndarray
+    reserve: Optional[float]
+    market_value: float
+    link_value: float
+
+
+def stream_rounds(
+    materialized: MaterializedArrivals, start: int = 0, stop: Optional[int] = None
+) -> Iterator[StreamedRound]:
+    """Yield the rounds ``[start, stop)`` of a materialised market in order.
+
+    The reserve translation (``NaN`` → ``None``, else ``float``) matches the
+    engine loop's per-round handling, so a pricer driven from this stream
+    receives byte-for-byte the arguments the offline simulator would pass.
+    """
+    rounds = materialized.rounds
+    if stop is None:
+        stop = rounds
+    start, stop = int(start), int(stop)
+    if not 0 <= start <= stop <= rounds:
+        raise ValueError(
+            "invalid stream window [%d, %d) of a %d-round horizon" % (start, stop, rounds)
+        )
+    mapped = materialized.mapped_features
+    link_reserves = materialized.link_reserves
+    market_values = materialized.market_values
+    link_values = materialized.link_values
+    for index in range(start, stop):
+        link_reserve = link_reserves[index]
+        yield StreamedRound(
+            index=index - start,
+            features=mapped[index],
+            reserve=None if np.isnan(link_reserve) else float(link_reserve),
+            market_value=float(market_values[index]),
+            link_value=float(link_values[index]),
+        )

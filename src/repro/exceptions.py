@@ -37,3 +37,12 @@ class DatasetError(ReproError):
 
 class LearningError(ReproError):
     """An offline learning routine (OLS, FTRL, PCA, ...) failed."""
+
+
+class ServingError(ReproError):
+    """The online quote-serving subsystem was driven into an invalid state.
+
+    Raised for protocol violations such as feedback for an unknown or
+    already-settled quote id, or a feedback event routed to a session that
+    was never served a quote.
+    """

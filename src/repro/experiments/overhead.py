@@ -24,6 +24,7 @@ from repro.apps.impression import ImpressionConfig, build_impression_environment
 from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
 from repro.core.simulation import MarketSimulator
 from repro.experiments.reporting import format_table
+from repro.utils.metrics import LatencySummary, pricer_memory
 
 
 @dataclass
@@ -68,15 +69,16 @@ def measure_environment(
     pricer = build_pricer_for_version(environment, version, knowledge=knowledge)
     simulator = MarketSimulator(model=environment.model, pricer=pricer, track_latency=True)
     result = simulator.run(environment.arrival_batch())
-    memory = pricer.memory_report()
+    latency = LatencySummary.from_seconds(result.latency.samples_seconds)
+    memory = pricer_memory(pricer)
     return OverheadReport(
         application=environment.name,
         version=version if knowledge == "ellipsoid" else version + " [polytope]",
         dimension=environment.dimension,
         rounds=environment.rounds,
-        mean_latency_ms=result.latency.mean_milliseconds,
-        p95_latency_ms=result.latency.percentile_milliseconds(95),
-        max_latency_ms=result.latency.max_milliseconds,
+        mean_latency_ms=latency.mean_ms,
+        p95_latency_ms=latency.p95_ms,
+        max_latency_ms=latency.max_ms,
         state_megabytes=memory.state_megabytes,
         process_megabytes=memory.process_megabytes,
     )

@@ -1,0 +1,57 @@
+"""Online quote-serving subsystem.
+
+This package turns the batch simulator into a request/response pricing
+service — the paper's Section V-D *online* story (millisecond per-round quote
+latency under live arrivals) as an actual serving layer:
+
+* :mod:`repro.serving.registry` — :class:`PricerRegistry`, a session store
+  keyed by ``(app, segment)`` that hydrates pricers from checkpoint ``.npz``
+  snapshots, persists them on a write-behind cadence, and LRU-evicts cold
+  sessions;
+* :mod:`repro.serving.service` — :class:`QuoteService`, a micro-batching
+  quote queue that coalesces concurrent requests within a time/size window
+  into columnar ``propose_batch`` calls where legal, plus the feedback path
+  applying accept/reject outcomes through ``update_batch`` / ``update``;
+* :mod:`repro.serving.feeds` — open-loop synthetic generators and
+  closed-loop replay feeds over the dataset loaders (``loans``,
+  ``ad_clicks``, ``listings``) and any materialised market;
+* :mod:`repro.serving.loop` — :func:`serve_closed_loop`, the round-by-round
+  driver whose transcript is bit-identical to the offline engine
+  (``tests/serving/`` pins this for every golden pricer family).
+
+Load generation lives in ``scripts/bench_serving.py`` (quotes/sec, p50/p99
+quote latency, sessions resident → ``BENCH_serving.json``).
+"""
+
+from repro.serving.feeds import (
+    REPLAY_DATASETS,
+    ReplayFeed,
+    SyntheticFeed,
+    dataset_arrival_features,
+    dataset_replay_market,
+    replay_feed,
+)
+from repro.serving.loop import serve_closed_loop
+from repro.serving.registry import PricerRegistry, PricingSession, RegistryStats
+from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
+from repro.serving.service import MicroBatchConfig, QuoteService, ServiceStats
+
+__all__ = [
+    "FeedbackEvent",
+    "MicroBatchConfig",
+    "PricerRegistry",
+    "PricingSession",
+    "QuoteRequest",
+    "QuoteResponse",
+    "QuoteService",
+    "REPLAY_DATASETS",
+    "RegistryStats",
+    "ReplayFeed",
+    "ServiceStats",
+    "SessionKey",
+    "SyntheticFeed",
+    "dataset_arrival_features",
+    "dataset_replay_market",
+    "replay_feed",
+    "serve_closed_loop",
+]

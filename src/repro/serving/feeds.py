@@ -1,0 +1,219 @@
+"""Traffic feeds for the quote-serving subsystem.
+
+Two feed families drive the service:
+
+* **open-loop synthetic generators** (:class:`SyntheticFeed`) — seeded
+  arrival streams that never wait for outcomes, for load generation and
+  window/coalescing tests;
+* **closed-loop replay feeds** (:class:`ReplayFeed`, built by
+  :func:`replay_feed`) — a materialised market streamed one round at a time,
+  each round carrying the realised market value so the caller can settle the
+  sale and feed the outcome back (the serving analogue of the offline
+  engine's same-market protocol).
+
+Replay feeds are built either from an existing
+:class:`~repro.engine.arrivals.MaterializedArrivals` (any app environment or
+golden market) or straight from the repository's dataset loaders — ``loans``,
+``ad_clicks``, ``listings`` — via :func:`dataset_arrival_features`, which
+turns dataset records into unit-norm link-space feature rows with the same
+deterministic recipes the applications use (log features for the strictly
+positive loan attributes, numeric+amenity columns for listings, the FNV-1a
+hashing trick for the categorical ad fields).
+
+Every feed is **re-iterable and deterministic**: iterating the same feed
+twice yields bit-identical sequences (each iteration re-derives its draws
+from the stored seed), which is what lets a replayed serving session be
+compared float-for-float against an offline run — and what the dataset
+streaming-determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.models import LinearModel
+from repro.datasets import generate_ad_clicks, generate_listings, generate_loans
+from repro.engine.arrivals import ArrivalBatch, MaterializedArrivals, materialize
+from repro.engine.streaming import stream_rounds
+from repro.exceptions import DatasetError
+from repro.learning.hashing import HashingVectorizer
+from repro.serving.requests import QuoteRequest, SessionKey
+
+#: Dataset names :func:`dataset_arrival_features` understands.
+REPLAY_DATASETS = ("loans", "ad_clicks", "listings")
+
+
+def _market_theta(rng: np.random.Generator, dimension: int) -> np.ndarray:
+    """The golden-market θ* recipe: positive entries, ``‖θ*‖ = sqrt(2 n)``.
+
+    One definition shared by the replay and synthetic feeds, so the two feed
+    families price bit-identical markets for the same seed and dimension
+    (the same recipe the golden-transcript fixtures use).
+    """
+    theta = rng.random(dimension) + 0.1
+    return theta * (np.sqrt(2.0 * dimension) / np.linalg.norm(theta))
+
+
+# --------------------------------------------------------------------------- #
+# Dataset → link-space feature rows
+# --------------------------------------------------------------------------- #
+
+
+def dataset_arrival_features(
+    dataset: str, rounds: int, seed: int, hash_dimension: int = 64
+) -> np.ndarray:
+    """Unit-norm feature rows for ``rounds`` arrivals of one dataset loader.
+
+    The row recipes are deterministic functions of the loader output (itself
+    seeded), so the same ``(dataset, rounds, seed)`` triple always produces
+    the identical matrix — replay feeds depend on exactly this.
+    """
+    if rounds < 1:
+        raise DatasetError("rounds must be positive, got %d" % rounds)
+    if dataset == "loans":
+        records = generate_loans(count=rounds, seed=seed)
+        # Strictly positive attributes; log brings the scales together (the
+        # log-log pipeline's view of the applicant).
+        rows = np.log(records.feature_matrix())
+    elif dataset == "listings":
+        records = generate_listings(count=rounds, seed=seed)
+        rows = np.array(
+            [
+                list(listing.numeric_values().values()) + list(listing.amenity_values().values())
+                for listing in records
+            ]
+        )
+    elif dataset == "ad_clicks":
+        records = generate_ad_clicks(count=rounds, seed=seed)
+        vectorizer = HashingVectorizer(dimension=hash_dimension)
+        rows = vectorizer.transform([impression.tokens() for impression in records])
+    else:
+        raise DatasetError(
+            "unknown replay dataset %r; expected one of %s" % (dataset, (REPLAY_DATASETS,))
+        )
+    norms = np.linalg.norm(rows, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return rows / norms
+
+
+def dataset_replay_market(
+    dataset: str,
+    rounds: int = 512,
+    seed: int = 0,
+    reserve_fraction: float = 0.6,
+    noise_scale: float = 0.01,
+    hash_dimension: int = 64,
+) -> Tuple[MaterializedArrivals, LinearModel]:
+    """A materialised linear market whose arrivals come from a dataset loader.
+
+    The valuation follows the golden-market recipe (positive θ* with
+    ``‖θ*‖ = sqrt(2 n)``, reserves at ``reserve_fraction`` of the
+    deterministic value, small pre-drawn uniform noise) over the dataset's
+    feature rows, so the market is fully determined by
+    ``(dataset, rounds, seed)`` and replayable bit-identically.  Returns the
+    materialisation together with its value model.
+    """
+    features = dataset_arrival_features(dataset, rounds, seed, hash_dimension=hash_dimension)
+    rng = np.random.default_rng(seed)
+    theta = _market_theta(rng, features.shape[1])
+    reserves = reserve_fraction * np.array([float(row @ theta) for row in features])
+    noise = noise_scale * (rng.random(features.shape[0]) - 0.5)
+    batch = ArrivalBatch(features=features, reserve_values=reserves, noise=noise)
+    model = LinearModel(theta)
+    return materialize(model, batch), model
+
+
+# --------------------------------------------------------------------------- #
+# Feeds
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ReplayFeed:
+    """Closed-loop feed over a materialised market.
+
+    Iterating yields ``(QuoteRequest, market_value)`` pairs in round order;
+    the caller quotes, settles the sale against the market value, and feeds
+    the outcome back.  Iterating again replays the identical sequence (the
+    materialisation is immutable).
+    """
+
+    key: SessionKey
+    materialized: MaterializedArrivals
+
+    def __len__(self) -> int:
+        return self.materialized.rounds
+
+    def __iter__(self) -> Iterator[Tuple[QuoteRequest, float]]:
+        for round_ in stream_rounds(self.materialized):
+            yield (
+                QuoteRequest(key=self.key, features=round_.features, reserve=round_.reserve),
+                round_.market_value,
+            )
+
+
+def replay_feed(
+    dataset: str,
+    key: Optional[SessionKey] = None,
+    rounds: int = 512,
+    seed: int = 0,
+    reserve_fraction: float = 0.6,
+    noise_scale: float = 0.01,
+    hash_dimension: int = 64,
+) -> Tuple[ReplayFeed, LinearModel]:
+    """A closed-loop replay feed over one dataset loader's arrivals.
+
+    Returns ``(feed, model)`` — the model is what the session factory should
+    pair with its pricer so posted prices translate through the same link.
+    """
+    materialized, model = dataset_replay_market(
+        dataset,
+        rounds=rounds,
+        seed=seed,
+        reserve_fraction=reserve_fraction,
+        noise_scale=noise_scale,
+        hash_dimension=hash_dimension,
+    )
+    if key is None:
+        key = SessionKey(app=dataset, segment="seed=%d" % seed)
+    return ReplayFeed(key=key, materialized=materialized), model
+
+
+@dataclass
+class SyntheticFeed:
+    """Open-loop synthetic quote traffic (seeded, re-iterable).
+
+    Yields bare :class:`QuoteRequest`\\ s — no outcomes, no feedback — from
+    the golden-market uniform recipe.  Each iteration re-seeds its generator,
+    so two passes over the same feed produce identical request sequences.
+    """
+
+    key: SessionKey
+    dimension: int
+    rounds: int
+    seed: int = 0
+    reserve_fraction: Optional[float] = 0.6
+    _theta: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.dimension < 1:
+            raise ValueError("dimension must be positive, got %d" % self.dimension)
+        if self.rounds < 0:
+            raise ValueError("rounds must be non-negative, got %d" % self.rounds)
+        self._theta = _market_theta(np.random.default_rng(self.seed), self.dimension)
+
+    def __len__(self) -> int:
+        return self.rounds
+
+    def __iter__(self) -> Iterator[QuoteRequest]:
+        rng = np.random.default_rng(self.seed + 1)
+        for _ in range(self.rounds):
+            features = rng.random(self.dimension) + 0.05
+            features /= np.linalg.norm(features)
+            reserve = None
+            if self.reserve_fraction is not None:
+                reserve = self.reserve_fraction * float(features @ self._theta)
+            yield QuoteRequest(key=self.key, features=features, reserve=reserve)

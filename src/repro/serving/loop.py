@@ -1,0 +1,77 @@
+"""Closed-loop serving driver and its transcript-equivalence contract.
+
+:func:`serve_closed_loop` replays a materialised market through a
+:class:`~repro.serving.service.QuoteService` exactly the way the offline
+engine's sequential loop replays it: one quote per round, the sale decided
+against the realised market value with the same scalar comparison
+(``posted <= market_value``), and the accept/reject feedback applied *before*
+the next round's quote.  The resulting transcript is **bit-identical** to
+:func:`repro.engine.simulate` over the same materialisation — pinned by
+``tests/serving/test_serving_equivalence.py`` for every golden pricer family.
+
+Why this holds:
+
+* the per-round quantities come from the shared materialisation via
+  :func:`repro.engine.stream_rounds` — computed once, identical floats;
+* the service's drain calls ``propose``/``propose_batch`` with the same
+  arguments (feature row, ``None``-resolved reserve) and translates the link
+  price through the same scalar ``model.link`` call as the engine loop;
+* per-round stepping means every ``update`` sees the same decision/outcome
+  sequence as the offline run — the micro-batch window never coalesces two
+  rounds of one session because round t+1 is not submitted until round t's
+  feedback settled.
+
+This is the serving extension of the engine's exactness contract (see
+``docs/architecture.md``): an online session hydrated from a checkpoint and
+driven to round T produces the identical transcript an offline sweep would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.arrivals import MaterializedArrivals
+from repro.engine.results import SimulationResult
+from repro.engine.streaming import stream_rounds
+from repro.engine.transcript import Transcript
+from repro.serving.requests import FeedbackEvent, QuoteRequest, SessionKey
+from repro.serving.service import QuoteService
+
+
+def serve_closed_loop(
+    service: QuoteService,
+    key: SessionKey,
+    materialized: MaterializedArrivals,
+    pricer_name: Optional[str] = None,
+) -> SimulationResult:
+    """Drive one session through a materialised market, round by round.
+
+    Each round submits one quote for ``key``, decides the sale against the
+    round's realised market value, feeds the outcome back, and records the
+    engine-format transcript row.  The session is resolved (created or
+    hydrated) by the service's registry on the first quote; its pricer may
+    already carry state from a snapshot — the transcript then continues that
+    session exactly where the snapshot left off.
+    """
+    transcript = Transcript.for_materialized(materialized)
+    for round_ in stream_rounds(materialized):
+        index = round_.index
+        response = service.quote(
+            QuoteRequest(key=key, features=round_.features, reserve=round_.reserve)
+        )
+        if response.skipped or response.posted_price is None:
+            sold = False
+        else:
+            sold = response.posted_price <= round_.market_value
+            transcript.link_prices[index] = response.link_price
+            transcript.posted_prices[index] = response.posted_price
+            transcript.sold[index] = sold
+        service.feedback(FeedbackEvent(key=key, quote_id=response.quote_id, accepted=sold))
+        transcript.skipped[index] = response.skipped
+        transcript.exploratory[index] = response.exploratory
+    transcript.finalize_regrets()
+    session = service.registry.peek(key)
+    if pricer_name is None:
+        pricer = session.pricer if session is not None else None
+        pricer_name = getattr(pricer, "name", type(pricer).__name__ if pricer else str(key))
+    return SimulationResult(pricer_name=pricer_name, transcript=transcript)

@@ -1,0 +1,247 @@
+"""Checkpoint-backed pricing-session store.
+
+A *session* is one live pricer (plus its market value model) serving one
+traffic segment.  The :class:`PricerRegistry` owns every resident session and
+gives the serving layer three lifecycle guarantees:
+
+* **hydration** — a session whose snapshot file exists under
+  ``snapshot_dir`` is rebuilt from it: the factory constructs a fresh,
+  same-configuration pricer and the checkpoint subsystem
+  (:mod:`repro.engine.checkpoint`) restores its exact state, so a restarted
+  service continues pricing bit-identically to an uninterrupted one (the
+  same exact-resume contract the offline chunked runner is pinned to);
+* **write-behind persistence** — with ``persist_every=N``, a session's state
+  is snapshotted after every N-th feedback update (and always on eviction
+  and :meth:`~PricerRegistry.flush`), bounding the feedback loss of a crash
+  to the last N updates without putting ``.npz`` serialisation on the quote
+  hot path;
+* **LRU eviction** — with ``max_sessions`` set, the least-recently-used cold
+  session is persisted and dropped when capacity is exceeded.  Sessions with
+  in-flight quotes (pending decisions awaiting feedback) are never evicted —
+  a decision object cannot be rebuilt from a snapshot.
+
+Snapshots are ordinary pricer checkpoints (versioned no-pickle ``.npz``), so
+an offline sweep can be warm-started from a serving session's file and vice
+versa.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine import checkpoint as checkpoint_store
+from repro.exceptions import ServingError
+from repro.serving.requests import SessionKey
+
+#: A factory builds (model, fresh same-config pricer) for one session key.
+SessionFactory = Callable[[SessionKey], Tuple[Any, Any]]
+
+
+@dataclass
+class PricingSession:
+    """One resident pricing session."""
+
+    key: SessionKey
+    model: Any
+    pricer: Any
+    #: Decisions awaiting accept/reject feedback, keyed by quote id.
+    pending: Dict[int, Any] = field(default_factory=dict)
+    quotes_served: int = 0
+    feedback_seen: int = 0
+    updates_since_persist: int = 0
+    hydrated: bool = False
+
+    @property
+    def rounds_seen(self) -> int:
+        """Rounds the session's pricer has priced (propose calls)."""
+        return self.pricer.rounds_seen
+
+
+@dataclass
+class RegistryStats:
+    """Lifecycle counters of one registry (reported by the serving bench)."""
+
+    created: int = 0
+    hydrations: int = 0
+    evictions: int = 0
+    persists: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "created": self.created,
+            "hydrations": self.hydrations,
+            "evictions": self.evictions,
+            "persists": self.persists,
+        }
+
+
+class PricerRegistry:
+    """Session store keyed by :class:`SessionKey` with LRU residency.
+
+    Parameters
+    ----------
+    factory:
+        Builds ``(model, pricer)`` for a key.  The pricer must be freshly
+        constructed with the session's configuration — hydration loads only
+        the mutable state into it (the checkpoint contract).
+    snapshot_dir:
+        Directory of session snapshot files.  ``None`` disables persistence:
+        evicted sessions lose their state and hydration never happens.
+    max_sessions:
+        Resident-session capacity; ``None`` means unbounded.
+    persist_every:
+        Write-behind cadence in feedback updates; ``0`` persists only on
+        eviction / flush.
+    """
+
+    def __init__(
+        self,
+        factory: SessionFactory,
+        snapshot_dir: Optional[str] = None,
+        max_sessions: Optional[int] = None,
+        persist_every: int = 0,
+    ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError("max_sessions must be at least 1, got %d" % max_sessions)
+        if persist_every < 0:
+            raise ValueError("persist_every must be non-negative, got %d" % persist_every)
+        self._factory = factory
+        self._snapshot_dir = snapshot_dir
+        self._max_sessions = max_sessions
+        self._persist_every = persist_every
+        self._sessions: "OrderedDict[SessionKey, PricingSession]" = OrderedDict()
+        self.stats = RegistryStats()
+
+    # ------------------------------------------------------------------ #
+    # Lookup / residency
+    # ------------------------------------------------------------------ #
+
+    def session(self, key: SessionKey) -> PricingSession:
+        """The resident session for ``key``, creating or hydrating it.
+
+        Every access marks the session most-recently-used; creating a new
+        session may LRU-evict a cold one past ``max_sessions``.
+        """
+        existing = self._sessions.get(key)
+        if existing is not None:
+            self._sessions.move_to_end(key)
+            return existing
+        model, pricer = self._factory(key)
+        session = PricingSession(key=key, model=model, pricer=pricer)
+        path = self.snapshot_path(key)
+        if path is not None and os.path.exists(path):
+            checkpoint = checkpoint_store.load_checkpoint(path)
+            checkpoint_store.restore_pricer(pricer, checkpoint)
+            session.hydrated = True
+            self.stats.hydrations += 1
+        self.stats.created += 1
+        self._sessions[key] = session
+        self._enforce_capacity(protect=key)
+        return session
+
+    def peek(self, key: SessionKey) -> Optional[PricingSession]:
+        """The resident session for ``key`` without touching LRU order."""
+        return self._sessions.get(key)
+
+    @property
+    def resident_count(self) -> int:
+        """Number of sessions currently resident."""
+        return len(self._sessions)
+
+    @property
+    def resident_keys(self) -> List[SessionKey]:
+        """Resident keys in LRU → MRU order."""
+        return list(self._sessions)
+
+    def __contains__(self, key: SessionKey) -> bool:
+        return key in self._sessions
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def snapshot_path(self, key: SessionKey) -> Optional[str]:
+        """The snapshot file for ``key`` (``None`` when persistence is off)."""
+        if self._snapshot_dir is None:
+            return None
+        return os.path.join(self._snapshot_dir, "%s.session.npz" % key.slug())
+
+    def persist(self, session: PricingSession) -> bool:
+        """Snapshot one session to disk; returns whether a file was written."""
+        path = self.snapshot_path(session.key)
+        if path is None:
+            return False
+        checkpoint_store.save_checkpoint(
+            path,
+            session.pricer,
+            rounds_done=session.rounds_seen,
+            meta={"app": session.key.app, "segment": session.key.segment},
+        )
+        session.updates_since_persist = 0
+        self.stats.persists += 1
+        return True
+
+    def note_feedback(self, session: PricingSession, count: int = 1) -> None:
+        """Record ``count`` applied feedback updates (write-behind cadence).
+
+        A coalesced feedback window notes its whole group at once, so the
+        cadence check runs — and at most one snapshot is written — per
+        window, not per event.
+        """
+        session.feedback_seen += count
+        session.updates_since_persist += count
+        if 0 < self._persist_every <= session.updates_since_persist:
+            self.persist(session)
+
+    def flush(self) -> int:
+        """Persist every resident session; returns the number written."""
+        written = 0
+        for session in self._sessions.values():
+            if self.persist(session):
+                written += 1
+        return written
+
+    def evict(self, key: SessionKey) -> bool:
+        """Persist and drop one session; returns whether it was resident.
+
+        Refuses to evict a session with in-flight quotes (pending decisions
+        awaiting feedback) — a decision object cannot be rebuilt from a
+        snapshot, so evicting would make its feedback unapplicable.  Settle
+        or discard the pending quotes first.
+        """
+        session = self._sessions.get(key)
+        if session is None:
+            return False
+        if session.pending:
+            raise ServingError(
+                "cannot evict session %s with %d in-flight quote(s); settle "
+                "their feedback first" % (key, len(session.pending))
+            )
+        # Persist before dropping: if the snapshot write fails, the session
+        # stays resident and the eviction can be retried.
+        self.persist(session)
+        del self._sessions[key]
+        self.stats.evictions += 1
+        return True
+
+    def _enforce_capacity(self, protect: SessionKey) -> None:
+        """LRU-evict cold sessions past ``max_sessions``.
+
+        ``protect`` (the just-created session) and sessions with in-flight
+        quotes are never evicted; if every candidate is in flight the
+        registry temporarily exceeds capacity rather than losing decisions.
+        """
+        if self._max_sessions is None:
+            return
+        while len(self._sessions) > self._max_sessions:
+            victim = None
+            for key, session in self._sessions.items():
+                if key != protect and not session.pending:
+                    victim = key
+                    break
+            if victim is None:
+                return
+            self.evict(victim)

@@ -1,0 +1,348 @@
+"""Micro-batched quote service.
+
+:class:`QuoteService` turns the batch simulator's pricers into a
+request/response system.  Incoming :class:`~repro.serving.requests.
+QuoteRequest`\\ s accumulate in a queue; a *drain* fires when the batch window
+closes — either ``max_batch`` requests are waiting or the oldest has waited
+``max_wait_seconds`` — and coalesces the queued requests into as few pricer
+calls as possible:
+
+* requests are grouped by session (first-come order preserved within a
+  group);
+* a group addressed to a stateless pricer (``supports_batch_propose``)
+  becomes **one** columnar ``propose_batch`` call, expanded back to
+  object-level decisions only for feedback bookkeeping;
+* a group addressed to a learning pricer runs ``propose`` per request —
+  feedback-dependent pricers cannot commit to several prices at once without
+  changing semantics, which is exactly the engine's batching rule.
+
+The feedback path mirrors this: :meth:`QuoteService.feedback_batch` applies a
+whole window of accept/reject outcomes, using ``update_batch`` for stateless
+sessions and ordered per-decision ``update`` calls for learning ones.
+
+**Window semantics and exactness.**  Within one drain no feedback is applied
+between the proposals of a group, so for a *learning* pricer a batch of k > 1
+concurrent quotes is priced on the same knowledge state (decisions cannot see
+each other's outcomes — they are concurrent).  A closed-loop driver that
+waits for each quote's feedback before submitting the next
+(:func:`repro.serving.loop.serve_closed_loop`) therefore reproduces the
+offline engine transcript bit-identically, while an open-loop burst trades
+exact sequential semantics for coalescing — the same trade the paper's
+online setting makes under concurrent arrivals.
+
+Per-quote latency is measured enqueue → response on the service clock (so it
+includes queueing delay inside the window) and aggregated by the shared
+:class:`repro.utils.metrics.LatencySummary`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.core.base import BatchDecisions
+from repro.exceptions import ServingError
+from repro.serving.registry import PricerRegistry, PricingSession
+from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse
+from repro.utils.metrics import LatencySummary
+from repro.utils.timing import OnlineLatencyTracker
+
+
+@dataclass(frozen=True)
+class MicroBatchConfig:
+    """The coalescing window of the quote queue.
+
+    A drain fires as soon as either bound is hit: ``max_batch`` requests
+    queued, or the oldest queued request older than ``max_wait_seconds``.
+    ``max_batch=1`` (or ``max_wait_seconds=0``) degenerates to immediate
+    per-request dispatch.
+    """
+
+    max_batch: int = 64
+    max_wait_seconds: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1, got %d" % self.max_batch)
+        if self.max_wait_seconds < 0:
+            raise ValueError(
+                "max_wait_seconds must be non-negative, got %g" % self.max_wait_seconds
+            )
+
+
+@dataclass
+class ServiceStats:
+    """Operational counters of one :class:`QuoteService`."""
+
+    quotes_served: int = 0
+    drains: int = 0
+    batched_proposals: int = 0
+    feedback_applied: int = 0
+    latency: OnlineLatencyTracker = field(default_factory=OnlineLatencyTracker)
+
+    def latency_summary(self) -> LatencySummary:
+        """p50/p99-style summary of the per-quote latencies."""
+        return LatencySummary.from_seconds(self.latency.samples_seconds)
+
+
+class QuoteService:
+    """The online pricing front end over a :class:`PricerRegistry`.
+
+    Parameters
+    ----------
+    registry:
+        Session store resolving :class:`~repro.serving.requests.SessionKey`
+        to live pricers.
+    config:
+        Micro-batch window; defaults to :class:`MicroBatchConfig`.
+    clock:
+        Monotonic time source (injectable for deterministic window tests).
+    """
+
+    def __init__(
+        self,
+        registry: PricerRegistry,
+        config: Optional[MicroBatchConfig] = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.registry = registry
+        self.config = config or MicroBatchConfig()
+        self._clock = clock
+        self._queue: Deque[QuoteRequest] = deque()
+        self._outbox: List[QuoteResponse] = []
+        self._next_quote_id = 0
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------ #
+    # Quote path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: QuoteRequest) -> int:
+        """Enqueue one request and return its assigned quote id."""
+        request.quote_id = self._next_quote_id
+        self._next_quote_id += 1
+        request.enqueued_at = self._clock()
+        self._queue.append(request)
+        return request.quote_id
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting in the micro-batch window."""
+        return len(self._queue)
+
+    def window_closed(self, now: Optional[float] = None) -> bool:
+        """Whether the micro-batch window has closed (a drain would fire)."""
+        if not self._queue:
+            return False
+        if len(self._queue) >= self.config.max_batch:
+            return True
+        now = self._clock() if now is None else now
+        return (now - self._queue[0].enqueued_at) >= self.config.max_wait_seconds
+
+    def poll(self, now: Optional[float] = None) -> List[QuoteResponse]:
+        """Drain the queue if the window has closed; return ready responses."""
+        if self.window_closed(now):
+            self._drain()
+        return self._take_outbox()
+
+    def flush(self) -> List[QuoteResponse]:
+        """Drain the queue unconditionally; return all ready responses."""
+        self._drain()
+        return self._take_outbox()
+
+    def quote(self, request: QuoteRequest) -> QuoteResponse:
+        """Submit one request and serve it immediately (synchronous path).
+
+        Any other queued requests are drained along with it; their responses
+        stay in the outbox for the next :meth:`poll` / :meth:`flush`.
+        """
+        quote_id = self.submit(request)
+        self._drain()
+        for index, response in enumerate(self._outbox):
+            if response.quote_id == quote_id:
+                return self._outbox.pop(index)
+        raise ServingError("drain produced no response for quote %d" % quote_id)
+
+    # ------------------------------------------------------------------ #
+    # Feedback path
+    # ------------------------------------------------------------------ #
+
+    def feedback(self, event: FeedbackEvent) -> None:
+        """Apply one accept/reject outcome to its session's pricer."""
+        session = self._session_for_feedback(event.key)
+        decision = self._settle(session, event)
+        session.pricer.update(decision, event.accepted)
+        self.registry.note_feedback(session)
+        self.stats.feedback_applied += 1
+
+    def feedback_batch(self, events: Iterable[FeedbackEvent]) -> None:
+        """Apply a window of outcomes, coalescing per session.
+
+        Stateless sessions take the whole group through one ``update_batch``
+        call; learning sessions apply ordered per-decision ``update`` calls
+        (order is semantics for them — each cut changes the next update's
+        knowledge state).
+        """
+        groups: "OrderedDict" = OrderedDict()
+        for event in events:
+            groups.setdefault(event.key, []).append(event)
+        for key, group in groups.items():
+            session = self._session_for_feedback(key)
+            pricer = session.pricer
+            # Validate the whole group before settling or updating anything:
+            # a bad quote id (e.g. a client retry, or a duplicate within the
+            # window) must not strand valid outcomes behind popped decisions
+            # or half-applied updates.
+            seen = set()
+            for event in group:
+                if event.quote_id not in session.pending or event.quote_id in seen:
+                    raise ServingError(
+                        "feedback for unknown, duplicate, or already-settled "
+                        "quote %d on session %s" % (event.quote_id, session.key)
+                    )
+                seen.add(event.quote_id)
+            if getattr(pricer, "supports_batch_propose", False):
+                decisions = [self._settle(session, event) for event in group]
+                batch = BatchDecisions(
+                    link_prices=np.array(
+                        [np.nan if d.price is None else float(d.price) for d in decisions]
+                    ),
+                    exploratory=np.array([d.exploratory for d in decisions], dtype=bool),
+                    skipped=np.array([d.skipped for d in decisions], dtype=bool),
+                )
+                pricer.update_batch(
+                    batch, np.array([event.accepted for event in group], dtype=bool)
+                )
+                self.registry.note_feedback(session, count=len(group))
+                self.stats.feedback_applied += len(group)
+            else:
+                for event in group:
+                    decision = self._settle(session, event)
+                    pricer.update(decision, event.accepted)
+                self.registry.note_feedback(session, count=len(group))
+                self.stats.feedback_applied += len(group)
+
+    def _session_for_feedback(self, key) -> PricingSession:
+        """Resolve a feedback target without creating (or LRU-thrashing) it.
+
+        Feedback can only apply to a session that served the quote and is
+        still resident; a lookup through :meth:`PricerRegistry.session`
+        would *create* sessions for mistyped keys — and could evict a
+        legitimate cold one on the way — before the quote-id check fires.
+        """
+        session = self.registry.peek(key)
+        if session is None:
+            raise ServingError("feedback for session %s, which is not resident" % (key,))
+        return session
+
+    def _settle(self, session: PricingSession, event: FeedbackEvent):
+        decision = session.pending.pop(event.quote_id, None)
+        if decision is None:
+            raise ServingError(
+                "feedback for unknown or already-settled quote %d on session %s"
+                % (event.quote_id, session.key)
+            )
+        return decision
+
+    # ------------------------------------------------------------------ #
+    # Drain
+    # ------------------------------------------------------------------ #
+
+    def _take_outbox(self) -> List[QuoteResponse]:
+        out, self._outbox = self._outbox, []
+        return out
+
+    def _drain(self) -> None:
+        """Coalesce the queued requests into pricer calls (one per session
+        for stateless pricers) and move their responses to the outbox.
+
+        Failure containment: a pricer (or factory) exception must not make
+        queued requests vanish.  Requests of *later* session groups are
+        untouched and go back to the front of the queue; the failing group's
+        unserved requests are named in the raised :class:`ServingError`
+        (its ``__cause__`` is the original exception).  Already-emitted
+        responses stay valid.
+        """
+        if not self._queue:
+            return
+        requests = list(self._queue)
+        self._queue.clear()
+        self.stats.drains += 1
+
+        groups: "OrderedDict" = OrderedDict()
+        for request in requests:
+            groups.setdefault(request.key, []).append(request)
+
+        group_list = list(groups.items())
+        for group_index, (key, group) in enumerate(group_list):
+            served = 0
+            try:
+                served = self._serve_group(key, group)
+            except Exception as exc:
+                # Everything after the failing group never started — requeue
+                # in arrival order so the next drain serves it.
+                for _, later_group in reversed(group_list[group_index + 1 :]):
+                    self._queue.extendleft(reversed(later_group))
+                lost = [request.quote_id for request in group[served:]]
+                self.stats.quotes_served += served
+                raise ServingError(
+                    "session %s failed while serving quote(s) %s: %s"
+                    % (key, lost, exc)
+                ) from exc
+            self.stats.quotes_served += served
+
+    def _serve_group(self, key, group) -> int:
+        """Serve one session's requests; returns how many got a response."""
+        session = self.registry.session(key)
+        pricer = session.pricer
+        if len(group) > 1 and getattr(pricer, "supports_batch_propose", False):
+            start_index = pricer.rounds_seen
+            features = np.vstack(
+                [np.atleast_1d(np.asarray(r.features, dtype=float)) for r in group]
+            )
+            reserves = np.array(
+                [np.nan if r.reserve is None else float(r.reserve) for r in group]
+            )
+            batch = pricer.propose_batch(features, reserves)
+            decisions = batch.to_decisions(features, reserves, start_index)
+            self.stats.batched_proposals += 1
+            for request, decision in zip(group, decisions):
+                self._emit(session, request, decision)
+            return len(group)
+        # Sequential path: propose and emit per request, so partial progress
+        # survives a mid-group pricer failure.
+        served = 0
+        for request in group:
+            decision = pricer.propose(request.features, reserve=request.reserve)
+            self._emit(session, request, decision)
+            served += 1
+        return served
+
+    def _emit(self, session: PricingSession, request: QuoteRequest, decision) -> None:
+        """Record one decision: pending entry, latency sample, response."""
+        if decision.skipped or decision.price is None:
+            link_price = None
+            posted_price = None
+        else:
+            link_price = float(decision.price)
+            posted_price = session.model.link(link_price)
+        session.pending[request.quote_id] = decision
+        session.quotes_served += 1
+        latency = self._clock() - request.enqueued_at
+        self.stats.latency.record(max(0.0, latency))
+        self._outbox.append(
+            QuoteResponse(
+                quote_id=request.quote_id,
+                key=session.key,
+                link_price=link_price,
+                posted_price=posted_price,
+                exploratory=decision.exploratory,
+                skipped=decision.skipped,
+                round_index=decision.round_index,
+                latency_seconds=latency,
+            )
+        )

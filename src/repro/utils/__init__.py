@@ -10,6 +10,7 @@ from repro.utils.validation import (
     ensure_vector,
 )
 from repro.utils.memory import ndarray_nbytes, PricerMemoryReport
+from repro.utils.metrics import LatencySummary, nearest_rank_percentile, pricer_memory
 
 __all__ = [
     "as_rng",
@@ -22,5 +23,8 @@ __all__ = [
     "ensure_probability",
     "ensure_vector",
     "ndarray_nbytes",
+    "LatencySummary",
+    "nearest_rank_percentile",
+    "pricer_memory",
     "PricerMemoryReport",
 ]

@@ -1,0 +1,84 @@
+"""Shared latency / memory measurement helpers.
+
+One implementation of the latency-summary arithmetic serves both consumers:
+the Section V-D overhead experiment (:mod:`repro.experiments.overhead`) and
+the online serving metrics (:mod:`repro.serving`).  Percentiles use the
+nearest-rank rule (the convention :class:`~repro.utils.timing.
+OnlineLatencyTracker` has always used), so a p95 read through either surface
+is the same number.
+
+Memory accounting already lives in :mod:`repro.utils.memory`;
+:func:`pricer_memory` is the one-call wrapper both surfaces share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.utils.memory import PricerMemoryReport
+
+
+def nearest_rank_percentile(sorted_samples: Sequence[float], percentile: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample sequence.
+
+    Returns 0.0 for an empty sequence; raises for percentiles outside
+    ``[0, 100]``.  This is the single percentile implementation shared by the
+    latency tracker, the overhead experiment, and the serving metrics.
+    """
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be in [0, 100], got %g" % percentile)
+    count = len(sorted_samples)
+    if count == 0:
+        return 0.0
+    index = min(count - 1, int(round(percentile / 100.0 * (count - 1))))
+    return float(sorted_samples[index])
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics of a batch of per-operation latencies.
+
+    All values are in milliseconds; ``count`` is the number of samples.  An
+    empty sample set summarises to all-zero (the convention of the legacy
+    tracker properties).
+    """
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def from_seconds(cls, samples_seconds: Iterable[float]) -> "LatencySummary":
+        """Summarise a sequence of latencies given in seconds."""
+        ordered: List[float] = sorted(samples_seconds)
+        count = len(ordered)
+        if count == 0:
+            return cls(count=0, mean_ms=0.0, p50_ms=0.0, p95_ms=0.0, p99_ms=0.0, max_ms=0.0)
+        return cls(
+            count=count,
+            mean_ms=1000.0 * sum(ordered) / count,
+            p50_ms=1000.0 * nearest_rank_percentile(ordered, 50),
+            p95_ms=1000.0 * nearest_rank_percentile(ordered, 95),
+            p99_ms=1000.0 * nearest_rank_percentile(ordered, 99),
+            max_ms=1000.0 * ordered[-1],
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (the ``latency`` block of bench reports)."""
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+        }
+
+
+def pricer_memory(pricer) -> PricerMemoryReport:
+    """Memory footprint of one pricer (state arrays + process RSS)."""
+    return pricer.memory_report()

@@ -67,11 +67,18 @@ class OnlineLatencyTracker:
         return 1000.0 * max(self.samples_seconds)
 
     def percentile_milliseconds(self, percentile: float) -> float:
-        """Latency percentile (e.g. 95) in milliseconds."""
-        if not self.samples_seconds:
-            return 0.0
-        if not 0 <= percentile <= 100:
-            raise ValueError("percentile must be in [0, 100], got %g" % percentile)
-        ordered = sorted(self.samples_seconds)
-        index = min(len(ordered) - 1, int(round(percentile / 100.0 * (len(ordered) - 1))))
-        return 1000.0 * ordered[index]
+        """Latency percentile (e.g. 95) in milliseconds.
+
+        Delegates to the shared nearest-rank implementation in
+        :mod:`repro.utils.metrics`, so experiment and serving percentiles are
+        computed by one piece of code.
+        """
+        from repro.utils.metrics import nearest_rank_percentile
+
+        return 1000.0 * nearest_rank_percentile(sorted(self.samples_seconds), percentile)
+
+    def summary(self) -> "object":
+        """A :class:`repro.utils.metrics.LatencySummary` of the samples."""
+        from repro.utils.metrics import LatencySummary
+
+        return LatencySummary.from_seconds(self.samples_seconds)

@@ -1,0 +1,117 @@
+"""Traffic-feed determinism and the dataset replay path."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RiskAversePricer
+from repro.engine import simulate
+from repro.exceptions import DatasetError
+from repro.serving import (
+    FeedbackEvent,
+    PricerRegistry,
+    QuoteService,
+    ReplayFeed,
+    SessionKey,
+    SyntheticFeed,
+    dataset_arrival_features,
+    dataset_replay_market,
+    replay_feed,
+    serve_closed_loop,
+)
+
+ROUNDS = 96
+
+
+@pytest.mark.parametrize("dataset", ["loans", "ad_clicks", "listings"])
+def test_dataset_features_are_seed_deterministic(dataset):
+    first = dataset_arrival_features(dataset, rounds=ROUNDS, seed=11)
+    second = dataset_arrival_features(dataset, rounds=ROUNDS, seed=11)
+    assert first.shape[0] == ROUNDS
+    assert np.array_equal(first, second)
+    other_seed = dataset_arrival_features(dataset, rounds=ROUNDS, seed=12)
+    assert not np.array_equal(first, other_seed)
+    # Unit-norm rows (zero rows are left untouched by convention).
+    norms = np.linalg.norm(first, axis=1)
+    assert np.allclose(norms[norms > 0], 1.0)
+
+
+def test_unknown_dataset_is_rejected():
+    with pytest.raises(DatasetError):
+        dataset_arrival_features("movielens", rounds=8, seed=0)
+    with pytest.raises(DatasetError):
+        dataset_arrival_features("loans", rounds=0, seed=0)
+
+
+@pytest.mark.parametrize("dataset", ["loans", "ad_clicks", "listings"])
+def test_replay_feed_is_reiterable_and_identical(dataset):
+    feed, model = replay_feed(dataset, rounds=ROUNDS, seed=3)
+    assert len(feed) == ROUNDS
+    first = [(req.features.copy(), req.reserve, value) for req, value in feed]
+    second = [(req.features.copy(), req.reserve, value) for req, value in feed]
+    assert len(first) == ROUNDS
+    for (features_a, reserve_a, value_a), (features_b, reserve_b, value_b) in zip(
+        first, second
+    ):
+        assert np.array_equal(features_a, features_b)
+        assert reserve_a == reserve_b
+        assert value_a == value_b
+
+
+def test_replay_market_is_seed_deterministic():
+    first, _ = dataset_replay_market("loans", rounds=ROUNDS, seed=5)
+    second, _ = dataset_replay_market("loans", rounds=ROUNDS, seed=5)
+    assert np.array_equal(first.market_values, second.market_values)
+    assert np.array_equal(first.link_reserves, second.link_reserves)
+    assert np.array_equal(first.mapped_features, second.mapped_features)
+
+
+def test_closed_loop_dataset_replay_matches_offline_run():
+    """Serving a dataset replay feed reproduces the offline transcript."""
+    feed, model = replay_feed("listings", rounds=ROUNDS, seed=8)
+    offline = simulate(model, RiskAversePricer(), materialized=feed.materialized)
+
+    registry = PricerRegistry(lambda key: (model, RiskAversePricer()))
+    online = serve_closed_loop(QuoteService(registry), feed.key, feed.materialized)
+    for name in ("link_prices", "posted_prices", "sold", "skipped", "regrets"):
+        left = getattr(online.transcript, name)
+        right = getattr(offline.transcript, name)
+        assert np.array_equal(left, right, equal_nan=left.dtype.kind == "f"), name
+
+
+def test_synthetic_feed_is_reiterable_and_identical():
+    feed = SyntheticFeed(
+        key=SessionKey("synthetic", "s"), dimension=6, rounds=32, seed=21
+    )
+    first = [(req.features.copy(), req.reserve) for req in feed]
+    second = [(req.features.copy(), req.reserve) for req in feed]
+    assert len(first) == 32
+    for (features_a, reserve_a), (features_b, reserve_b) in zip(first, second):
+        assert np.array_equal(features_a, features_b)
+        assert reserve_a == reserve_b
+    # Requests are link-space unit vectors with positive reserves.
+    assert all(np.isclose(np.linalg.norm(f), 1.0) for f, _ in first)
+    assert all(r > 0 for _, r in first)
+
+
+def test_synthetic_feed_open_loop_drive():
+    """An open-loop burst: quotes only, feedback settled by the caller later."""
+    feed = SyntheticFeed(key=SessionKey("synthetic", "s"), dimension=4, rounds=16, seed=2)
+    from repro.core.models import LinearModel
+
+    registry = PricerRegistry(
+        lambda key: (LinearModel(np.full(4, 1.0)), RiskAversePricer())
+    )
+    service = QuoteService(registry)
+    for request in feed:
+        service.submit(request)
+    responses = service.flush()
+    assert len(responses) == 16
+    session = registry.peek(feed.key)
+    assert len(session.pending) == 16  # open loop: nothing settled yet
+    service.feedback_batch(
+        [
+            FeedbackEvent(key=feed.key, quote_id=r.quote_id, accepted=True)
+            for r in responses
+        ]
+    )
+    assert not session.pending

@@ -1,0 +1,263 @@
+"""Micro-batch window semantics and the coalesced feedback path."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RiskAversePricer
+from repro.core.models import LinearModel
+from repro.core.pricing import make_pricer
+from repro.exceptions import ServingError
+from repro.serving import (
+    FeedbackEvent,
+    MicroBatchConfig,
+    PricerRegistry,
+    QuoteRequest,
+    QuoteService,
+    SessionKey,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class CountingRiskAverse(RiskAversePricer):
+    """Instrumented stateless pricer: counts batched protocol entry points."""
+
+    def __init__(self):
+        super().__init__()
+        self.propose_calls = 0
+        self.propose_batch_calls = 0
+        self.update_batch_calls = 0
+
+    def propose(self, features, reserve=None):
+        self.propose_calls += 1
+        return super().propose(features, reserve=reserve)
+
+    def propose_batch(self, features, reserves):
+        self.propose_batch_calls += 1
+        return super().propose_batch(features, reserves)
+
+    def update_batch(self, decisions, accepted):
+        self.update_batch_calls += 1
+        return super().update_batch(decisions, accepted)
+
+
+def _model(dimension=3):
+    return LinearModel(np.full(dimension, 1.0))
+
+
+def _service(pricer_factory, max_batch=8, max_wait_seconds=0.010):
+    clock = FakeClock()
+    registry = PricerRegistry(lambda key: (_model(), pricer_factory()))
+    service = QuoteService(
+        registry,
+        config=MicroBatchConfig(max_batch=max_batch, max_wait_seconds=max_wait_seconds),
+        clock=clock,
+    )
+    return service, clock
+
+
+def _request(key, reserve=0.4):
+    return QuoteRequest(key=key, features=np.array([0.5, 0.3, 0.2]), reserve=reserve)
+
+
+def test_window_holds_until_time_bound():
+    service, clock = _service(CountingRiskAverse)
+    key = SessionKey("app", "s")
+    for _ in range(3):
+        service.submit(_request(key))
+    assert service.poll() == []  # window open: under both bounds
+    assert service.queued == 3
+    clock.advance(0.011)
+    responses = service.poll()
+    assert len(responses) == 3
+    assert service.queued == 0
+
+
+def test_window_closes_on_size_bound():
+    service, clock = _service(CountingRiskAverse, max_batch=4)
+    key = SessionKey("app", "s")
+    for _ in range(4):
+        service.submit(_request(key))
+    # No time has passed, but the size bound fires the drain.
+    responses = service.poll()
+    assert len(responses) == 4
+
+
+def test_stateless_session_coalesces_into_one_propose_batch():
+    service, clock = _service(CountingRiskAverse, max_batch=4)
+    key = SessionKey("app", "s")
+    quote_ids = [service.submit(_request(key, reserve=0.3 + 0.1 * i)) for i in range(4)]
+    responses = service.poll()
+    pricer = service.registry.peek(key).pricer
+    assert pricer.propose_batch_calls == 1
+    assert pricer.propose_calls == 0
+    assert service.stats.batched_proposals == 1
+    # Element-wise identical to the sequential protocol: the risk-averse
+    # baseline posts the reserve.
+    assert [r.link_price for r in responses] == [0.3 + 0.1 * i for i in range(4)]
+    assert [r.round_index for r in responses] == [0, 1, 2, 3]
+
+    # The coalesced feedback path goes through update_batch, once.
+    events = [
+        FeedbackEvent(key=key, quote_id=quote_id, accepted=True) for quote_id in quote_ids
+    ]
+    service.feedback_batch(events)
+    assert pricer.update_batch_calls == 1
+    assert not service.registry.peek(key).pending
+    assert service.stats.feedback_applied == 4
+
+
+def test_learning_session_proposes_sequentially():
+    service, clock = _service(
+        lambda: make_pricer(dimension=3, radius=3.0, epsilon=0.1), max_batch=3
+    )
+    key = SessionKey("app", "ellipsoid")
+    for _ in range(3):
+        service.submit(_request(key))
+    responses = service.poll()
+    assert len(responses) == 3
+    # Feedback-dependent pricers have no propose_batch; the drain used the
+    # object protocol and every quote has a pending decision.
+    assert len(service.registry.peek(key).pending) == 3
+    service.feedback_batch(
+        [FeedbackEvent(key=key, quote_id=r.quote_id, accepted=False) for r in responses]
+    )
+    assert not service.registry.peek(key).pending
+
+
+def test_drain_groups_by_session_preserving_order():
+    service, clock = _service(CountingRiskAverse, max_batch=8)
+    key_a, key_b = SessionKey("app", "a"), SessionKey("app", "b")
+    order = [key_a, key_b, key_a, key_b]
+    ids = [service.submit(_request(key)) for key in order]
+    responses = service.flush()
+    assert len(responses) == 4
+    # Grouped by session, first-come order within each group.
+    assert [r.key for r in responses] == [key_a, key_a, key_b, key_b]
+    assert [r.quote_id for r in responses] == [ids[0], ids[2], ids[1], ids[3]]
+    # One columnar call per session, not per request.
+    assert service.registry.peek(key_a).pricer.propose_batch_calls == 1
+    assert service.registry.peek(key_b).pricer.propose_batch_calls == 1
+
+
+def test_quote_returns_own_response_and_parks_the_rest():
+    service, clock = _service(CountingRiskAverse)
+    key = SessionKey("app", "s")
+    parked_id = service.submit(_request(key))
+    response = service.quote(_request(key, reserve=0.9))
+    assert response.link_price == 0.9
+    # The co-drained request is waiting in the outbox.
+    rest = service.poll()
+    assert [r.quote_id for r in rest] == [parked_id]
+
+
+def test_per_quote_latency_includes_queueing_delay():
+    service, clock = _service(CountingRiskAverse, max_wait_seconds=0.005)
+    key = SessionKey("app", "s")
+    service.submit(_request(key))
+    clock.advance(0.006)
+    (response,) = service.poll()
+    assert response.latency_seconds == pytest.approx(0.006)
+    assert service.stats.latency.count == 1
+
+
+def test_feedback_for_unknown_quote_raises():
+    service, clock = _service(CountingRiskAverse)
+    key = SessionKey("app", "s")
+    response = service.quote(_request(key))
+    service.feedback(FeedbackEvent(key=key, quote_id=response.quote_id, accepted=True))
+    with pytest.raises(ServingError):
+        service.feedback(FeedbackEvent(key=key, quote_id=response.quote_id, accepted=True))
+    with pytest.raises(ServingError):
+        service.feedback(FeedbackEvent(key=key, quote_id=999, accepted=False))
+
+
+def test_feedback_batch_rejects_bad_ids_without_stranding_valid_outcomes():
+    """A bad quote id anywhere in the window must leave every pending
+    decision settleable — no half-applied group."""
+    service, clock = _service(CountingRiskAverse, max_batch=4)
+    key = SessionKey("app", "s")
+    ids = [service.submit(_request(key)) for _ in range(3)]
+    service.flush()
+    session = service.registry.peek(key)
+    assert len(session.pending) == 3
+
+    bad = [FeedbackEvent(key=key, quote_id=ids[0], accepted=True),
+           FeedbackEvent(key=key, quote_id=999, accepted=True)]
+    with pytest.raises(ServingError):
+        service.feedback_batch(bad)
+    assert len(session.pending) == 3  # nothing was popped
+    assert session.pricer.update_batch_calls == 0
+
+    duplicated = [FeedbackEvent(key=key, quote_id=ids[0], accepted=True),
+                  FeedbackEvent(key=key, quote_id=ids[0], accepted=False)]
+    with pytest.raises(ServingError):
+        service.feedback_batch(duplicated)
+    assert len(session.pending) == 3
+
+    service.feedback_batch(
+        [FeedbackEvent(key=key, quote_id=quote_id, accepted=True) for quote_id in ids]
+    )
+    assert not session.pending
+
+
+def test_drain_failure_requeues_untouched_groups_and_names_lost_quotes():
+    class FlakyPricer(CountingRiskAverse):
+        supports_batch_propose = False  # force the sequential path
+
+        def propose(self, features, reserve=None):
+            if self.propose_calls == 1:
+                self.propose_calls += 1
+                raise RuntimeError("pricer blew up")
+            return super().propose(features, reserve=reserve)
+
+    clock = FakeClock()
+    built = {}
+
+    def factory(key):
+        built[key] = FlakyPricer() if key.segment == "flaky" else CountingRiskAverse()
+        return _model(), built[key]
+
+    service = QuoteService(
+        PricerRegistry(factory),
+        config=MicroBatchConfig(max_batch=16, max_wait_seconds=0.01),
+        clock=clock,
+    )
+    flaky, healthy = SessionKey("app", "flaky"), SessionKey("app", "healthy")
+    ids = [service.submit(_request(key)) for key in (flaky, flaky, flaky, healthy, healthy)]
+    with pytest.raises(ServingError) as excinfo:
+        service.flush()
+    # The first flaky quote was served before the failure; the two unserved
+    # flaky quote ids are named in the error.
+    assert str(ids[1]) in str(excinfo.value) and str(ids[2]) in str(excinfo.value)
+    responses = service.poll()  # the emitted response survives in the outbox
+    assert [r.quote_id for r in responses] == [ids[0]]
+    # The healthy group went back to the queue, in order, and serves cleanly.
+    assert service.queued == 2
+    clock.advance(0.02)
+    assert [r.quote_id for r in service.poll()] == [ids[3], ids[4]]
+
+
+def test_feedback_requires_a_resident_session():
+    service, clock = _service(CountingRiskAverse)
+    with pytest.raises(ServingError):
+        service.feedback(
+            FeedbackEvent(key=SessionKey("app", "never-served"), quote_id=0, accepted=True)
+        )
+    assert service.registry.resident_count == 0  # the lookup created nothing
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MicroBatchConfig(max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatchConfig(max_wait_seconds=-1.0)
