@@ -9,15 +9,27 @@ single drain, sales are settled against the realised market values, and the
 accept/reject outcomes go back through the batched feedback path before the
 next round (so every session runs the exact online protocol).
 
-The report (``BENCH_serving.json``) carries quotes/sec, p50/p99 per-quote
-latency (enqueue → response, i.e. including micro-batch queueing delay),
-sessions resident, and the registry/service lifecycle counters.  CI runs a
-short burst of this script and uploads the report alongside the engine
-smoke bench.
+Three measurement modes, all written into one ``BENCH_serving.json``:
+
+* **closed-loop** (always run) — the in-process baseline: quotes/sec and
+  p50/p99 per-quote latency (enqueue → response, i.e. including micro-batch
+  queueing delay), sessions resident, and the lifecycle counters.
+* **replay-at-rate** (``--target-qps``) — open-loop pacing: quotes are
+  submitted on a fixed schedule regardless of completions (an arrival
+  process, not a benchmark loop), responses are settled as they drain, and
+  the report carries offered vs *achieved* qps plus queue-delay percentiles.
+* **shard scaling** (``--shards N``) — the same closed-loop replay dispatched
+  through :class:`repro.serving.sharding.ShardedRegistry` with 1 worker and
+  with N workers (identical pipe dispatch, so the comparison isolates the
+  parallelism), reporting both throughputs and the scaling factor.  Scaling
+  requires as many idle cores as shards — on a 1-CPU container the factor
+  is necessarily ≈ 1.
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_serving.py --rounds 5000 --sessions 4
+    PYTHONPATH=src python scripts/bench_serving.py --target-qps 20000
+    PYTHONPATH=src python scripts/bench_serving.py --shards 4
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ from repro.serving import (
     QuoteRequest,
     QuoteService,
     SessionKey,
+    ShardedRegistry,
 )
 
 
@@ -68,27 +81,47 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--max-sessions", type=int, default=None, help="LRU residency bound (default: unbounded)"
     )
     parser.add_argument(
+        "--target-qps",
+        type=float,
+        default=0.0,
+        help="replay-at-rate mode: offered open-loop quote rate (0 = skip)",
+    )
+    parser.add_argument(
+        "--rate-rounds",
+        type=int,
+        default=0,
+        help="rounds per session for the rate mode (0 = same as --rounds)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard-scaling mode: worker process count (0 = skip)",
+    )
+    parser.add_argument(
+        "--replay-window",
+        type=int,
+        default=256,
+        help="rounds per pipe message in the sharded replay dispatch",
+    )
+    parser.add_argument(
         "--min-qps",
         type=float,
         default=0.0,
-        help="fail (exit 1) when quotes/sec lands below this floor (0 = report only)",
+        help="fail (exit 1) when closed-loop quotes/sec lands below this floor (0 = report only)",
     )
     parser.add_argument("--output", default="BENCH_serving.json", help="JSON output path")
     return parser.parse_args(argv)
 
 
-def main(argv=None) -> int:
-    args = parse_args(argv)
+def build_workload(args):
+    """The shared fig4-style market plus session keys and their factory."""
     config = NoisyLinearQueryConfig(
         dimension=args.dimension,
         rounds=args.rounds,
         owner_count=args.owner_count,
         delta=args.delta,
         seed=args.seed,
-    )
-    print(
-        "building fig4 workload (n=%d, T=%d per session, %d sessions) ..."
-        % (args.dimension, args.rounds, args.sessions)
     )
     environment = build_noisy_query_environment(config)
     materialized = prepare(environment.model, environment.arrival_batch())
@@ -98,44 +131,46 @@ def main(argv=None) -> int:
         SessionKey(app="fig4", segment="shard=%d/%s" % (index, versions[index % len(versions)]))
         for index in range(args.sessions)
     ]
-    version_of = {
-        key: versions[index % len(versions)] for index, key in enumerate(keys)
-    }
+    version_of = {key: versions[index % len(versions)] for index, key in enumerate(keys)}
 
     def factory(key: SessionKey):
         return environment.model, build_pricer_for_version(environment, version_of[key])
 
+    return environment, materialized, keys, factory
+
+
+def micro_batch_config(args) -> MicroBatchConfig:
+    return MicroBatchConfig(
+        max_batch=max(args.max_batch, args.sessions),
+        max_wait_seconds=args.max_wait_ms / 1000.0,
+    )
+
+
+def run_closed_loop(args, materialized, keys, factory):
+    """The in-process closed-loop baseline (the bench's headline numbers)."""
     registry = PricerRegistry(
         factory,
         snapshot_dir=args.snapshot_dir,
         max_sessions=args.max_sessions,
         persist_every=args.persist_every,
     )
-    service = QuoteService(
-        registry,
-        config=MicroBatchConfig(
-            max_batch=max(args.max_batch, args.sessions),
-            max_wait_seconds=args.max_wait_ms / 1000.0,
-        ),
-    )
+    service = QuoteService(registry, config=micro_batch_config(args))
 
-    print("serving %d quotes ..." % (args.rounds * args.sessions))
+    print("serving %d quotes closed-loop ..." % (args.rounds * args.sessions))
     start = time.perf_counter()
     for round_ in stream_rounds(materialized):
         for key in keys:
             service.submit(
                 QuoteRequest(key=key, features=round_.features, reserve=round_.reserve)
             )
-        events = []
-        for response in service.flush():
-            sold = (
-                not response.skipped
-                and response.posted_price is not None
-                and response.posted_price <= round_.market_value
+        events = [
+            FeedbackEvent(
+                key=response.key,
+                quote_id=response.quote_id,
+                accepted=response.sold_at(round_.market_value),
             )
-            events.append(
-                FeedbackEvent(key=response.key, quote_id=response.quote_id, accepted=sold)
-            )
+            for response in service.flush()
+        ]
         service.feedback_batch(events)
     wall_seconds = time.perf_counter() - start
     if args.snapshot_dir:
@@ -148,6 +183,182 @@ def main(argv=None) -> int:
         "served %d quotes in %.2fs  ->  %.0f quotes/sec   p50 %.4f ms   p99 %.4f ms"
         % (quotes, wall_seconds, qps, latency.p50_ms, latency.p99_ms)
     )
+    return {
+        "quotes": quotes,
+        "wall_seconds": round(wall_seconds, 4),
+        "quotes_per_second": round(qps, 1),
+        "latency": {name: round(value, 6) for name, value in latency.as_dict().items()},
+        "sessions_resident": registry.resident_count,
+        "service": {
+            "drains": service.stats.drains,
+            "batched_proposals": service.stats.batched_proposals,
+            "feedback_applied": service.stats.feedback_applied,
+        },
+        "registry": registry.stats.as_dict(),
+    }
+
+
+def run_replay_at_rate(args, materialized, keys, factory):
+    """Open-loop pacing: submit on a fixed schedule, settle as drains land.
+
+    The schedule is *open-loop*: quote ``i`` is offered at ``start + i/qps``
+    whether or not earlier quotes completed (a service that falls behind
+    accumulates queue delay instead of throttling the arrival process —
+    exactly how live traffic behaves).  Queue-delay percentiles are the
+    enqueue → response latencies the service records.
+    """
+    rate_rounds = args.rate_rounds or args.rounds
+    if rate_rounds > args.rounds:
+        # The rate mode replays a slice of the closed-loop market; clamp
+        # instead of crashing after the closed-loop phase already ran.
+        print(
+            "note: --rate-rounds %d exceeds --rounds %d; clamping"
+            % (rate_rounds, args.rounds)
+        )
+        rate_rounds = args.rounds
+    target_qps = args.target_qps
+    registry = PricerRegistry(factory)
+    service = QuoteService(registry, config=micro_batch_config(args))
+
+    total = rate_rounds * len(keys)
+    print("replaying at %.0f offered qps (%d quotes) ..." % (target_qps, total))
+    interval = 1.0 / target_qps
+    market_value_of = {}
+    settled = 0
+
+    def settle(responses):
+        events = [
+            FeedbackEvent(
+                key=response.key,
+                quote_id=response.quote_id,
+                accepted=response.sold_at(market_value_of.pop(response.quote_id)),
+            )
+            for response in responses
+        ]
+        if events:
+            service.feedback_batch(events)
+        return len(events)
+
+    offered = 0
+    start = time.perf_counter()
+    for round_ in stream_rounds(materialized.slice(0, rate_rounds)):
+        for key in keys:
+            due = start + offered * interval
+            now = time.perf_counter()
+            if now < due:
+                time.sleep(due - now)
+                settled += settle(service.poll())
+            quote_id = service.submit(
+                QuoteRequest(key=key, features=round_.features, reserve=round_.reserve)
+            )
+            market_value_of[quote_id] = round_.market_value
+            offered += 1
+            settled += settle(service.poll())
+    settled += settle(service.flush())
+    wall_seconds = time.perf_counter() - start
+
+    achieved = settled / wall_seconds if wall_seconds > 0 else float("inf")
+    latency = service.stats.latency_summary()
+    print(
+        "offered %.0f qps, achieved %.0f qps   queue-delay p50 %.4f ms   p99 %.4f ms"
+        % (target_qps, achieved, latency.p50_ms, latency.p99_ms)
+    )
+    return {
+        "offered_qps": round(target_qps, 1),
+        "achieved_qps": round(achieved, 1),
+        "quotes": settled,
+        "rounds": rate_rounds,
+        "wall_seconds": round(wall_seconds, 4),
+        "queue_delay": {name: round(value, 6) for name, value in latency.as_dict().items()},
+        "service": {
+            "drains": service.stats.drains,
+            "batched_proposals": service.stats.batched_proposals,
+            "feedback_applied": service.stats.feedback_applied,
+        },
+    }
+
+
+def run_sharded_scaling(args, materialized, keys, factory):
+    """Closed-loop replay through 1 worker vs ``--shards`` workers.
+
+    Both runs go through the identical :class:`ShardedRegistry` pipe
+    dispatch (same windowing, same pickling), so the ratio isolates the
+    parallelism across worker processes.
+    """
+    pairs = []
+    for round_ in stream_rounds(materialized):
+        for key in keys:
+            pairs.append(
+                (
+                    QuoteRequest(key=key, features=round_.features, reserve=round_.reserve),
+                    round_.market_value,
+                )
+            )
+
+    def measure(num_shards):
+        # Each measurement gets its own snapshot tree: sharing one would let
+        # the N-shard run hydrate sessions the 1-shard run persisted, making
+        # the two workloads (and the scaling ratio) non-equivalent.
+        snapshot_dir = (
+            os.path.join(args.snapshot_dir, "scaling-%d" % num_shards)
+            if args.snapshot_dir
+            else None
+        )
+        with ShardedRegistry(
+            factory,
+            num_shards=num_shards,
+            config=micro_batch_config(args),
+            snapshot_dir=snapshot_dir,
+            max_sessions=args.max_sessions,
+            persist_every=args.persist_every,
+        ) as sharded:
+            start = time.perf_counter()
+            served = sharded.replay_closed_loop(pairs, window=args.replay_window)
+            wall_seconds = time.perf_counter() - start
+            stats = sharded.stats()
+        qps = served / wall_seconds if wall_seconds > 0 else float("inf")
+        print(
+            "  %d shard(s): %d quotes in %.2fs  ->  %.0f quotes/sec"
+            % (num_shards, served, wall_seconds, qps)
+        )
+        return {
+            "quotes": served,
+            "wall_seconds": round(wall_seconds, 4),
+            "quotes_per_second": round(qps, 1),
+            "latency": {
+                name: round(value, 6) for name, value in stats["latency"].items()
+            },
+            "sessions_resident": stats["sessions_resident"],
+            "registry": stats["registry"],
+        }
+
+    print("shard scaling (replay window %d) ..." % args.replay_window)
+    single = measure(1)
+    sharded = measure(args.shards)
+    scaling = (
+        sharded["quotes_per_second"] / single["quotes_per_second"]
+        if single["quotes_per_second"]
+        else float("inf")
+    )
+    print("  scaling: %.2fx over single shard (%d CPUs)" % (scaling, os.cpu_count() or 1))
+    return {
+        "shards": args.shards,
+        "replay_window": args.replay_window,
+        "single_shard": single,
+        "sharded": sharded,
+        "scaling_x": round(scaling, 3),
+    }
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    print(
+        "building fig4 workload (n=%d, T=%d per session, %d sessions) ..."
+        % (args.dimension, args.rounds, args.sessions)
+    )
+    environment, materialized, keys, factory = build_workload(args)
+
+    closed_loop = run_closed_loop(args, materialized, keys, factory)
 
     report = {
         "benchmark": "bench_serving (fig4-style closed-loop, noisy linear query)",
@@ -164,23 +375,20 @@ def main(argv=None) -> int:
             "snapshot_dir": bool(args.snapshot_dir),
         },
         "cpu_count": os.cpu_count(),
-        "quotes": quotes,
-        "wall_seconds": round(wall_seconds, 4),
-        "quotes_per_second": round(qps, 1),
-        "latency": {name: round(value, 6) for name, value in latency.as_dict().items()},
-        "sessions_resident": registry.resident_count,
-        "service": {
-            "drains": service.stats.drains,
-            "batched_proposals": service.stats.batched_proposals,
-            "feedback_applied": service.stats.feedback_applied,
-        },
-        "registry": registry.stats.as_dict(),
     }
+    report.update(closed_loop)
+
+    if args.target_qps > 0:
+        report["replay_at_rate"] = run_replay_at_rate(args, materialized, keys, factory)
+    if args.shards > 0:
+        report["sharding"] = run_sharded_scaling(args, materialized, keys, factory)
+
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print("wrote %s" % args.output)
 
+    qps = report["quotes_per_second"]
     if args.min_qps > 0 and qps < args.min_qps:
         print(
             "ERROR: %.0f quotes/sec below the required %.0f" % (qps, args.min_qps),

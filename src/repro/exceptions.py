@@ -45,4 +45,63 @@ class ServingError(ReproError):
     Raised for protocol violations such as feedback for an unknown or
     already-settled quote id, or a feedback event routed to a session that
     was never served a quote.
+
+    Drain failures carry structured accounting so callers can react
+    programmatically instead of parsing the message:
+
+    Attributes
+    ----------
+    key:
+        The session key whose pricer (or factory) raised, when known.
+    lost_quote_ids:
+        Quote ids that will **never** be served — the failing group's
+        unserved requests (or a synchronous caller's cancelled quote).
+    requeued_quote_ids:
+        Quote ids pushed back to the front of the queue; the next drain
+        serves them and their responses surface through ``poll``/``flush``.
+    response:
+        A :class:`~repro.serving.requests.QuoteResponse` the failing drain
+        *did* produce for the synchronous caller (its session group was
+        served before another group failed) — handed over on the error so
+        it is never stranded in the outbox.
+
+    The attributes survive pickling, so a shard worker's drain failure
+    reaches the routing parent with its accounting intact.
     """
+
+    def __init__(
+        self,
+        message: str = "",
+        key=None,
+        lost_quote_ids=None,
+        requeued_quote_ids=None,
+        response=None,
+    ) -> None:
+        super().__init__(message)
+        self.key = key
+        self.lost_quote_ids = list(lost_quote_ids) if lost_quote_ids else []
+        self.requeued_quote_ids = list(requeued_quote_ids) if requeued_quote_ids else []
+        self.response = response
+
+    def __reduce__(self):
+        return (
+            _rebuild_serving_error,
+            (
+                self.args[0] if self.args else "",
+                self.key,
+                self.lost_quote_ids,
+                self.requeued_quote_ids,
+                self.response,
+            ),
+        )
+
+
+def _rebuild_serving_error(message, key, lost, requeued, response):
+    """Unpickle helper preserving :class:`ServingError`'s accounting fields."""
+    return ServingError(
+        message,
+        key=key,
+        lost_quote_ids=lost,
+        requeued_quote_ids=requeued,
+        response=response,
+    )

@@ -17,10 +17,18 @@ latency under live arrivals) as an actual serving layer:
   ``ad_clicks``, ``listings``) and any materialised market;
 * :mod:`repro.serving.loop` — :func:`serve_closed_loop`, the round-by-round
   driver whose transcript is bit-identical to the offline engine
-  (``tests/serving/`` pins this for every golden pricer family).
+  (``tests/serving/`` pins this for every golden pricer family);
+* :mod:`repro.serving.sharding` — :class:`ShardedRegistry`, a router hashing
+  session keys across N worker processes (one registry + service per
+  worker, quote/feedback dispatch over pipes, per-shard snapshot dirs);
+* :mod:`repro.serving.frontend` — :class:`QuoteFrontend`, the asyncio socket
+  server (length-prefixed JSON over TCP or unix socket) over either backend,
+  plus the synchronous :class:`QuoteSocketClient` and
+  :func:`serve_closed_loop_socket`, the through-the-wire twin of the
+  closed-loop driver.
 
 Load generation lives in ``scripts/bench_serving.py`` (quotes/sec, p50/p99
-quote latency, sessions resident → ``BENCH_serving.json``).
+quote latency, replay-at-rate pacing, shard scaling → ``BENCH_serving.json``).
 """
 
 from repro.serving.feeds import (
@@ -31,27 +39,42 @@ from repro.serving.feeds import (
     dataset_replay_market,
     replay_feed,
 )
+from repro.serving.frontend import (
+    FrontendHandle,
+    QuoteFrontend,
+    QuoteSocketClient,
+    serve_closed_loop_socket,
+    start_frontend_thread,
+)
 from repro.serving.loop import serve_closed_loop
 from repro.serving.registry import PricerRegistry, PricingSession, RegistryStats
 from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
 from repro.serving.service import MicroBatchConfig, QuoteService, ServiceStats
+from repro.serving.sharding import ShardedRegistry, shard_of_key
 
 __all__ = [
     "FeedbackEvent",
+    "FrontendHandle",
     "MicroBatchConfig",
     "PricerRegistry",
     "PricingSession",
+    "QuoteFrontend",
     "QuoteRequest",
     "QuoteResponse",
     "QuoteService",
+    "QuoteSocketClient",
     "REPLAY_DATASETS",
     "RegistryStats",
     "ReplayFeed",
     "ServiceStats",
     "SessionKey",
+    "ShardedRegistry",
     "SyntheticFeed",
     "dataset_arrival_features",
     "dataset_replay_market",
     "replay_feed",
     "serve_closed_loop",
+    "serve_closed_loop_socket",
+    "shard_of_key",
+    "start_frontend_thread",
 ]

@@ -1,0 +1,589 @@
+"""Asyncio socket front end for the quote-serving subsystem.
+
+:class:`QuoteFrontend` exposes a :class:`~repro.serving.service.QuoteService`
+(or a :class:`~repro.serving.sharding.ShardedRegistry`) over TCP or a unix
+domain socket.  The wire format is **length-prefixed JSON**: every frame is a
+4-byte big-endian unsigned length followed by that many bytes of UTF-8 JSON.
+Python's ``json`` emits shortest round-trip ``repr`` floats, so prices and
+features survive the wire bit-exactly — which is what lets a closed-loop
+replay *through the socket* stay bit-identical to the offline engine
+(pinned by ``tests/serving/test_frontend.py`` for every golden family).
+
+Client → server operations (``op`` field):
+
+=============  =============================================================
+``quote``      ``{app, segment, features: [..], reserve: x|null, id?}`` —
+               enqueue a quote; the response frame arrives when the
+               micro-batch window drains (``op: quote_result``, echoing
+               the optional client-chosen ``id``).
+``feedback``   ``{app, segment, quote_id, accepted}`` → ``feedback_ok``.
+``flush``      force a drain → ``{op: flush_ok, drained: n}`` (quote
+               results still go to their issuing connections).
+``stats``      service/registry counters → ``{op: stats, ...}``.
+``ping``       liveness → ``{op: pong}``.
+=============  =============================================================
+
+Failures arrive as ``{op: error, error: msg, id?, lost_quote_ids: [..]}``;
+a drain failure notifies every connection whose quote was lost or requeued.
+
+The server drives the backend from a single **drain task**: every submit
+kicks it, and it otherwise ticks at ``drain_interval`` so the time bound of
+the micro-batch window fires without traffic.  All backend access is
+serialised behind one lock and pushed off the event loop via
+``run_in_executor``, so a slow pricer (or a shard pipe round-trip) never
+stalls frame parsing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.arrivals import MaterializedArrivals
+from repro.engine.results import SimulationResult
+from repro.engine.streaming import stream_rounds
+from repro.engine.transcript import Transcript
+from repro.exceptions import ServingError
+from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
+
+#: Frame header: one 4-byte big-endian unsigned length.
+FRAME_HEADER = struct.Struct(">I")
+
+#: Upper bound on a single frame (defensive: a corrupt header must not OOM).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+# --------------------------------------------------------------------------- #
+# Framing and payload codecs (shared by server and clients)
+# --------------------------------------------------------------------------- #
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One length-prefixed JSON frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServingError("frame of %d bytes exceeds the %d-byte bound"
+                           % (len(body), MAX_FRAME_BYTES))
+    return FRAME_HEADER.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(FRAME_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServingError("frame length %d exceeds the %d-byte bound"
+                           % (length, MAX_FRAME_BYTES))
+    body = await reader.readexactly(length)
+    return json.loads(body.decode("utf-8"))
+
+
+def request_from_payload(payload: dict) -> QuoteRequest:
+    """Decode a ``quote`` frame into a :class:`QuoteRequest`."""
+    try:
+        key = SessionKey(app=str(payload["app"]), segment=str(payload["segment"]))
+        features = np.asarray(payload["features"], dtype=float)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServingError("malformed quote payload: %s" % exc)
+    reserve = payload.get("reserve")
+    return QuoteRequest(
+        key=key,
+        features=features,
+        reserve=None if reserve is None else float(reserve),
+        metadata=dict(payload.get("metadata") or {}),
+    )
+
+
+def response_to_payload(response: QuoteResponse) -> dict:
+    """Encode a :class:`QuoteResponse` as a ``quote_result`` frame body."""
+    return {
+        "op": "quote_result",
+        "quote_id": response.quote_id,
+        "app": response.key.app,
+        "segment": response.key.segment,
+        "link_price": response.link_price,
+        "posted_price": response.posted_price,
+        "exploratory": bool(response.exploratory),
+        "skipped": bool(response.skipped),
+        "round_index": int(response.round_index),
+        "latency_seconds": response.latency_seconds,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Server
+# --------------------------------------------------------------------------- #
+
+
+class QuoteFrontend:
+    """Length-prefixed-JSON socket server over a quote-serving backend.
+
+    ``backend`` is anything with the service surface this module drives:
+    ``submit(request) -> quote_id``, ``poll() -> [QuoteResponse]``,
+    ``flush() -> [QuoteResponse]``, ``feedback_batch(events)`` — i.e. a
+    :class:`QuoteService` or a :class:`ShardedRegistry`.
+    """
+
+    def __init__(self, backend, drain_interval: float = 0.001) -> None:
+        if drain_interval <= 0:
+            raise ValueError("drain_interval must be positive, got %g" % drain_interval)
+        self.backend = backend
+        self.drain_interval = drain_interval
+        self._lock = asyncio.Lock()
+        self._kick = asyncio.Event()
+        self._waiters: Dict[int, Tuple[asyncio.StreamWriter, Any]] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._drain_task: Optional[asyncio.Task] = None
+        self._running = False
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    async def start(
+        self,
+        host: Optional[str] = None,
+        port: int = 0,
+        unix_path: Optional[str] = None,
+    ) -> None:
+        """Bind and start serving on TCP ``host:port`` or ``unix_path``."""
+        if self._server is not None:
+            raise ServingError("frontend already started")
+        if (unix_path is None) == (host is None):
+            raise ValueError("pass exactly one of host/port or unix_path")
+        self._running = True
+        if unix_path is not None:
+            self._server = await asyncio.start_unix_server(self._handle, path=unix_path)
+        else:
+            self._server = await asyncio.start_server(self._handle, host=host, port=port)
+        self._drain_task = asyncio.get_running_loop().create_task(self._drain_loop())
+
+    @property
+    def addresses(self) -> List:
+        """Bound socket addresses (``(host, port)`` tuples or unix paths)."""
+        if self._server is None:
+            return []
+        return [sock.getsockname() for sock in self._server.sockets]
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel the drain task, flush nothing."""
+        self._running = False
+        if self._drain_task is not None:
+            self._kick.set()
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- backend access (serialised, off-loop) -------------------------- #
+
+    async def _backend_call(self, method: str, *args):
+        loop = asyncio.get_running_loop()
+        function = getattr(self.backend, method)
+        async with self._lock:
+            return await loop.run_in_executor(None, function, *args)
+
+    # -- the drain task -------------------------------------------------- #
+
+    async def _drain_loop(self) -> None:
+        """Poll the backend whenever kicked, else every ``drain_interval``.
+
+        ``poll`` respects the backend's micro-batch window, so calling it on
+        every kick never over-drains; the interval tick catches windows that
+        close by the time bound with no new traffic.
+        """
+        while self._running:
+            try:
+                await asyncio.wait_for(self._kick.wait(), timeout=self.drain_interval)
+            except asyncio.TimeoutError:
+                pass
+            self._kick.clear()
+            await self._drain_once("poll")
+
+    async def _drain_once(self, method: str) -> int:
+        try:
+            responses = await self._backend_call(method)
+        except ServingError as exc:
+            await self._notify_drain_failure(exc)
+            return 0
+        await self._route(responses)
+        return len(responses)
+
+    async def _route(self, responses) -> None:
+        for response in responses:
+            writer, client_id = self._waiters.pop(response.quote_id, (None, None))
+            if writer is None or writer.is_closing():
+                continue
+            payload = response_to_payload(response)
+            if client_id is not None:
+                payload["id"] = client_id
+            await self._write(writer, payload)
+
+    async def _notify_drain_failure(self, exc: ServingError) -> None:
+        """Fan a drain failure out to the connections it affects.
+
+        Lost quotes get an ``error`` frame (they will never be served);
+        requeued quotes stay registered — their responses arrive on a later
+        drain.  A response the error carries (synchronous-path hand-over)
+        is routed normally.
+        """
+        if exc.response is not None:
+            await self._route([exc.response])
+        for quote_id in exc.lost_quote_ids:
+            writer, client_id = self._waiters.pop(quote_id, (None, None))
+            if writer is None or writer.is_closing():
+                continue
+            payload = {
+                "op": "error",
+                "error": str(exc),
+                "quote_id": quote_id,
+                "lost_quote_ids": list(exc.lost_quote_ids),
+            }
+            if client_id is not None:
+                payload["id"] = client_id
+            await self._write(writer, payload)
+
+    @staticmethod
+    async def _write(writer: asyncio.StreamWriter, payload: dict) -> None:
+        try:
+            writer.write(encode_frame(payload))
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    # -- per-connection protocol ---------------------------------------- #
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except (ServingError, ValueError) as exc:
+                    # Oversized header or undecodable JSON: the stream is no
+                    # longer at a frame boundary — report and hang up.
+                    await self._write(writer, {"op": "error", "error": str(exc)})
+                    break
+                if message is None:
+                    break
+                await self._dispatch(message, writer)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, message: dict, writer: asyncio.StreamWriter) -> None:
+        op = message.get("op")
+        client_id = message.get("id")
+        try:
+            if op == "quote":
+                request = request_from_payload(message)
+                # Registering the waiter must be atomic with the submit
+                # w.r.t. the drain task's poll (both hold the backend lock),
+                # or a drain racing in between could produce the response
+                # before anyone is listening for it.
+                loop = asyncio.get_running_loop()
+                async with self._lock:
+                    quote_id = await loop.run_in_executor(
+                        None, self.backend.submit, request
+                    )
+                    self._waiters[quote_id] = (writer, client_id)
+                self._kick.set()
+            elif op == "feedback":
+                event = FeedbackEvent(
+                    key=SessionKey(
+                        app=str(message["app"]), segment=str(message["segment"])
+                    ),
+                    quote_id=int(message["quote_id"]),
+                    accepted=bool(message["accepted"]),
+                )
+                await self._backend_call("feedback_batch", [event])
+                await self._write(writer, {"op": "feedback_ok", "id": client_id})
+            elif op == "flush":
+                drained = await self._drain_once("flush")
+                await self._write(writer, {"op": "flush_ok", "drained": drained, "id": client_id})
+            elif op == "stats":
+                payload = await self._collect_stats()
+                payload.update({"op": "stats", "id": client_id})
+                await self._write(writer, payload)
+            elif op == "ping":
+                await self._write(writer, {"op": "pong", "id": client_id})
+            else:
+                raise ServingError("unknown op %r" % (op,))
+        except KeyError as exc:
+            await self._write(
+                writer,
+                {"op": "error", "error": "missing field %s" % exc, "id": client_id},
+            )
+        except (ServingError, TypeError, ValueError) as exc:
+            # TypeError/ValueError cover malformed field values (a null
+            # quote_id, a string where a number belongs): answer with an
+            # error frame instead of killing the connection mid-protocol.
+            await self._write(writer, {"op": "error", "error": str(exc), "id": client_id})
+
+    async def _collect_stats(self) -> dict:
+        backend = self.backend
+        if hasattr(backend, "stats") and callable(backend.stats):
+            stats = await self._backend_call("stats")  # ShardedRegistry
+            stats.pop("per_shard", None)
+            return dict(stats)
+        # QuoteService: dataclass counters + its registry.
+        return {
+            "quotes_served": backend.stats.quotes_served,
+            "drains": backend.stats.drains,
+            "batched_proposals": backend.stats.batched_proposals,
+            "feedback_applied": backend.stats.feedback_applied,
+            "latency": backend.stats.latency_summary().as_dict(),
+            "sessions_resident": backend.registry.resident_count,
+            "registry": backend.registry.stats.as_dict(),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Background-thread harness (examples, tests, the bench)
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class FrontendHandle:
+    """A running frontend on its own event-loop thread."""
+
+    frontend: QuoteFrontend
+    thread: threading.Thread
+    loop: asyncio.AbstractEventLoop
+    address: Any
+
+    def stop(self, timeout: float = 5.0) -> None:
+        future = asyncio.run_coroutine_threadsafe(self.frontend.stop(), self.loop)
+        future.result(timeout)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout)
+
+    def __enter__(self) -> "FrontendHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_frontend_thread(
+    backend,
+    host: Optional[str] = None,
+    port: int = 0,
+    unix_path: Optional[str] = None,
+    drain_interval: float = 0.001,
+    startup_timeout: float = 10.0,
+) -> FrontendHandle:
+    """Run a :class:`QuoteFrontend` on a daemon thread; returns its handle.
+
+    The handle's ``address`` is the bound unix path, or the ``(host, port)``
+    actually bound (so ``port=0`` works for tests).
+    """
+    frontend = QuoteFrontend(backend, drain_interval=drain_interval)
+    started = threading.Event()
+    failure: List[BaseException] = []
+    loop_holder: List[asyncio.AbstractEventLoop] = []
+
+    def _run() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_holder.append(loop)
+
+        async def _start() -> None:
+            await frontend.start(host=host, port=port, unix_path=unix_path)
+
+        try:
+            loop.run_until_complete(_start())
+        except BaseException as exc:  # surface bind errors to the caller
+            failure.append(exc)
+            started.set()
+            return
+        started.set()
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_run, name="quote-frontend", daemon=True)
+    thread.start()
+    if not started.wait(startup_timeout):
+        raise ServingError("frontend failed to start within %gs" % startup_timeout)
+    if failure:
+        raise failure[0]
+    address = unix_path if unix_path is not None else frontend.addresses[0]
+    return FrontendHandle(
+        frontend=frontend, thread=thread, loop=loop_holder[0], address=address
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Synchronous client
+# --------------------------------------------------------------------------- #
+
+
+class QuoteSocketClient:
+    """Blocking client speaking the length-prefixed JSON protocol.
+
+    One outstanding request at a time per client: frames on a connection are
+    ordered, so after a ``quote`` the next ``quote_result``/``error`` frame
+    answers it.  For concurrent traffic open several clients (the server
+    multiplexes connections).
+    """
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (unix_path is None) == (host is None):
+            raise ValueError("pass exactly one of host/port or unix_path")
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            self._sock = socket.create_connection((host, int(port)), timeout=timeout)
+        self._buffer = b""
+
+    # -- framing -------------------------------------------------------- #
+
+    def _send(self, payload: dict) -> None:
+        self._sock.sendall(encode_frame(payload))
+
+    def _read_exactly(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ServingError("server closed the connection mid-frame")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def read_frame(self) -> dict:
+        (length,) = FRAME_HEADER.unpack(self._read_exactly(FRAME_HEADER.size))
+        if length > MAX_FRAME_BYTES:
+            raise ServingError("frame length %d exceeds the %d-byte bound"
+                               % (length, MAX_FRAME_BYTES))
+        return json.loads(self._read_exactly(length).decode("utf-8"))
+
+    def _expect(self, op: str) -> dict:
+        frame = self.read_frame()
+        if frame.get("op") == "error":
+            raise ServingError(
+                str(frame.get("error")),
+                lost_quote_ids=frame.get("lost_quote_ids") or [],
+            )
+        if frame.get("op") != op:
+            raise ServingError("expected %r frame, got %r" % (op, frame.get("op")))
+        return frame
+
+    # -- operations ----------------------------------------------------- #
+
+    def quote(self, key: SessionKey, features, reserve: Optional[float] = None) -> dict:
+        """Request one quote and block until its result frame arrives."""
+        self._send(
+            {
+                "op": "quote",
+                "app": key.app,
+                "segment": key.segment,
+                "features": [float(value) for value in np.asarray(features, dtype=float)],
+                "reserve": None if reserve is None else float(reserve),
+            }
+        )
+        return self._expect("quote_result")
+
+    def feedback(self, key: SessionKey, quote_id: int, accepted: bool) -> None:
+        self._send(
+            {
+                "op": "feedback",
+                "app": key.app,
+                "segment": key.segment,
+                "quote_id": int(quote_id),
+                "accepted": bool(accepted),
+            }
+        )
+        self._expect("feedback_ok")
+
+    def flush(self) -> int:
+        self._send({"op": "flush"})
+        return int(self._expect("flush_ok")["drained"])
+
+    def stats(self) -> dict:
+        self._send({"op": "stats"})
+        return self._expect("stats")
+
+    def ping(self) -> None:
+        self._send({"op": "ping"})
+        self._expect("pong")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "QuoteSocketClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------------- #
+# Closed-loop replay through the socket
+# --------------------------------------------------------------------------- #
+
+
+def serve_closed_loop_socket(
+    client: QuoteSocketClient,
+    key: SessionKey,
+    materialized: MaterializedArrivals,
+    pricer_name: Optional[str] = None,
+) -> SimulationResult:
+    """Drive one session through a materialised market *over the socket*.
+
+    The socket twin of :func:`repro.serving.loop.serve_closed_loop`: one
+    quote per round, the sale settled against the realised market value with
+    the same scalar comparison, feedback applied before the next round.
+    Because JSON floats round-trip exactly and the backend drives the same
+    propose/update protocol, the resulting transcript is bit-identical to
+    the offline engine — through the socket *and* (with a sharded backend)
+    through a process boundary.
+    """
+    transcript = Transcript.for_materialized(materialized)
+    for round_ in stream_rounds(materialized):
+        index = round_.index
+        result = client.quote(key, round_.features, reserve=round_.reserve)
+        posted_price = result["posted_price"]
+        if result["skipped"] or posted_price is None:
+            sold = False
+        else:
+            sold = posted_price <= round_.market_value
+            transcript.link_prices[index] = result["link_price"]
+            transcript.posted_prices[index] = posted_price
+            transcript.sold[index] = sold
+        client.feedback(key, result["quote_id"], sold)
+        transcript.skipped[index] = result["skipped"]
+        transcript.exploratory[index] = result["exploratory"]
+    transcript.finalize_regrets()
+    return SimulationResult(
+        pricer_name=pricer_name if pricer_name is not None else str(key),
+        transcript=transcript,
+    )

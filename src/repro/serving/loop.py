@@ -59,10 +59,8 @@ def serve_closed_loop(
         response = service.quote(
             QuoteRequest(key=key, features=round_.features, reserve=round_.reserve)
         )
-        if response.skipped or response.posted_price is None:
-            sold = False
-        else:
-            sold = response.posted_price <= round_.market_value
+        sold = response.sold_at(round_.market_value)
+        if response.posted:
             transcript.link_prices[index] = response.link_price
             transcript.posted_prices[index] = response.posted_price
             transcript.sold[index] = sold

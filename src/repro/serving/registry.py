@@ -62,17 +62,30 @@ class PricingSession:
 
 @dataclass
 class RegistryStats:
-    """Lifecycle counters of one registry (reported by the serving bench)."""
+    """Lifecycle counters of one registry (reported by the serving bench).
+
+    ``created`` counts sessions built *from scratch* and ``hydrations``
+    sessions rebuilt from a snapshot — the two are disjoint (a hydrated
+    session is not double-counted as a creation), so
+    ``created + hydrations`` (:attr:`opened`) is the number of times a
+    session entered residency for the first time since its last eviction.
+    """
 
     created: int = 0
     hydrations: int = 0
     evictions: int = 0
     persists: int = 0
 
+    @property
+    def opened(self) -> int:
+        """Sessions that entered residency (fresh creations + hydrations)."""
+        return self.created + self.hydrations
+
     def as_dict(self) -> dict:
         return {
             "created": self.created,
             "hydrations": self.hydrations,
+            "opened": self.opened,
             "evictions": self.evictions,
             "persists": self.persists,
         }
@@ -137,7 +150,8 @@ class PricerRegistry:
             checkpoint_store.restore_pricer(pricer, checkpoint)
             session.hydrated = True
             self.stats.hydrations += 1
-        self.stats.created += 1
+        else:
+            self.stats.created += 1
         self._sessions[key] = session
         self._enforce_capacity(protect=key)
         return session

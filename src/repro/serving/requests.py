@@ -56,9 +56,10 @@ class QuoteRequest:
     ``features`` are link-space (already through the application's feature
     map, exactly what :meth:`~repro.core.base.PostedPriceMechanism.propose`
     consumes); ``reserve`` is the link-space reserve or ``None``.  The
-    ``quote_id`` is assigned by the service at submission; ``enqueued_at`` is
-    stamped by the service clock and anchors the per-quote latency
-    measurement.
+    ``quote_id`` and ``enqueued_at`` fields are filled on the *service's
+    private copy* at submission (the caller's object is never mutated — the
+    assigned id is the return value of ``submit``), so one request object can
+    safely be resubmitted as a fresh quote.
     """
 
     key: SessionKey
@@ -93,6 +94,17 @@ class QuoteResponse:
     def posted(self) -> bool:
         """Whether a price was actually posted."""
         return not self.skipped and self.posted_price is not None
+
+    def sold_at(self, market_value: float) -> bool:
+        """Whether this quote sells against a realised market value.
+
+        The one definition of the sale — the engine's scalar comparison
+        ``posted_price <= market_value`` on a posted round — shared by the
+        closed-loop drivers, the sharded replay, and the load generator (the
+        bit-identical equivalence contract depends on every settle site
+        agreeing).
+        """
+        return self.posted and self.posted_price <= market_value
 
 
 @dataclass(frozen=True)

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Deque, Dict, Iterable, List, Optional
 
 import numpy as np
@@ -122,12 +122,19 @@ class QuoteService:
     # ------------------------------------------------------------------ #
 
     def submit(self, request: QuoteRequest) -> int:
-        """Enqueue one request and return its assigned quote id."""
-        request.quote_id = self._next_quote_id
+        """Enqueue one request and return its assigned quote id.
+
+        The service queues a private copy stamped with the quote id and the
+        enqueue time — the caller's object is never mutated, so one request
+        template can be resubmitted (each submission is an independent quote)
+        without corrupting the pending bookkeeping of earlier submissions.
+        """
+        quote_id = self._next_quote_id
         self._next_quote_id += 1
-        request.enqueued_at = self._clock()
-        self._queue.append(request)
-        return request.quote_id
+        self._queue.append(
+            replace(request, quote_id=quote_id, enqueued_at=self._clock())
+        )
+        return quote_id
 
     @property
     def queued(self) -> int:
@@ -159,13 +166,62 @@ class QuoteService:
 
         Any other queued requests are drained along with it; their responses
         stay in the outbox for the next :meth:`poll` / :meth:`flush`.
+
+        Failure accounting: when *another* session group fails mid-drain the
+        synchronous caller's request must not be silently stranded.  Three
+        cases, all reported through the raised :class:`ServingError`:
+
+        * the caller's group was served *before* the failure — its response
+          is popped from the outbox and handed over as ``error.response``
+          (nobody else would ever collect it);
+        * the caller's group was requeued (ordered *after* the failing
+          group) — the request is cancelled (pulled back out of the queue,
+          it will never be double-served) and the error names the caller's
+          quote id in ``lost_quote_ids``;
+        * the caller's own group failed — the drain error already names the
+          quote id as lost and is re-raised as-is.
         """
         quote_id = self.submit(request)
-        self._drain()
+        try:
+            self._drain()
+        except ServingError as exc:
+            if quote_id in exc.requeued_quote_ids:
+                self._cancel_queued(quote_id)
+                exc.requeued_quote_ids.remove(quote_id)
+                raise ServingError(
+                    "quote %d cancelled: session %s failed while draining an "
+                    "earlier group (resubmit the request): %s"
+                    % (quote_id, exc.key, exc),
+                    key=exc.key,
+                    # The caller's cancelled quote first, then the failing
+                    # group's quotes — all of them will never be served, and
+                    # consumers (waiter notification, shard queue-depth
+                    # accounting) repair state from this list.
+                    lost_quote_ids=[quote_id] + exc.lost_quote_ids,
+                    requeued_quote_ids=exc.requeued_quote_ids,
+                ) from exc
+            for index, response in enumerate(self._outbox):
+                if response.quote_id == quote_id:
+                    exc.response = self._outbox.pop(index)
+                    break
+            raise
         for index, response in enumerate(self._outbox):
             if response.quote_id == quote_id:
                 return self._outbox.pop(index)
         raise ServingError("drain produced no response for quote %d" % quote_id)
+
+    def _cancel_queued(self, quote_id: int) -> bool:
+        """Remove one not-yet-served request from the queue by quote id.
+
+        Deletes by index — ``deque.remove`` would go through the dataclass
+        ``__eq__``, which compares numpy feature arrays and raises on any
+        other same-key request ahead in the queue.
+        """
+        for index, queued in enumerate(self._queue):
+            if queued.quote_id == quote_id:
+                del self._queue[index]
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # Feedback path
@@ -279,24 +335,45 @@ class QuoteService:
 
         group_list = list(groups.items())
         for group_index, (key, group) in enumerate(group_list):
-            served = 0
+            # Emissions are counted by outbox growth, which is exact on both
+            # serve paths: every served request appends exactly one response
+            # (and a failure inside an emission appends nothing), so a
+            # mid-group failure — including one in the batched path's
+            # ``model.link`` expansion — never reports already-served quotes
+            # as lost or leaks their pending entries.
+            emitted_before = len(self._outbox)
             try:
-                served = self._serve_group(key, group)
+                self._serve_group(key, group)
             except Exception as exc:
+                served = len(self._outbox) - emitted_before
                 # Everything after the failing group never started — requeue
                 # in arrival order so the next drain serves it.
                 for _, later_group in reversed(group_list[group_index + 1 :]):
                     self._queue.extendleft(reversed(later_group))
+                requeued = [
+                    request.quote_id
+                    for _, later_group in group_list[group_index + 1 :]
+                    for request in later_group
+                ]
                 lost = [request.quote_id for request in group[served:]]
                 self.stats.quotes_served += served
                 raise ServingError(
                     "session %s failed while serving quote(s) %s: %s"
-                    % (key, lost, exc)
+                    % (key, lost, exc),
+                    key=key,
+                    lost_quote_ids=lost,
+                    requeued_quote_ids=requeued,
                 ) from exc
-            self.stats.quotes_served += served
+            self.stats.quotes_served += len(group)
 
-    def _serve_group(self, key, group) -> int:
-        """Serve one session's requests; returns how many got a response."""
+    def _serve_group(self, key, group) -> None:
+        """Serve one session's requests, one emitted response per request.
+
+        Progress is observable through the outbox (each emission appends
+        exactly one response), which is what :meth:`_drain` uses for both
+        success and failure accounting on both paths — there is deliberately
+        no separate served counter here.
+        """
         session = self.registry.session(key)
         pricer = session.pricer
         if len(group) > 1 and getattr(pricer, "supports_batch_propose", False):
@@ -312,15 +389,12 @@ class QuoteService:
             self.stats.batched_proposals += 1
             for request, decision in zip(group, decisions):
                 self._emit(session, request, decision)
-            return len(group)
+            return
         # Sequential path: propose and emit per request, so partial progress
         # survives a mid-group pricer failure.
-        served = 0
         for request in group:
             decision = pricer.propose(request.features, reserve=request.reserve)
             self._emit(session, request, decision)
-            served += 1
-        return served
 
     def _emit(self, session: PricingSession, request: QuoteRequest, decision) -> None:
         """Record one decision: pending entry, latency sample, response."""
@@ -332,8 +406,12 @@ class QuoteService:
             posted_price = session.model.link(link_price)
         session.pending[request.quote_id] = decision
         session.quotes_served += 1
-        latency = self._clock() - request.enqueued_at
-        self.stats.latency.record(max(0.0, latency))
+        # Clamp once and report the same value everywhere: an injected clock
+        # that steps backwards must not make the response's latency disagree
+        # with the recorded statistics (latency is elapsed time; negative
+        # readings are clock artifacts, floored to zero).
+        latency = max(0.0, self._clock() - request.enqueued_at)
+        self.stats.latency.record(latency)
         self._outbox.append(
             QuoteResponse(
                 quote_id=request.quote_id,

@@ -1,0 +1,566 @@
+"""Cross-process session sharding for the quote-serving subsystem.
+
+:class:`ShardedRegistry` is a router in front of *N* worker processes, each
+owning one :class:`~repro.serving.registry.PricerRegistry` plus one
+:class:`~repro.serving.service.QuoteService`.  Session keys are hashed onto
+shards with a stable (process-independent) SHA-1 hash, so a session's entire
+lifetime — creation, every quote, every feedback event, its snapshot file —
+lives on exactly one worker:
+
+* **quote/feedback dispatch** travels over ``multiprocessing`` pipes, batched
+  per shard (one message per touched shard per call, never one per request);
+* **quote ids are globalised** by the router (``global = local * N + shard``)
+  so responses from different shards never collide and a feedback event's id
+  can be validated against its key's shard before crossing the pipe;
+* **per-shard snapshot dirs** (``<snapshot_dir>/shard-<i>``) keep the
+  checkpoint files of different workers disjoint while staying ordinary
+  pricer checkpoints — a session rehydrates bit-identically on restart as
+  long as the shard count (and therefore the key→shard map) is unchanged;
+* **failure accounting crosses the process boundary**: a worker-side drain
+  failure arrives as the same structured :class:`~repro.exceptions.
+  ServingError` (lost / requeued quote ids, translated to global ids) the
+  in-process service raises.
+
+Because each session is pinned to one worker and the per-session protocol
+(quote → feedback → next quote) is preserved by per-shard FIFO pipes, a
+closed-loop replay through a sharded service is **bit-identical** to the
+in-process service and to the offline engine — the serving equivalence
+contract survives the process boundary (pinned by ``tests/serving/``).
+
+The default start method is ``fork`` (factories may close over live models
+and numpy arrays, shared copy-on-write); pass ``start_method="spawn"`` with
+a picklable factory on platforms without fork.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from repro.exceptions import ServingError
+from repro.serving.registry import PricerRegistry
+from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
+from repro.serving.service import MicroBatchConfig, QuoteService
+from repro.utils.metrics import LatencySummary
+
+
+def shard_of_key(key: SessionKey, num_shards: int) -> int:
+    """The stable shard index of one session key.
+
+    Derived from a SHA-1 digest of ``(app, segment)`` — not Python's salted
+    ``hash()`` — so every process (router, workers, a restarted service)
+    agrees on the placement.
+    """
+    raw = ("%s\x00%s" % (key.app, key.segment)).encode("utf-8")
+    digest = hashlib.sha1(raw).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+# --------------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------------- #
+
+
+def _shard_worker_main(
+    conn,
+    shard_index: int,
+    factory,
+    config,
+    snapshot_dir,
+    max_sessions,
+    persist_every,
+) -> None:
+    """One shard's request loop: a registry + service behind a pipe.
+
+    Commands are ``(op, payload)`` tuples; every command gets exactly one
+    ``("ok", result)`` or ``("error", exception)`` reply, so the parent can
+    pipeline sends across shards and collect replies in order.
+    """
+    registry = PricerRegistry(
+        factory,
+        snapshot_dir=snapshot_dir,
+        max_sessions=max_sessions,
+        persist_every=persist_every,
+    )
+    service = QuoteService(registry, config=config)
+    while True:
+        try:
+            op, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if op == "submit":
+                result = [service.submit(request) for request in payload]
+            elif op == "poll":
+                result = service.poll()
+            elif op == "flush":
+                result = service.flush()
+            elif op == "quote":
+                result = service.quote(payload)
+            elif op == "feedback":
+                service.feedback_batch(payload)
+                result = len(payload)
+            elif op == "replay":
+                result = _replay_closed_loop_window(service, payload)
+            elif op == "stats":
+                result = {
+                    "shard": shard_index,
+                    "quotes_served": service.stats.quotes_served,
+                    "drains": service.stats.drains,
+                    "batched_proposals": service.stats.batched_proposals,
+                    "feedback_applied": service.stats.feedback_applied,
+                    "latency_samples": list(service.stats.latency.samples_seconds),
+                    "registry": registry.stats.as_dict(),
+                    "sessions_resident": registry.resident_count,
+                }
+            elif op == "persist":
+                result = registry.flush()
+            elif op == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                raise ServingError("unknown shard command %r" % (op,))
+        except Exception as exc:  # noqa: BLE001 — every failure must cross the pipe
+            try:
+                conn.send(("error", exc))
+            except Exception:
+                conn.send(("error", ServingError(repr(exc))))
+            continue
+        conn.send(("ok", result))
+    conn.close()
+
+
+def _replay_closed_loop_window(service: QuoteService, pairs) -> int:
+    """Serve a window of ``(request, market_value)`` pairs closed-loop.
+
+    The shard-local half of the replay bench: one synchronous quote per
+    request, the sale settled against the realised market value with the
+    engine's scalar comparison, feedback applied before the next request of
+    the same session (pairs arrive in round order per session, so the
+    per-session protocol is exactly the offline engine's).
+    """
+    served = 0
+    for request, market_value in pairs:
+        response = service.quote(request)
+        service.feedback(
+            FeedbackEvent(
+                key=request.key,
+                quote_id=response.quote_id,
+                accepted=response.sold_at(market_value),
+            )
+        )
+        served += 1
+    return served
+
+
+# --------------------------------------------------------------------------- #
+# Router side
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class _ShardHandle:
+    """Parent-side view of one worker: its process, pipe, and queue depth.
+
+    ``outstanding`` holds the *global* ids of router-submitted quotes that
+    have not produced a response yet — an exact set, not a counter, so drain
+    failures (whose lost ids may include quotes the router never submitted,
+    e.g. a worker-side synchronous quote) cannot skew the accounting.
+    """
+
+    index: int
+    process: Any
+    conn: Any
+    outstanding: set = field(default_factory=set)
+
+
+class ShardedRegistry:
+    """Hash-sharded quote service: N worker processes behind one router.
+
+    Mirrors the :class:`~repro.serving.service.QuoteService` surface
+    (``submit`` / ``poll`` / ``flush`` / ``quote`` / ``feedback`` /
+    ``feedback_batch``) so the socket front end and the load generator drive
+    either interchangeably.
+
+    Parameters
+    ----------
+    factory:
+        Session factory, as for :class:`PricerRegistry`.  With the default
+        ``fork`` start method it may close over live objects; with
+        ``spawn`` it must be picklable.
+    num_shards:
+        Worker process count (≥ 1).
+    config:
+        Micro-batch window applied inside every worker's service.
+    snapshot_dir:
+        Parent directory of the per-shard snapshot dirs
+        (``shard-00``, ``shard-01``, ...); ``None`` disables persistence.
+    max_sessions / persist_every:
+        Per-shard registry knobs (capacity is per worker).
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` when
+        available.
+    """
+
+    def __init__(
+        self,
+        factory,
+        num_shards: int,
+        config: Optional[MicroBatchConfig] = None,
+        snapshot_dir: Optional[str] = None,
+        max_sessions: Optional[int] = None,
+        persist_every: int = 0,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1, got %d" % num_shards)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(start_method)
+        self.num_shards = num_shards
+        self._closed = False
+        #: Responses collected while another shard's drain failed — returned
+        #: by the next poll/flush so a partial failure never drops quotes.
+        self._outbox: List[QuoteResponse] = []
+        self._shards: List[_ShardHandle] = []
+        for index in range(num_shards):
+            shard_dir = None
+            if snapshot_dir is not None:
+                shard_dir = os.path.join(snapshot_dir, "shard-%02d" % index)
+                os.makedirs(shard_dir, exist_ok=True)
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(
+                    child_conn,
+                    index,
+                    factory,
+                    config,
+                    shard_dir,
+                    max_sessions,
+                    persist_every,
+                ),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._shards.append(_ShardHandle(index=index, process=process, conn=parent_conn))
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def shard_of(self, key: SessionKey) -> int:
+        """The shard index owning ``key``'s session."""
+        return shard_of_key(key, self.num_shards)
+
+    def _globalize(self, shard: int, local_id: int) -> int:
+        return local_id * self.num_shards + shard
+
+    def _localize(self, key: SessionKey, global_id: int) -> Tuple[int, int]:
+        shard = self.shard_of(key)
+        if global_id % self.num_shards != shard:
+            raise ServingError(
+                "quote id %d does not belong to session %s (shard %d)"
+                % (global_id, key, shard)
+            )
+        return shard, global_id // self.num_shards
+
+    def _translate_response(self, shard: int, response: QuoteResponse) -> QuoteResponse:
+        response.quote_id = self._globalize(shard, response.quote_id)
+        return response
+
+    def _translate_error(self, shard: int, exc: Exception) -> Exception:
+        if isinstance(exc, ServingError):
+            exc.lost_quote_ids = [self._globalize(shard, q) for q in exc.lost_quote_ids]
+            exc.requeued_quote_ids = [
+                self._globalize(shard, q) for q in exc.requeued_quote_ids
+            ]
+            if exc.response is not None:
+                self._translate_response(shard, exc.response)
+        return exc
+
+    # ------------------------------------------------------------------ #
+    # Pipe plumbing
+    # ------------------------------------------------------------------ #
+
+    def _send(self, handle: _ShardHandle, op: str, payload) -> None:
+        if self._closed:
+            raise ServingError("sharded registry is closed")
+        try:
+            handle.conn.send((op, payload))
+        except (BrokenPipeError, OSError) as exc:
+            raise ServingError("shard %d worker is gone: %s" % (handle.index, exc))
+
+    def _recv(self, handle: _ShardHandle):
+        try:
+            status, payload = handle.conn.recv()
+        except (EOFError, OSError):
+            raise ServingError("shard %d worker died mid-command" % handle.index)
+        if status == "error":
+            if isinstance(payload, Exception):
+                raise self._translate_error(handle.index, payload)
+            raise ServingError("shard %d failed: %r" % (handle.index, payload))
+        return payload
+
+    def _roundtrip(self, handle: _ShardHandle, op: str, payload=None):
+        self._send(handle, op, payload)
+        return self._recv(handle)
+
+    def _gather(self, requests: Sequence[Tuple[_ShardHandle, str, Any]]) -> List:
+        """Send every command first, then collect replies — shards overlap."""
+        for handle, op, payload in requests:
+            self._send(handle, op, payload)
+        results = []
+        first_error: Optional[Exception] = None
+        for handle, _op, _payload in requests:
+            try:
+                results.append(self._recv(handle))
+            except Exception as exc:  # keep draining the other pipes
+                results.append(None)
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Quote path
+    # ------------------------------------------------------------------ #
+
+    def submit(self, request: QuoteRequest) -> int:
+        """Enqueue one request on its key's shard; returns the global id."""
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests: Sequence[QuoteRequest]) -> List[int]:
+        """Enqueue a batch, one pipe message per touched shard.
+
+        Returns the global quote ids in input order; per-shard arrival order
+        equals input order, so micro-batch grouping inside a worker behaves
+        exactly as if the requests had been submitted directly.
+        """
+        by_shard: Dict[int, List[int]] = {}
+        for position, request in enumerate(requests):
+            by_shard.setdefault(self.shard_of(request.key), []).append(position)
+        ids: List[int] = [0] * len(requests)
+        for shard, positions in by_shard.items():
+            self._send(
+                self._shards[shard], "submit", [requests[p] for p in positions]
+            )
+        # Collect per shard so a dead shard cannot corrupt the queue-depth
+        # accounting of the healthy ones: requests a healthy shard *did*
+        # enqueue stay visible to poll()/flush() even when the call raises.
+        first_error: Optional[Exception] = None
+        for shard, positions in by_shard.items():
+            handle = self._shards[shard]
+            try:
+                local_ids = self._recv(handle)
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+                continue
+            for position, local_id in zip(positions, local_ids):
+                global_id = self._globalize(shard, local_id)
+                ids[position] = global_id
+                handle.outstanding.add(global_id)
+        if first_error is not None:
+            raise first_error
+        return ids
+
+    def _forget_lost(self, handle: _ShardHandle, exc: Exception) -> None:
+        """Drop a drain failure's lost quotes from the outstanding set.
+
+        Only ids actually outstanding are discarded (the set is exact), so a
+        lost worker-side synchronous quote can never eat another router
+        quote's accounting.
+        """
+        if isinstance(exc, ServingError):
+            for quote_id in exc.lost_quote_ids:
+                handle.outstanding.discard(quote_id)
+
+    def _collect(self, op: str, candidates: List[_ShardHandle]) -> List[QuoteResponse]:
+        responses, self._outbox = self._outbox, []
+        if not candidates:
+            return responses
+        for handle in candidates:
+            self._send(handle, op, None)
+        first_error: Optional[Exception] = None
+        for handle in candidates:
+            try:
+                shard_responses = self._recv(handle)
+            except Exception as exc:  # keep draining the other pipes
+                # Lost quotes will never produce a response; keep the
+                # queue-depth accounting honest so polls don't spin on them.
+                self._forget_lost(handle, exc)
+                if first_error is None:
+                    first_error = exc
+                continue
+            for response in shard_responses:
+                self._translate_response(handle.index, response)
+                handle.outstanding.discard(response.quote_id)
+                responses.append(response)
+        if first_error is not None:
+            # Healthy shards' responses survive the failing shard's error:
+            # they are parked and returned by the next poll/flush.
+            self._outbox = responses
+            raise first_error
+        return responses
+
+    def poll(self) -> List[QuoteResponse]:
+        """Poll every shard with queued work; returns ready responses."""
+        return self._collect("poll", [h for h in self._shards if h.outstanding])
+
+    def flush(self) -> List[QuoteResponse]:
+        """Drain every shard with queued work unconditionally."""
+        return self._collect("flush", [h for h in self._shards if h.outstanding])
+
+    def quote(self, request: QuoteRequest) -> QuoteResponse:
+        """Synchronous single-quote path on the owning shard."""
+        handle = self._shards[self.shard_of(request.key)]
+        try:
+            response = self._roundtrip(handle, "quote", request)
+        except ServingError as exc:
+            # The drain inside the worker may have taken router-submitted
+            # quotes down with it.
+            self._forget_lost(handle, exc)
+            raise
+        return self._translate_response(handle.index, response)
+
+    # ------------------------------------------------------------------ #
+    # Feedback path
+    # ------------------------------------------------------------------ #
+
+    def feedback(self, event: FeedbackEvent) -> None:
+        """Apply one outcome on its key's shard."""
+        self.feedback_batch([event])
+
+    def feedback_batch(self, events: Iterable[FeedbackEvent]) -> None:
+        """Apply a window of outcomes, one pipe message per touched shard.
+
+        Every event's global quote id is validated against its key's shard
+        before dispatch — a mistyped key cannot settle another session's
+        quote on the wrong worker.  Within one shard the service's all-or-
+        nothing group validation applies; across shards the batch is applied
+        per shard (no cross-process transaction), so a failing shard leaves
+        the other shards' outcomes applied — the raised error names the
+        failing session.
+        """
+        by_shard: Dict[int, List[FeedbackEvent]] = {}
+        for event in events:
+            shard, local_id = self._localize(event.key, event.quote_id)
+            by_shard.setdefault(shard, []).append(
+                FeedbackEvent(key=event.key, quote_id=local_id, accepted=event.accepted)
+            )
+        if not by_shard:
+            return
+        self._gather(
+            [(self._shards[shard], "feedback", group) for shard, group in by_shard.items()]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Replay driver (the sharded load-generator path)
+    # ------------------------------------------------------------------ #
+
+    def replay_closed_loop(
+        self,
+        pairs: Iterable[Tuple[QuoteRequest, float]],
+        window: int = 256,
+    ) -> int:
+        """Replay ``(request, market_value)`` pairs closed-loop across shards.
+
+        Pairs are routed to their sessions' shards preserving order, cut into
+        windows of ``window`` pairs, and each round of windows is dispatched
+        to all busy shards *concurrently* (send-all-then-collect) — the
+        shard-local loops run in parallel while per-session semantics stay
+        exactly closed-loop (quote, settle, feedback, next round).  Returns
+        the number of quotes served.
+        """
+        if window < 1:
+            raise ValueError("window must be positive, got %d" % window)
+        by_shard: Dict[int, List[Tuple[QuoteRequest, float]]] = {}
+        for request, market_value in pairs:
+            by_shard.setdefault(self.shard_of(request.key), []).append(
+                (request, market_value)
+            )
+        served = 0
+        cursors = {shard: 0 for shard in by_shard}
+        while True:
+            plan = []
+            for shard, shard_pairs in by_shard.items():
+                cursor = cursors[shard]
+                if cursor >= len(shard_pairs):
+                    continue
+                chunk = shard_pairs[cursor : cursor + window]
+                cursors[shard] = cursor + len(chunk)
+                plan.append((self._shards[shard], "replay", chunk))
+            if not plan:
+                break
+            served += sum(self._gather(plan))
+        return served
+
+    # ------------------------------------------------------------------ #
+    # Stats / persistence / lifecycle
+    # ------------------------------------------------------------------ #
+
+    def shard_stats(self) -> List[dict]:
+        """Raw per-shard counters (service + registry + latency samples)."""
+        return self._gather([(handle, "stats", None) for handle in self._shards])
+
+    def stats(self) -> dict:
+        """Aggregated counters across shards, with a merged latency summary."""
+        per_shard = self.shard_stats()
+        samples: List[float] = []
+        for entry in per_shard:
+            samples.extend(entry.pop("latency_samples"))
+        aggregate = {
+            "shards": self.num_shards,
+            "quotes_served": sum(e["quotes_served"] for e in per_shard),
+            "drains": sum(e["drains"] for e in per_shard),
+            "batched_proposals": sum(e["batched_proposals"] for e in per_shard),
+            "feedback_applied": sum(e["feedback_applied"] for e in per_shard),
+            "sessions_resident": sum(e["sessions_resident"] for e in per_shard),
+            "registry": {
+                name: sum(e["registry"][name] for e in per_shard)
+                for name in per_shard[0]["registry"]
+            },
+            "latency": LatencySummary.from_seconds(samples).as_dict(),
+            "per_shard": per_shard,
+        }
+        return aggregate
+
+    def persist_all(self) -> int:
+        """Snapshot every resident session on every shard."""
+        return sum(self._gather([(handle, "persist", None) for handle in self._shards]))
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop every worker (idempotent); terminates stragglers."""
+        if self._closed:
+            return
+        for handle in self._shards:
+            try:
+                handle.conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for handle in self._shards:
+            try:
+                if handle.conn.poll(timeout):
+                    handle.conn.recv()
+            except (EOFError, OSError):
+                pass
+            handle.conn.close()
+            handle.process.join(timeout)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout)
+        self._closed = True
+
+    def __enter__(self) -> "ShardedRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

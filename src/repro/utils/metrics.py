@@ -13,6 +13,7 @@ Memory accounting already lives in :mod:`repro.utils.memory`;
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
@@ -21,6 +22,11 @@ from repro.utils.memory import PricerMemoryReport
 
 def nearest_rank_percentile(sorted_samples: Sequence[float], percentile: float) -> float:
     """Nearest-rank percentile of an ascending-sorted sample sequence.
+
+    Implements the actual nearest-rank rule: the p-th percentile of ``count``
+    samples is the sample at rank ``ceil(p / 100 * count)`` (1-based), so it
+    is always an observed value and never interpolates — p50 of
+    ``[1, 2, 3, 4]`` is 2, p100 is the maximum, p0 the minimum.
 
     Returns 0.0 for an empty sequence; raises for percentiles outside
     ``[0, 100]``.  This is the single percentile implementation shared by the
@@ -31,7 +37,8 @@ def nearest_rank_percentile(sorted_samples: Sequence[float], percentile: float) 
     count = len(sorted_samples)
     if count == 0:
         return 0.0
-    index = min(count - 1, int(round(percentile / 100.0 * (count - 1))))
+    rank = math.ceil(percentile / 100.0 * count)
+    index = min(count - 1, max(0, rank - 1))
     return float(sorted_samples[index])
 
 

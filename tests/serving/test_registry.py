@@ -185,6 +185,31 @@ def test_explicit_evict_refuses_sessions_with_pending_quotes(tmp_path):
     assert key not in registry
 
 
+def test_hydrations_are_not_double_counted_as_creations(tmp_path):
+    """`created` counts fresh sessions only; a session rebuilt from a
+    snapshot counts as a hydration, and `opened` is their disjoint sum."""
+    model, materialized, theta = _market()
+    registry = PricerRegistry(_factory(model, theta), snapshot_dir=str(tmp_path))
+    service = QuoteService(registry)
+    key = SessionKey("app", "stats")
+
+    _drive(service, key, materialized, 0, 4)
+    assert registry.stats.created == 1
+    assert registry.stats.hydrations == 0
+    registry.flush()
+    assert registry.evict(key)
+
+    # Re-entry hydrates from the snapshot: no new creation is counted.
+    registry.session(key)
+    assert registry.stats.created == 1
+    assert registry.stats.hydrations == 1
+    assert registry.stats.opened == 2
+    as_dict = registry.stats.as_dict()
+    assert as_dict["created"] == 1
+    assert as_dict["hydrations"] == 1
+    assert as_dict["opened"] == 2
+
+
 def test_registry_validates_configuration():
     model, materialized, theta = _market()
     with pytest.raises(ValueError):

@@ -247,6 +247,204 @@ def test_drain_failure_requeues_untouched_groups_and_names_lost_quotes():
     assert [r.quote_id for r in service.poll()] == [ids[3], ids[4]]
 
 
+class ThrowingLinkModel(LinearModel):
+    """A value model whose link translation blows up on the N-th call."""
+
+    def __init__(self, theta, fail_on_call):
+        super().__init__(theta)
+        self.fail_on_call = fail_on_call
+        self.link_calls = 0
+
+    def link(self, z):
+        self.link_calls += 1
+        if self.link_calls == self.fail_on_call:
+            raise RuntimeError("link translation blew up")
+        return super().link(z)
+
+
+def test_batched_drain_failure_counts_emitted_quotes():
+    """A ``model.link`` failure mid-emission of a *batched* group must report
+    only the unserved quotes as lost — the already-emitted responses stay in
+    the outbox, their pending entries stay settleable, and the served counter
+    matches the emissions."""
+    clock = FakeClock()
+    model = ThrowingLinkModel(np.full(3, 1.0), fail_on_call=3)
+    registry = PricerRegistry(lambda key: (model, CountingRiskAverse()))
+    service = QuoteService(
+        registry,
+        config=MicroBatchConfig(max_batch=16, max_wait_seconds=0.01),
+        clock=clock,
+    )
+    key = SessionKey("app", "s")
+    ids = [service.submit(_request(key, reserve=0.3 + 0.1 * i)) for i in range(4)]
+
+    with pytest.raises(ServingError) as excinfo:
+        service.flush()
+    error = excinfo.value
+    # The batch proposal succeeded; emission 3 of 4 failed in the link call.
+    assert registry.peek(key).pricer.propose_batch_calls == 1
+    assert error.lost_quote_ids == [ids[2], ids[3]]
+    assert error.key == key
+    assert service.stats.quotes_served == 2
+
+    # The two emitted responses survive and their pending entries settle.
+    responses = service.poll()
+    assert [r.quote_id for r in responses] == [ids[0], ids[1]]
+    session = registry.peek(key)
+    assert sorted(session.pending) == [ids[0], ids[1]]
+    service.feedback_batch(
+        [FeedbackEvent(key=key, quote_id=quote_id, accepted=True) for quote_id in ids[:2]]
+    )
+    assert not session.pending
+
+
+class AlwaysFailingPricer(CountingRiskAverse):
+    supports_batch_propose = False
+
+    def propose(self, features, reserve=None):
+        raise RuntimeError("pricer always fails")
+
+
+def _flaky_healthy_service():
+    clock = FakeClock()
+
+    def factory(key):
+        pricer = AlwaysFailingPricer() if key.segment == "flaky" else CountingRiskAverse()
+        return _model(), pricer
+
+    service = QuoteService(
+        PricerRegistry(factory),
+        config=MicroBatchConfig(max_batch=16, max_wait_seconds=0.01),
+        clock=clock,
+    )
+    return service, clock, SessionKey("app", "flaky"), SessionKey("app", "healthy")
+
+
+def test_quote_is_cancelled_when_an_earlier_group_fails():
+    """Drain order: the failing group precedes the caller's.  The caller's
+    requeued request must be cancelled and named in the error — never served
+    later into the outbox with nobody collecting it."""
+    service, clock, flaky, healthy = _flaky_healthy_service()
+    flaky_id = service.submit(_request(flaky))
+
+    request = _request(healthy)
+    with pytest.raises(ServingError) as excinfo:
+        service.quote(request)
+    error = excinfo.value
+    # The caller's cancelled quote leads the lost list; the failing group's
+    # quote (also never served) is reported right behind it.
+    cancelled_id = error.lost_quote_ids[0]
+    assert cancelled_id != flaky_id
+    assert flaky_id in error.lost_quote_ids
+    assert str(cancelled_id) in str(error)
+    assert error.response is None
+
+    # Cancelled means gone: nothing queued, and no orphan response ever
+    # surfaces on a later drain.
+    assert service.queued == 0
+    clock.advance(1.0)
+    assert service.poll() == []
+
+    # Retrying the *same* request object is safe (submit never mutated it)
+    # and now succeeds — the flaky group is no longer in front.
+    assert request.quote_id is None
+    response = service.quote(request)
+    assert response.key == healthy
+    assert response.quote_id not in (flaky_id, cancelled_id)
+
+
+def test_quote_served_before_a_later_group_fails_rides_on_the_error():
+    """Drain order: the caller's group precedes the failing one.  The drain
+    error must hand the caller's already-emitted response over instead of
+    stranding it in the outbox."""
+    service, clock, flaky, healthy = _flaky_healthy_service()
+    parked_id = service.submit(_request(healthy))
+    flaky_id = service.submit(_request(flaky))
+
+    with pytest.raises(ServingError) as excinfo:
+        service.quote(_request(healthy, reserve=0.7))
+    error = excinfo.value
+    assert error.lost_quote_ids == [flaky_id]
+    assert error.response is not None
+    assert error.response.link_price == 0.7
+    assert error.response.quote_id not in (parked_id, flaky_id)
+
+    # Only the parked co-drained response remains for poll collectors.
+    assert [r.quote_id for r in service.poll()] == [parked_id]
+
+
+def test_quote_cancellation_with_same_key_request_ahead_in_queue():
+    """Cancelling the synchronous caller's requeued request must work even
+    when another request of the *same key* sits ahead of it in the queue
+    (index-based removal — equality would compare numpy feature arrays)."""
+    service, clock, flaky, healthy = _flaky_healthy_service()
+    service.submit(_request(flaky))
+    parked_id = service.submit(_request(healthy))
+
+    with pytest.raises(ServingError) as excinfo:
+        service.quote(_request(healthy, reserve=0.8))
+    error = excinfo.value
+    cancelled_id = error.lost_quote_ids[0]
+    assert parked_id not in error.lost_quote_ids
+    assert error.requeued_quote_ids == [parked_id]
+
+    # Only the parked request remains queued; the cancelled one never
+    # surfaces again.
+    assert service.queued == 1
+    clock.advance(1.0)
+    assert [r.quote_id for r in service.poll()] == [parked_id]
+    assert cancelled_id not in [r.quote_id for r in service.poll()]
+
+
+def test_drain_error_names_requeued_quote_ids():
+    service, clock, flaky, healthy = _flaky_healthy_service()
+    ids = [service.submit(_request(key)) for key in (flaky, healthy, healthy)]
+    with pytest.raises(ServingError) as excinfo:
+        service.flush()
+    error = excinfo.value
+    assert error.lost_quote_ids == [ids[0]]
+    assert error.requeued_quote_ids == [ids[1], ids[2]]
+    assert service.queued == 2
+    clock.advance(1.0)
+    assert [r.quote_id for r in service.poll()] == [ids[1], ids[2]]
+
+
+def test_submit_leaves_the_caller_request_unmutated():
+    """Resubmitting one request object must yield independent quotes — the
+    service stamps ids on private copies, never on the caller's object."""
+    service, clock = _service(CountingRiskAverse, max_batch=8)
+    key = SessionKey("app", "s")
+    request = _request(key)
+    clock.advance(0.5)
+    first = service.submit(request)
+    second = service.submit(request)
+    assert first != second
+    assert request.quote_id is None  # untouched
+    assert request.enqueued_at == 0.0  # untouched
+
+    responses = service.flush()
+    assert sorted(r.quote_id for r in responses) == [first, second]
+    session = service.registry.peek(key)
+    assert sorted(session.pending) == [first, second]
+    service.feedback_batch(
+        [FeedbackEvent(key=key, quote_id=quote_id, accepted=True) for quote_id in (first, second)]
+    )
+    assert not session.pending
+
+
+def test_backward_clock_latency_is_clamped_consistently():
+    """An injected clock stepping backwards must not produce a negative
+    response latency, and the response must agree with the recorded stats."""
+    service, clock = _service(CountingRiskAverse)
+    key = SessionKey("app", "s")
+    clock.advance(5.0)
+    service.submit(_request(key))
+    clock.advance(-1.0)  # clock artifact: drain observes an earlier time
+    (response,) = service.flush()
+    assert response.latency_seconds == 0.0
+    assert service.stats.latency.samples_seconds == [0.0]
+
+
 def test_feedback_requires_a_resident_session():
     service, clock = _service(CountingRiskAverse)
     with pytest.raises(ServingError):

@@ -128,6 +128,52 @@ class TestTiming:
             tracker.percentile_milliseconds(150)
 
 
+class TestNearestRankPercentile:
+    """The documented nearest-rank rule: rank ``ceil(p/100 * count)``."""
+
+    def test_even_count_median_is_the_lower_middle(self):
+        from repro.utils.metrics import nearest_rank_percentile
+
+        # The regression that motivated the fix: banker's-rounded linear
+        # indexing returned 3 here.
+        assert nearest_rank_percentile([1.0, 2.0, 3.0, 4.0], 50) == 2.0
+
+    def test_rank_formula_on_ten_samples(self):
+        from repro.utils.metrics import nearest_rank_percentile
+
+        samples = [float(v) for v in range(1, 11)]
+        assert nearest_rank_percentile(samples, 0) == 1.0
+        assert nearest_rank_percentile(samples, 10) == 1.0
+        assert nearest_rank_percentile(samples, 25) == 3.0
+        assert nearest_rank_percentile(samples, 50) == 5.0
+        assert nearest_rank_percentile(samples, 95) == 10.0
+        assert nearest_rank_percentile(samples, 100) == 10.0
+
+    def test_percentile_is_always_an_observed_sample(self):
+        from repro.utils.metrics import nearest_rank_percentile
+
+        samples = sorted([0.017, 0.4, 1.5, 2.25, 9.0])
+        for percentile in (0, 1, 33, 50, 66, 90, 99, 100):
+            assert nearest_rank_percentile(samples, percentile) in samples
+
+    def test_empty_and_out_of_range(self):
+        from repro.utils.metrics import nearest_rank_percentile
+
+        assert nearest_rank_percentile([], 50) == 0.0
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([1.0], -1)
+        with pytest.raises(ValueError):
+            nearest_rank_percentile([1.0], 101)
+
+    def test_latency_summary_uses_nearest_rank(self):
+        from repro.utils.metrics import LatencySummary
+
+        summary = LatencySummary.from_seconds([0.001, 0.002, 0.003, 0.004])
+        assert summary.p50_ms == pytest.approx(2.0)
+        assert summary.p99_ms == pytest.approx(4.0)
+        assert summary.max_ms == pytest.approx(4.0)
+
+
 class TestMemory:
     def test_ndarray_nbytes(self):
         arrays = [np.zeros((10, 10)), np.zeros(5)]
