@@ -9,7 +9,7 @@ single drain, sales are settled against the realised market values, and the
 accept/reject outcomes go back through the batched feedback path before the
 next round (so every session runs the exact online protocol).
 
-Three measurement modes, all written into one ``BENCH_serving.json``:
+Four measurement modes, all written into one ``BENCH_serving.json``:
 
 * **closed-loop** (always run) — the in-process baseline: quotes/sec and
   p50/p99 per-quote latency (enqueue → response, i.e. including micro-batch
@@ -18,6 +18,13 @@ Three measurement modes, all written into one ``BENCH_serving.json``:
   submitted on a fixed schedule regardless of completions (an arrival
   process, not a benchmark loop), responses are settled as they drain, and
   the report carries offered vs *achieved* qps plus queue-delay percentiles.
+* **networked replay-at-rate** (``--net-target-qps``) — the same open-loop
+  arrival schedule driven **through the socket frontend**: ``--connections``
+  pipelined :class:`AsyncQuoteClient` connections over a unix socket, quotes
+  fanned round-robin, feedback settled as results arrive.  Reports offered
+  vs achieved qps, client-side round-trip percentiles, the server-side
+  queue-delay percentiles, backpressure rejections, and the frontend
+  counters — this is the mode that actually exercises the network path.
 * **shard scaling** (``--shards N``) — the same closed-loop replay dispatched
   through :class:`repro.serving.sharding.ShardedRegistry` with 1 worker and
   with N workers (identical pipe dispatch, so the comparison isolates the
@@ -29,15 +36,19 @@ Usage::
 
     PYTHONPATH=src python scripts/bench_serving.py --rounds 5000 --sessions 4
     PYTHONPATH=src python scripts/bench_serving.py --target-qps 20000
+    PYTHONPATH=src python scripts/bench_serving.py --net-target-qps 10000 --connections 4
     PYTHONPATH=src python scripts/bench_serving.py --shards 4
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
@@ -45,7 +56,9 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 from repro.apps.common import ALGORITHM_VERSIONS, build_pricer_for_version
 from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
 from repro.engine import prepare, stream_rounds
+from repro.exceptions import BackpressureError, ServingError
 from repro.serving import (
+    AsyncQuoteClient,
     FeedbackEvent,
     MicroBatchConfig,
     PricerRegistry,
@@ -53,7 +66,10 @@ from repro.serving import (
     QuoteService,
     SessionKey,
     ShardedRegistry,
+    frame_sold_at,
+    start_frontend_thread,
 )
+from repro.utils.metrics import LatencySummary
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -91,6 +107,18 @@ def parse_args(argv=None) -> argparse.Namespace:
         type=int,
         default=0,
         help="rounds per session for the rate mode (0 = same as --rounds)",
+    )
+    parser.add_argument(
+        "--net-target-qps",
+        type=float,
+        default=0.0,
+        help="networked replay-at-rate mode: offered rate through the socket (0 = skip)",
+    )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=4,
+        help="pipelined client connections for the networked rate mode",
     )
     parser.add_argument(
         "--shards",
@@ -278,6 +306,115 @@ def run_replay_at_rate(args, materialized, keys, factory):
     }
 
 
+def run_networked_replay_at_rate(args, materialized, keys, factory):
+    """Open-loop pacing **through the socket**: pipelined clients, real wire.
+
+    The in-process rate mode never touches a socket; this one starts the
+    asyncio frontend on a unix socket and drives it from ``--connections``
+    :class:`AsyncQuoteClient` connections.  Quotes follow the same open-loop
+    schedule (quote ``i`` offered at ``start + i/qps``), fanned round-robin
+    across connections; each one is a fire-and-settle task (await result →
+    send feedback), so completions never throttle the arrival process.
+    Backpressure rejections are counted, not retried — an overloaded
+    frontend sheds load instead of queueing unboundedly, and the achieved
+    qps shows it.
+    """
+    rate_rounds = args.rate_rounds or args.rounds
+    if rate_rounds > args.rounds:
+        rate_rounds = args.rounds
+    target_qps = args.net_target_qps
+    connections = max(1, args.connections)
+    registry = PricerRegistry(factory)
+    service = QuoteService(registry, config=micro_batch_config(args))
+    socket_dir = tempfile.mkdtemp(prefix="bench-serving-net-")
+    handle = start_frontend_thread(
+        service, unix_path=os.path.join(socket_dir, "quotes.sock"), drain_interval=0.0005
+    )
+    total = rate_rounds * len(keys)
+    print(
+        "replaying at %.0f offered qps through the socket (%d quotes, %d connections) ..."
+        % (target_qps, total, connections)
+    )
+
+    async def _drive():
+        clients = [
+            await AsyncQuoteClient.connect(unix_path=handle.address)
+            for _ in range(connections)
+        ]
+        interval = 1.0 / target_qps
+        round_trip = []
+        counters = {"settled": 0, "rejected": 0, "errors": 0}
+
+        async def _one(client, key, features, reserve, market_value):
+            begin = time.perf_counter()
+            try:
+                result = await client.quote(key, features, reserve=reserve)
+                round_trip.append(time.perf_counter() - begin)
+                await client.feedback(
+                    key, result["quote_id"], frame_sold_at(result, market_value)
+                )
+            except BackpressureError:
+                counters["rejected"] += 1
+                return
+            except ServingError:
+                # A failed feedback (dead connection, shed load) is an error
+                # to count, not a reason to crash the measurement.
+                counters["errors"] += 1
+                return
+            counters["settled"] += 1
+
+        tasks = []
+        offered = 0
+        start = time.perf_counter()
+        for round_ in stream_rounds(materialized.slice(0, rate_rounds)):
+            for key in keys:
+                due = start + offered * interval
+                now = time.perf_counter()
+                if now < due:
+                    await asyncio.sleep(due - now)
+                client = clients[offered % len(clients)]
+                tasks.append(
+                    asyncio.ensure_future(
+                        _one(client, key, round_.features, round_.reserve, round_.market_value)
+                    )
+                )
+                offered += 1
+        await asyncio.gather(*tasks)
+        wall_seconds = time.perf_counter() - start
+        stats = await clients[0].stats()
+        for client in clients:
+            await client.close()
+        return wall_seconds, round_trip, counters, stats
+
+    try:
+        wall_seconds, round_trip, counters, stats = asyncio.run(_drive())
+    finally:
+        handle.stop()
+        shutil.rmtree(socket_dir, ignore_errors=True)
+
+    achieved = counters["settled"] / wall_seconds if wall_seconds > 0 else float("inf")
+    trip = LatencySummary.from_seconds(round_trip)
+    queue_delay = stats.get("latency", {})
+    print(
+        "offered %.0f qps, achieved %.0f qps over the wire   "
+        "round-trip p50 %.4f ms   p99 %.4f ms   (%d rejected)"
+        % (target_qps, achieved, trip.p50_ms, trip.p99_ms, counters["rejected"])
+    )
+    return {
+        "offered_qps": round(target_qps, 1),
+        "achieved_qps": round(achieved, 1),
+        "connections": connections,
+        "quotes": counters["settled"],
+        "rejected_backpressure": counters["rejected"],
+        "errors": counters["errors"],
+        "rounds": rate_rounds,
+        "wall_seconds": round(wall_seconds, 4),
+        "round_trip": {name: round(value, 6) for name, value in trip.as_dict().items()},
+        "queue_delay": {name: round(value, 6) for name, value in queue_delay.items()},
+        "frontend": stats.get("frontend", {}),
+    }
+
+
 def run_sharded_scaling(args, materialized, keys, factory):
     """Closed-loop replay through 1 worker vs ``--shards`` workers.
 
@@ -380,6 +517,10 @@ def main(argv=None) -> int:
 
     if args.target_qps > 0:
         report["replay_at_rate"] = run_replay_at_rate(args, materialized, keys, factory)
+    if args.net_target_qps > 0:
+        report["replay_at_rate_networked"] = run_networked_replay_at_rate(
+            args, materialized, keys, factory
+        )
     if args.shards > 0:
         report["sharding"] = run_sharded_scaling(args, materialized, keys, factory)
 

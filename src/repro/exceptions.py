@@ -87,6 +87,7 @@ class ServingError(ReproError):
         return (
             _rebuild_serving_error,
             (
+                type(self),
                 self.args[0] if self.args else "",
                 self.key,
                 self.lost_quote_ids,
@@ -96,9 +97,31 @@ class ServingError(ReproError):
         )
 
 
-def _rebuild_serving_error(message, key, lost, requeued, response):
-    """Unpickle helper preserving :class:`ServingError`'s accounting fields."""
-    return ServingError(
+class BackpressureError(ServingError):
+    """A serving-frontend admission bound rejected the request.
+
+    Raised (client-side) or sent as an ``error`` frame with
+    ``code: "backpressure"`` (server-side) when the frontend's waiter map is
+    full or a connection exceeded its outstanding-request budget.  The
+    request was **not** enqueued — nothing was lost and nothing will be
+    served; the caller may retry after draining some of its outstanding
+    quotes.
+    """
+
+
+class ReshardingError(ReproError):
+    """A snapshot-migration between shard counts failed or was inconsistent.
+
+    Raised by :mod:`repro.serving.resharding` when a snapshot directory
+    layout is unrecognisable, a session snapshot carries no identity, a
+    session sits on a shard its key does not hash to (wrong declared source
+    shard count), or a migrated checkpoint fails exact-state verification.
+    """
+
+
+def _rebuild_serving_error(cls, message, key, lost, requeued, response):
+    """Unpickle helper preserving :class:`ServingError`'s class and fields."""
+    return cls(
         message,
         key=key,
         lost_quote_ids=lost,

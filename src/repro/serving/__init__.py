@@ -22,15 +22,25 @@ latency under live arrivals) as an actual serving layer:
   session keys across N worker processes (one registry + service per
   worker, quote/feedback dispatch over pipes, per-shard snapshot dirs);
 * :mod:`repro.serving.frontend` — :class:`QuoteFrontend`, the asyncio socket
-  server (length-prefixed JSON over TCP or unix socket) over either backend,
+  server (length-prefixed JSON over TCP or unix socket) over either backend
+  with bounded-waiter / per-connection-budget / slow-reader backpressure,
   plus the synchronous :class:`QuoteSocketClient` and
   :func:`serve_closed_loop_socket`, the through-the-wire twin of the
-  closed-loop driver.
+  closed-loop driver;
+* :mod:`repro.serving.client` — :class:`AsyncQuoteClient`, the pipelined
+  asyncio client (multiple outstanding requests per connection, futures
+  keyed by request tag) and :func:`serve_closed_loop_async`;
+* :mod:`repro.serving.resharding` — snapshot migration between shard
+  counts: rewrite per-shard snapshot dirs from N to M shards under the
+  stable key hash, with exact-state verification
+  (``scripts/reshard.py`` is the CLI).
 
 Load generation lives in ``scripts/bench_serving.py`` (quotes/sec, p50/p99
-quote latency, replay-at-rate pacing, shard scaling → ``BENCH_serving.json``).
+quote latency, replay-at-rate pacing — in-process and through the socket —
+and shard scaling → ``BENCH_serving.json``).
 """
 
+from repro.serving.client import AsyncQuoteClient, serve_closed_loop_async
 from repro.serving.feeds import (
     REPLAY_DATASETS,
     ReplayFeed,
@@ -40,21 +50,34 @@ from repro.serving.feeds import (
     replay_feed,
 )
 from repro.serving.frontend import (
+    FrameDecoder,
     FrontendHandle,
+    FrontendStats,
     QuoteFrontend,
     QuoteSocketClient,
+    frame_sold_at,
     serve_closed_loop_socket,
     start_frontend_thread,
 )
 from repro.serving.loop import serve_closed_loop
 from repro.serving.registry import PricerRegistry, PricingSession, RegistryStats
 from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
+from repro.serving.resharding import (
+    ReshardReport,
+    SessionMove,
+    plan_reshard,
+    reshard_snapshots,
+    verify_reshard,
+)
 from repro.serving.service import MicroBatchConfig, QuoteService, ServiceStats
 from repro.serving.sharding import ShardedRegistry, shard_of_key
 
 __all__ = [
+    "AsyncQuoteClient",
     "FeedbackEvent",
+    "FrameDecoder",
     "FrontendHandle",
+    "FrontendStats",
     "MicroBatchConfig",
     "PricerRegistry",
     "PricingSession",
@@ -66,15 +89,22 @@ __all__ = [
     "REPLAY_DATASETS",
     "RegistryStats",
     "ReplayFeed",
+    "ReshardReport",
     "ServiceStats",
     "SessionKey",
+    "SessionMove",
     "ShardedRegistry",
     "SyntheticFeed",
     "dataset_arrival_features",
     "dataset_replay_market",
+    "frame_sold_at",
+    "plan_reshard",
     "replay_feed",
+    "reshard_snapshots",
     "serve_closed_loop",
+    "serve_closed_loop_async",
     "serve_closed_loop_socket",
     "shard_of_key",
     "start_frontend_thread",
+    "verify_reshard",
 ]

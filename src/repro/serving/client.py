@@ -1,0 +1,277 @@
+"""Pipelined asyncio client for the quote-serving socket protocol.
+
+:class:`AsyncQuoteClient` keeps **multiple requests outstanding on one
+connection**.  Every request frame carries a connection-unique ``id`` tag;
+a background reader task correlates each incoming frame back to the future
+awaiting it, so responses may arrive in any order (the server answers
+quotes when the micro-batch window drains, not in submission order) and
+the connection is never idle between request and response.
+
+Two usage levels:
+
+* the ``await``-style operations (:meth:`~AsyncQuoteClient.quote`,
+  :meth:`~AsyncQuoteClient.feedback`, ...) look like the blocking
+  :class:`~repro.serving.frontend.QuoteSocketClient` but can be driven from
+  many concurrent tasks sharing one connection;
+* the ``submit_*`` primitives return the :class:`asyncio.Future` directly —
+  the open-loop load driver (``scripts/bench_serving.py --net-target-qps``)
+  fires thousands of these without awaiting, which is what makes offered
+  rate independent of completion rate through the socket.
+
+Failure mapping: ``error`` frames with ``code: "backpressure"`` resolve the
+future with :class:`~repro.exceptions.BackpressureError` (the quote was
+rejected before submission — resubmitting is safe); other ``error`` frames
+become :class:`~repro.exceptions.ServingError` with the drain accounting;
+a connection-level failure (EOF, frame-boundary corruption) fails **every**
+pending future, so no caller can hang on a dead connection.
+
+:func:`serve_closed_loop_async` is the pipelined client's closed-loop
+replay driver — the per-round protocol is identical to
+:func:`repro.serving.frontend.serve_closed_loop_socket`, so its transcript
+is bit-identical to the offline engine (pinned for every golden family by
+``tests/serving/test_async_client.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.engine.arrivals import MaterializedArrivals
+from repro.engine.results import SimulationResult
+from repro.engine.streaming import stream_rounds
+from repro.engine.transcript import Transcript
+from repro.exceptions import ServingError
+from repro.serving.frontend import (
+    encode_frame,
+    error_from_frame,
+    read_frame,
+    settle_frame_into_transcript,
+)
+from repro.serving.requests import SessionKey
+
+
+class AsyncQuoteClient:
+    """Asyncio client with pipelining over one frontend connection.
+
+    Construct via :meth:`connect`; use as an async context manager to
+    guarantee the reader task and the socket are torn down.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_tag = 0
+        self._closed = False
+        self._failure: Optional[ServingError] = None
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+    ) -> "AsyncQuoteClient":
+        """Open a TCP or unix-socket connection to a :class:`QuoteFrontend`."""
+        if (unix_path is None) == (host is None) or (
+            unix_path is None and port is None
+        ):
+            raise ValueError("pass exactly one of host/port or unix_path")
+        if unix_path is not None:
+            reader, writer = await asyncio.open_unix_connection(unix_path)
+        else:
+            reader, writer = await asyncio.open_connection(host, int(port))
+        return cls(reader, writer)
+
+    @property
+    def outstanding(self) -> int:
+        """Requests sent and not yet answered on this connection."""
+        return len(self._pending)
+
+    # -- correlation ----------------------------------------------------- #
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await read_frame(self._reader)
+                if frame is None:
+                    self._fail_all(ServingError("server closed the connection"))
+                    return
+                self._deliver(frame)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — any reader failure kills the link
+            self._fail_all(ServingError("connection failed: %s" % exc))
+
+    def _deliver(self, frame: dict) -> None:
+        tag = frame.get("id")
+        future = self._pending.pop(tag, None) if tag is not None else None
+        if future is None or future.done():
+            if frame.get("op") == "error" and tag is None:
+                # A frame-boundary protocol error: the server hangs up after
+                # sending it, so nothing pending can ever be answered.
+                self._fail_all(error_from_frame(frame))
+            # Anything else without a live future (e.g. a response to a
+            # caller that gave up) is dropped — ids are never reused, so it
+            # cannot be mistaken for another request's answer.
+            return
+        if frame.get("op") == "error":
+            future.set_exception(error_from_frame(frame))
+        else:
+            future.set_result(frame)
+
+    def _fail_all(self, exc: ServingError) -> None:
+        # Remember the terminal failure: a request submitted *after* the
+        # connection died has no reader left to resolve its future, so
+        # _submit must refuse it instead of letting the caller hang.
+        if self._failure is None:
+            self._failure = exc
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    def _submit(self, payload: dict) -> "asyncio.Future":
+        if self._closed:
+            raise ServingError("client is closed")
+        if self._failure is not None:
+            raise ServingError("connection is dead: %s" % self._failure)
+        self._next_tag += 1
+        tag = self._next_tag
+        payload["id"] = tag
+        future = asyncio.get_running_loop().create_future()
+        self._pending[tag] = future
+        self._writer.write(encode_frame(payload))
+        return future
+
+    @staticmethod
+    async def _expect(future: "asyncio.Future", op: str) -> dict:
+        frame = await future
+        if frame.get("op") != op:
+            raise ServingError("expected %r frame, got %r" % (op, frame.get("op")))
+        return frame
+
+    # -- pipelining primitives ------------------------------------------- #
+
+    def submit_quote(
+        self,
+        key: SessionKey,
+        features,
+        reserve: Optional[float] = None,
+    ) -> "asyncio.Future":
+        """Fire one quote; the future resolves to its ``quote_result`` dict.
+
+        Returns immediately — pipelining is simply calling this again before
+        awaiting.  The future raises :class:`BackpressureError` on a
+        frontend rejection and :class:`ServingError` on a drain failure.
+        """
+        return self._submit(
+            {
+                "op": "quote",
+                "app": key.app,
+                "segment": key.segment,
+                "features": [float(value) for value in np.asarray(features, dtype=float)],
+                "reserve": None if reserve is None else float(reserve),
+            }
+        )
+
+    def submit_feedback(
+        self, key: SessionKey, quote_id: int, accepted: bool
+    ) -> "asyncio.Future":
+        """Fire one feedback event; the future resolves on ``feedback_ok``."""
+        return self._submit(
+            {
+                "op": "feedback",
+                "app": key.app,
+                "segment": key.segment,
+                "quote_id": int(quote_id),
+                "accepted": bool(accepted),
+            }
+        )
+
+    # -- awaited operations ---------------------------------------------- #
+
+    async def quote(
+        self, key: SessionKey, features, reserve: Optional[float] = None
+    ) -> dict:
+        """Request one quote and await its result frame."""
+        return await self._expect(
+            self.submit_quote(key, features, reserve=reserve), "quote_result"
+        )
+
+    async def feedback(self, key: SessionKey, quote_id: int, accepted: bool) -> None:
+        await self._expect(self.submit_feedback(key, quote_id, accepted), "feedback_ok")
+
+    async def flush(self) -> int:
+        frame = await self._expect(self._submit({"op": "flush"}), "flush_ok")
+        return int(frame["drained"])
+
+    async def stats(self) -> dict:
+        return await self._expect(self._submit({"op": "stats"}), "stats")
+
+    async def ping(self) -> None:
+        await self._expect(self._submit({"op": "ping"}), "pong")
+
+    async def drain(self) -> None:
+        """Flow-control the outgoing buffer (submit-heavy open loops)."""
+        await self._writer.drain()
+
+    # -- lifecycle -------------------------------------------------------- #
+
+    async def close(self) -> None:
+        """Tear down the reader task and the socket; fail anything pending."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._fail_all(ServingError("client closed with requests outstanding"))
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+    async def __aenter__(self) -> "AsyncQuoteClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+async def serve_closed_loop_async(
+    client: AsyncQuoteClient,
+    key: SessionKey,
+    materialized: MaterializedArrivals,
+    pricer_name: Optional[str] = None,
+) -> SimulationResult:
+    """Drive one session through a materialised market over the async client.
+
+    The asyncio twin of :func:`repro.serving.frontend.
+    serve_closed_loop_socket`: one quote per round, the sale settled against
+    the realised market value with the engine's scalar comparison, feedback
+    awaited before the next round.  Because the per-round protocol — and the
+    JSON float round-trip — is identical, the resulting transcript is
+    bit-identical to the offline engine.
+    """
+    transcript = Transcript.for_materialized(materialized)
+    for round_ in stream_rounds(materialized):
+        result = await client.quote(key, round_.features, reserve=round_.reserve)
+        sold = settle_frame_into_transcript(
+            transcript, round_.index, result, round_.market_value
+        )
+        await client.feedback(key, result["quote_id"], sold)
+    transcript.finalize_regrets()
+    return SimulationResult(
+        pricer_name=pricer_name if pricer_name is not None else str(key),
+        transcript=transcript,
+    )

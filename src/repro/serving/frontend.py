@@ -32,6 +32,27 @@ the micro-batch window fires without traffic.  All backend access is
 serialised behind one lock and pushed off the event loop via
 ``run_in_executor``, so a slow pricer (or a shard pipe round-trip) never
 stalls frame parsing.
+
+**Backpressure.**  A frontend degrades gracefully instead of leaking memory
+when clients outrun the backend or stop reading:
+
+* the waiter map (quote id → issuing connection) is bounded by
+  ``max_waiters``; a quote that would exceed it is rejected with an
+  ``error`` frame carrying ``code: "backpressure"`` (clients raise
+  :class:`~repro.exceptions.BackpressureError`) and is **not** submitted;
+* each connection has an outstanding-request budget
+  (``max_outstanding_per_connection``), rejected the same way, so one
+  pipelined client cannot monopolise the waiter map;
+* response writes never await a slow reader: when a connection's transport
+  write buffer exceeds ``max_write_buffer_bytes`` the connection is aborted
+  and its waiters dropped (a stalled client costs one bounded buffer, not
+  the drain task);
+* a connection that disconnects mid-flight has its waiters removed — the
+  backend still serves the quotes, the responses are simply discarded.
+
+The admission checks run under the same lock as the submit, so the bounds
+are exact, and the counters (`frontend_stats`, also in the ``stats`` frame)
+make them assertable: ``peak_waiters`` can never exceed ``max_waiters``.
 """
 
 from __future__ import annotations
@@ -41,8 +62,9 @@ import json
 import socket
 import struct
 import threading
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -50,7 +72,7 @@ from repro.engine.arrivals import MaterializedArrivals
 from repro.engine.results import SimulationResult
 from repro.engine.streaming import stream_rounds
 from repro.engine.transcript import Transcript
-from repro.exceptions import ServingError
+from repro.exceptions import BackpressureError, ServingError
 from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
 
 #: Frame header: one 4-byte big-endian unsigned length.
@@ -74,17 +96,122 @@ def encode_frame(payload: dict) -> bytes:
     return FRAME_HEADER.pack(len(body)) + body
 
 
+class FrameDecoder:
+    """Incremental (sans-IO) decoder of the length-prefixed JSON framing.
+
+    Feed it byte chunks as they arrive — at *any* split points, including
+    mid-header and mid-body — and it yields the completed frames in order.
+    A truncated frame simply stays buffered until the remaining bytes
+    arrive; an oversized length header or an undecodable body raises
+    :class:`ServingError` (after which the stream is no longer at a frame
+    boundary and the connection must be dropped).  Shared by the blocking
+    and the async clients, and pinned by the hypothesis round-trip tier
+    (``tests/serving/test_wire_protocol.py``).
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
+
+    @property
+    def buffered(self) -> int:
+        """Bytes of the (possibly incomplete) next frame held back."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[dict]:
+        """Consume a chunk; return every frame it completed (maybe none)."""
+        self._buffer.extend(data)
+        frames: List[dict] = []
+        while len(self._buffer) >= FRAME_HEADER.size:
+            (length,) = FRAME_HEADER.unpack_from(self._buffer)
+            if length > self._max_frame_bytes:
+                raise ServingError("frame length %d exceeds the %d-byte bound"
+                                   % (length, self._max_frame_bytes))
+            end = FRAME_HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            body = bytes(self._buffer[FRAME_HEADER.size:end])
+            del self._buffer[:end]
+            try:
+                frames.append(json.loads(body.decode("utf-8")))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise ServingError("undecodable frame body: %s" % exc)
+        return frames
+
+
+def frame_sold_at(result: dict, market_value: float) -> bool:
+    """The engine's sale rule applied to a wire-format ``quote_result`` dict.
+
+    The dict twin of :meth:`~repro.serving.requests.QuoteResponse.sold_at` —
+    one definition of the sale shared by every settle site that works on
+    frames (the socket closed-loop drivers and the networked load driver);
+    the bit-identical equivalence contract depends on all of them agreeing.
+    """
+    posted_price = result.get("posted_price")
+    if result.get("skipped") or posted_price is None:
+        return False
+    return posted_price <= market_value
+
+
+def settle_frame_into_transcript(
+    transcript: Transcript, index: int, result: dict, market_value: float
+) -> bool:
+    """Record one ``quote_result`` frame as an engine-format transcript row.
+
+    The per-round settle step shared by both wire closed-loop drivers
+    (:func:`serve_closed_loop_socket` and :func:`repro.serving.client.
+    serve_closed_loop_async`): decide the sale with :func:`frame_sold_at`,
+    write the price columns only on a posted round, and always record the
+    decision flags.  One definition keeps the bit-identical equivalence
+    contract from drifting between the sync and async paths.  Returns the
+    sale outcome to feed back.
+    """
+    sold = frame_sold_at(result, market_value)
+    if not result["skipped"] and result["posted_price"] is not None:
+        transcript.link_prices[index] = result["link_price"]
+        transcript.posted_prices[index] = result["posted_price"]
+        transcript.sold[index] = sold
+    transcript.skipped[index] = result["skipped"]
+    transcript.exploratory[index] = result["exploratory"]
+    return sold
+
+
+def error_from_frame(frame: dict) -> ServingError:
+    """Rebuild the typed client-side exception of one ``error`` frame.
+
+    Frames with ``code: "backpressure"`` become
+    :class:`~repro.exceptions.BackpressureError` (the request was rejected
+    before submission — retry is safe); everything else is a plain
+    :class:`ServingError` carrying the drain accounting the frame names.
+    """
+    cls = BackpressureError if frame.get("code") == "backpressure" else ServingError
+    return cls(
+        str(frame.get("error")),
+        lost_quote_ids=frame.get("lost_quote_ids") or [],
+    )
+
+
 async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
-    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    """Read one frame; ``None`` on EOF or a dead connection.
+
+    ``OSError`` covers more than a reset: a *write* to a disconnected peer
+    poisons the stream reader with the same ``BrokenPipeError`` (asyncio
+    delivers one ``connection_lost`` exception to both directions), and a
+    reader that re-raised it would crash the connection handler instead of
+    letting it clean up — treat every transport-level failure as EOF.
+    """
     try:
         header = await reader.readexactly(FRAME_HEADER.size)
-    except (asyncio.IncompleteReadError, ConnectionResetError):
+    except (asyncio.IncompleteReadError, OSError):
         return None
     (length,) = FRAME_HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ServingError("frame length %d exceeds the %d-byte bound"
                            % (length, MAX_FRAME_BYTES))
-    body = await reader.readexactly(length)
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, OSError):
+        return None
     return json.loads(body.decode("utf-8"))
 
 
@@ -125,6 +252,36 @@ def response_to_payload(response: QuoteResponse) -> dict:
 # --------------------------------------------------------------------------- #
 
 
+@dataclass(eq=False)  # identity semantics: connections live in sets
+class _Connection:
+    """Server-side state of one client connection."""
+
+    writer: asyncio.StreamWriter
+    #: Quote ids submitted on this connection and not yet answered — the
+    #: per-connection budget and the disconnect cleanup both read this.
+    outstanding: Set[int] = field(default_factory=set)
+    #: Set when the connection was aborted as a slow reader; suppresses
+    #: further writes while the handler unwinds.
+    aborted: bool = False
+
+
+@dataclass
+class FrontendStats:
+    """Backpressure and lifecycle counters of one :class:`QuoteFrontend`."""
+
+    connections_opened: int = 0
+    connections_closed: int = 0
+    rejected_waiter_map: int = 0
+    rejected_connection_budget: int = 0
+    slow_reader_disconnects: int = 0
+    peak_waiters: int = 0
+
+    @property
+    def rejected(self) -> int:
+        """Total backpressure rejections (waiter map + connection budget)."""
+        return self.rejected_waiter_map + self.rejected_connection_budget
+
+
 class QuoteFrontend:
     """Length-prefixed-JSON socket server over a quote-serving backend.
 
@@ -132,19 +289,54 @@ class QuoteFrontend:
     ``submit(request) -> quote_id``, ``poll() -> [QuoteResponse]``,
     ``flush() -> [QuoteResponse]``, ``feedback_batch(events)`` — i.e. a
     :class:`QuoteService` or a :class:`ShardedRegistry`.
+
+    The three backpressure bounds (see the module docstring): ``max_waiters``
+    caps the waiter map across all connections,
+    ``max_outstanding_per_connection`` budgets one connection's pipelined
+    quotes, and ``max_write_buffer_bytes`` caps the bytes buffered for a
+    reader that stopped consuming responses (beyond it the connection is
+    aborted and its waiters dropped).
     """
 
-    def __init__(self, backend, drain_interval: float = 0.001) -> None:
+    def __init__(
+        self,
+        backend,
+        drain_interval: float = 0.001,
+        max_waiters: int = 16384,
+        max_outstanding_per_connection: int = 1024,
+        max_write_buffer_bytes: int = 8 * 1024 * 1024,
+    ) -> None:
         if drain_interval <= 0:
             raise ValueError("drain_interval must be positive, got %g" % drain_interval)
+        if max_waiters < 1:
+            raise ValueError("max_waiters must be at least 1, got %d" % max_waiters)
+        if max_outstanding_per_connection < 1:
+            raise ValueError(
+                "max_outstanding_per_connection must be at least 1, got %d"
+                % max_outstanding_per_connection
+            )
+        if max_write_buffer_bytes < 1:
+            raise ValueError(
+                "max_write_buffer_bytes must be positive, got %d" % max_write_buffer_bytes
+            )
         self.backend = backend
         self.drain_interval = drain_interval
+        self.max_waiters = max_waiters
+        self.max_outstanding_per_connection = max_outstanding_per_connection
+        self.max_write_buffer_bytes = max_write_buffer_bytes
+        self.stats = FrontendStats()
         self._lock = asyncio.Lock()
         self._kick = asyncio.Event()
-        self._waiters: Dict[int, Tuple[asyncio.StreamWriter, Any]] = {}
+        self._waiters: Dict[int, Tuple[_Connection, Any]] = {}
+        self._connections: Set[_Connection] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._drain_task: Optional[asyncio.Task] = None
         self._running = False
+
+    @property
+    def waiter_count(self) -> int:
+        """Quotes currently awaiting a response across all connections."""
+        return len(self._waiters)
 
     # -- lifecycle ------------------------------------------------------ #
 
@@ -174,7 +366,12 @@ class QuoteFrontend:
         return [sock.getsockname() for sock in self._server.sockets]
 
     async def stop(self) -> None:
-        """Stop accepting, cancel the drain task, flush nothing."""
+        """Stop accepting, cancel the drain task, hang up every connection.
+
+        Clean even with quotes in flight: live connections are closed (their
+        clients observe EOF and fail their pending futures), the waiter map
+        is cleared, and the drain task is cancelled mid-await if necessary.
+        """
         self._running = False
         if self._drain_task is not None:
             self._kick.set()
@@ -184,6 +381,15 @@ class QuoteFrontend:
             except asyncio.CancelledError:
                 pass
             self._drain_task = None
+        # Hang up before waiting on the server: connection handlers blocked
+        # in read_frame observe EOF and exit, so wait_closed cannot hang on
+        # a client that never disconnects.
+        for connection in list(self._connections):
+            try:
+                connection.writer.close()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        self._waiters.clear()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -218,22 +424,23 @@ class QuoteFrontend:
         try:
             responses = await self._backend_call(method)
         except ServingError as exc:
-            await self._notify_drain_failure(exc)
+            self._notify_drain_failure(exc)
             return 0
-        await self._route(responses)
+        self._route(responses)
         return len(responses)
 
-    async def _route(self, responses) -> None:
+    def _route(self, responses) -> None:
         for response in responses:
-            writer, client_id = self._waiters.pop(response.quote_id, (None, None))
-            if writer is None or writer.is_closing():
+            connection, client_id = self._waiters.pop(response.quote_id, (None, None))
+            if connection is None:
                 continue
+            connection.outstanding.discard(response.quote_id)
             payload = response_to_payload(response)
             if client_id is not None:
                 payload["id"] = client_id
-            await self._write(writer, payload)
+            self._write(connection, payload)
 
-    async def _notify_drain_failure(self, exc: ServingError) -> None:
+    def _notify_drain_failure(self, exc: ServingError) -> None:
         """Fan a drain failure out to the connections it affects.
 
         Lost quotes get an ``error`` frame (they will never be served);
@@ -242,32 +449,68 @@ class QuoteFrontend:
         is routed normally.
         """
         if exc.response is not None:
-            await self._route([exc.response])
+            self._route([exc.response])
         for quote_id in exc.lost_quote_ids:
-            writer, client_id = self._waiters.pop(quote_id, (None, None))
-            if writer is None or writer.is_closing():
+            connection, client_id = self._waiters.pop(quote_id, (None, None))
+            if connection is None:
                 continue
+            connection.outstanding.discard(quote_id)
             payload = {
                 "op": "error",
+                "code": "drain",
                 "error": str(exc),
                 "quote_id": quote_id,
                 "lost_quote_ids": list(exc.lost_quote_ids),
             }
             if client_id is not None:
                 payload["id"] = client_id
-            await self._write(writer, payload)
+            self._write(connection, payload)
 
-    @staticmethod
-    async def _write(writer: asyncio.StreamWriter, payload: dict) -> None:
+    def _write(self, connection: _Connection, payload: dict) -> None:
+        """Write one frame without ever awaiting a slow reader.
+
+        ``StreamWriter.drain()`` would block the drain task behind a client
+        that stopped consuming; instead the write buffer is inspected after
+        every write, and a connection holding more than
+        ``max_write_buffer_bytes`` is aborted — its memory cost is bounded
+        and the drain task never stalls.
+        """
+        writer = connection.writer
+        if connection.aborted or writer.is_closing():
+            return
         try:
             writer.write(encode_frame(payload))
-            await writer.drain()
-        except (ConnectionResetError, BrokenPipeError):
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return
+        if writer.transport.get_write_buffer_size() > self.max_write_buffer_bytes:
+            self._abort_slow_reader(connection)
+
+    def _abort_slow_reader(self, connection: _Connection) -> None:
+        connection.aborted = True
+        self.stats.slow_reader_disconnects += 1
+        self._forget_connection_waiters(connection)
+        try:
+            connection.writer.transport.abort()
+        except (ConnectionResetError, BrokenPipeError, OSError):
             pass
+
+    def _forget_connection_waiters(self, connection: _Connection) -> None:
+        """Drop every waiter registered by one connection (gone or aborted).
+
+        The backend still serves the underlying quotes; their responses find
+        no waiter and are discarded by :meth:`_route` — nothing leaks, and
+        nothing is double-served.
+        """
+        for quote_id in connection.outstanding:
+            self._waiters.pop(quote_id, None)
+        connection.outstanding.clear()
 
     # -- per-connection protocol ---------------------------------------- #
 
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        connection = _Connection(writer=writer)
+        self._connections.add(connection)
+        self.stats.connections_opened += 1
         try:
             while True:
                 try:
@@ -275,19 +518,48 @@ class QuoteFrontend:
                 except (ServingError, ValueError) as exc:
                     # Oversized header or undecodable JSON: the stream is no
                     # longer at a frame boundary — report and hang up.
-                    await self._write(writer, {"op": "error", "error": str(exc)})
+                    self._write(
+                        connection, {"op": "error", "code": "protocol", "error": str(exc)}
+                    )
                     break
-                if message is None:
+                if message is None or connection.aborted:
                     break
-                await self._dispatch(message, writer)
+                await self._dispatch(message, connection)
         finally:
+            self._connections.discard(connection)
+            self.stats.connections_closed += 1
+            # Mid-flight disconnect: the client is gone, so nobody will ever
+            # read its responses — unregister them or the waiter map grows
+            # by every abandoned quote.
+            self._forget_connection_waiters(connection)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _dispatch(self, message: dict, writer: asyncio.StreamWriter) -> None:
+    def _admit_quote(self, connection: _Connection) -> Optional[str]:
+        """The backpressure gate; a rejection reason, or ``None`` to admit.
+
+        Called with the backend lock held (atomic with the submit and the
+        waiter registration), so the bounds are exact — the waiter map can
+        never exceed ``max_waiters``, provably.
+        """
+        if len(self._waiters) >= self.max_waiters:
+            self.stats.rejected_waiter_map += 1
+            return "waiter map full (%d quotes in flight, bound %d)" % (
+                len(self._waiters),
+                self.max_waiters,
+            )
+        if len(connection.outstanding) >= self.max_outstanding_per_connection:
+            self.stats.rejected_connection_budget += 1
+            return "connection budget exhausted (%d outstanding, bound %d)" % (
+                len(connection.outstanding),
+                self.max_outstanding_per_connection,
+            )
+        return None
+
+    async def _dispatch(self, message: dict, connection: _Connection) -> None:
         op = message.get("op")
         client_id = message.get("id")
         try:
@@ -299,10 +571,31 @@ class QuoteFrontend:
                 # before anyone is listening for it.
                 loop = asyncio.get_running_loop()
                 async with self._lock:
-                    quote_id = await loop.run_in_executor(
-                        None, self.backend.submit, request
+                    rejection = self._admit_quote(connection)
+                    if rejection is None:
+                        quote_id = await loop.run_in_executor(
+                            None, self.backend.submit, request
+                        )
+                        # A stop() racing this submit has already cleared
+                        # the waiter map; registering now would leak the
+                        # entry forever (nothing routes after shutdown).
+                        if self._running:
+                            self._waiters[quote_id] = (connection, client_id)
+                            connection.outstanding.add(quote_id)
+                            self.stats.peak_waiters = max(
+                                self.stats.peak_waiters, len(self._waiters)
+                            )
+                if rejection is not None:
+                    self._write(
+                        connection,
+                        {
+                            "op": "error",
+                            "code": "backpressure",
+                            "error": "quote rejected: %s" % rejection,
+                            "id": client_id,
+                        },
                     )
-                    self._waiters[quote_id] = (writer, client_id)
+                    return
                 self._kick.set()
             elif op == "feedback":
                 event = FeedbackEvent(
@@ -313,45 +606,69 @@ class QuoteFrontend:
                     accepted=bool(message["accepted"]),
                 )
                 await self._backend_call("feedback_batch", [event])
-                await self._write(writer, {"op": "feedback_ok", "id": client_id})
+                self._write(connection, {"op": "feedback_ok", "id": client_id})
             elif op == "flush":
                 drained = await self._drain_once("flush")
-                await self._write(writer, {"op": "flush_ok", "drained": drained, "id": client_id})
+                self._write(
+                    connection, {"op": "flush_ok", "drained": drained, "id": client_id}
+                )
             elif op == "stats":
                 payload = await self._collect_stats()
                 payload.update({"op": "stats", "id": client_id})
-                await self._write(writer, payload)
+                self._write(connection, payload)
             elif op == "ping":
-                await self._write(writer, {"op": "pong", "id": client_id})
+                self._write(connection, {"op": "pong", "id": client_id})
             else:
                 raise ServingError("unknown op %r" % (op,))
         except KeyError as exc:
-            await self._write(
-                writer,
+            self._write(
+                connection,
                 {"op": "error", "error": "missing field %s" % exc, "id": client_id},
             )
         except (ServingError, TypeError, ValueError) as exc:
             # TypeError/ValueError cover malformed field values (a null
             # quote_id, a string where a number belongs): answer with an
             # error frame instead of killing the connection mid-protocol.
-            await self._write(writer, {"op": "error", "error": str(exc), "id": client_id})
+            self._write(connection, {"op": "error", "error": str(exc), "id": client_id})
+
+    def frontend_stats(self) -> dict:
+        """The frontend's own gauges, counters, and configured bounds."""
+        return {
+            "waiters": len(self._waiters),
+            "peak_waiters": self.stats.peak_waiters,
+            "connections_open": len(self._connections),
+            "connections_opened": self.stats.connections_opened,
+            "connections_closed": self.stats.connections_closed,
+            "rejected_waiter_map": self.stats.rejected_waiter_map,
+            "rejected_connection_budget": self.stats.rejected_connection_budget,
+            "rejected": self.stats.rejected,
+            "slow_reader_disconnects": self.stats.slow_reader_disconnects,
+            "limits": {
+                "max_waiters": self.max_waiters,
+                "max_outstanding_per_connection": self.max_outstanding_per_connection,
+                "max_write_buffer_bytes": self.max_write_buffer_bytes,
+            },
+        }
 
     async def _collect_stats(self) -> dict:
         backend = self.backend
         if hasattr(backend, "stats") and callable(backend.stats):
             stats = await self._backend_call("stats")  # ShardedRegistry
             stats.pop("per_shard", None)
-            return dict(stats)
-        # QuoteService: dataclass counters + its registry.
-        return {
-            "quotes_served": backend.stats.quotes_served,
-            "drains": backend.stats.drains,
-            "batched_proposals": backend.stats.batched_proposals,
-            "feedback_applied": backend.stats.feedback_applied,
-            "latency": backend.stats.latency_summary().as_dict(),
-            "sessions_resident": backend.registry.resident_count,
-            "registry": backend.registry.stats.as_dict(),
-        }
+            payload = dict(stats)
+        else:
+            # QuoteService: dataclass counters + its registry.
+            payload = {
+                "quotes_served": backend.stats.quotes_served,
+                "drains": backend.stats.drains,
+                "batched_proposals": backend.stats.batched_proposals,
+                "feedback_applied": backend.stats.feedback_applied,
+                "latency": backend.stats.latency_summary().as_dict(),
+                "sessions_resident": backend.registry.resident_count,
+                "registry": backend.registry.stats.as_dict(),
+            }
+        payload["frontend"] = self.frontend_stats()
+        return payload
 
 
 # --------------------------------------------------------------------------- #
@@ -388,13 +705,16 @@ def start_frontend_thread(
     unix_path: Optional[str] = None,
     drain_interval: float = 0.001,
     startup_timeout: float = 10.0,
+    **frontend_options,
 ) -> FrontendHandle:
     """Run a :class:`QuoteFrontend` on a daemon thread; returns its handle.
 
     The handle's ``address`` is the bound unix path, or the ``(host, port)``
-    actually bound (so ``port=0`` works for tests).
+    actually bound (so ``port=0`` works for tests).  Extra keyword arguments
+    (``max_waiters``, ``max_outstanding_per_connection``,
+    ``max_write_buffer_bytes``) are forwarded to :class:`QuoteFrontend`.
     """
-    frontend = QuoteFrontend(backend, drain_interval=drain_interval)
+    frontend = QuoteFrontend(backend, drain_interval=drain_interval, **frontend_options)
     started = threading.Event()
     failure: List[BaseException] = []
     loop_holder: List[asyncio.AbstractEventLoop] = []
@@ -452,7 +772,9 @@ class QuoteSocketClient:
         unix_path: Optional[str] = None,
         timeout: float = 30.0,
     ) -> None:
-        if (unix_path is None) == (host is None):
+        if (unix_path is None) == (host is None) or (
+            unix_path is None and port is None
+        ):
             raise ValueError("pass exactly one of host/port or unix_path")
         if unix_path is not None:
             self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -460,36 +782,26 @@ class QuoteSocketClient:
             self._sock.connect(unix_path)
         else:
             self._sock = socket.create_connection((host, int(port)), timeout=timeout)
-        self._buffer = b""
+        self._decoder = FrameDecoder()
+        self._frames: "deque[dict]" = deque()
 
     # -- framing -------------------------------------------------------- #
 
     def _send(self, payload: dict) -> None:
         self._sock.sendall(encode_frame(payload))
 
-    def _read_exactly(self, count: int) -> bytes:
-        while len(self._buffer) < count:
+    def read_frame(self) -> dict:
+        while not self._frames:
             chunk = self._sock.recv(65536)
             if not chunk:
                 raise ServingError("server closed the connection mid-frame")
-            self._buffer += chunk
-        data, self._buffer = self._buffer[:count], self._buffer[count:]
-        return data
-
-    def read_frame(self) -> dict:
-        (length,) = FRAME_HEADER.unpack(self._read_exactly(FRAME_HEADER.size))
-        if length > MAX_FRAME_BYTES:
-            raise ServingError("frame length %d exceeds the %d-byte bound"
-                               % (length, MAX_FRAME_BYTES))
-        return json.loads(self._read_exactly(length).decode("utf-8"))
+            self._frames.extend(self._decoder.feed(chunk))
+        return self._frames.popleft()
 
     def _expect(self, op: str) -> dict:
         frame = self.read_frame()
         if frame.get("op") == "error":
-            raise ServingError(
-                str(frame.get("error")),
-                lost_quote_ids=frame.get("lost_quote_ids") or [],
-            )
+            raise error_from_frame(frame)
         if frame.get("op") != op:
             raise ServingError("expected %r frame, got %r" % (op, frame.get("op")))
         return frame
@@ -569,19 +881,11 @@ def serve_closed_loop_socket(
     """
     transcript = Transcript.for_materialized(materialized)
     for round_ in stream_rounds(materialized):
-        index = round_.index
         result = client.quote(key, round_.features, reserve=round_.reserve)
-        posted_price = result["posted_price"]
-        if result["skipped"] or posted_price is None:
-            sold = False
-        else:
-            sold = posted_price <= round_.market_value
-            transcript.link_prices[index] = result["link_price"]
-            transcript.posted_prices[index] = posted_price
-            transcript.sold[index] = sold
+        sold = settle_frame_into_transcript(
+            transcript, round_.index, result, round_.market_value
+        )
         client.feedback(key, result["quote_id"], sold)
-        transcript.skipped[index] = result["skipped"]
-        transcript.exploratory[index] = result["exploratory"]
     transcript.finalize_regrets()
     return SimulationResult(
         pricer_name=pricer_name if pricer_name is not None else str(key),

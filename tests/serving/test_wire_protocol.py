@@ -1,0 +1,266 @@
+"""Property-based tests of the length-prefixed JSON wire protocol.
+
+Two layers:
+
+* **sans-IO** (hypothesis over :class:`FrameDecoder` / ``encode_frame``):
+  arbitrary JSON payloads round-trip exactly through encode → decode, at
+  *any* chunk boundaries; truncated frames stay buffered without output or
+  error; oversized length headers and undecodable bodies raise
+  :class:`ServingError` instead of yielding garbage.
+* **live socket**: arbitrary field *values* in a ``quote`` op produce a
+  ``quote_result`` or an ``error`` frame — never a hung connection; a
+  truncated frame followed by a hang-up leaves the server serving other
+  clients; an oversized frame length is answered with an error frame; and
+  interleaved pipelined responses correlate back to their requests exactly
+  once each.
+
+Profiles: CI runs with ``HYPOTHESIS_PROFILE=ci`` (few examples, no
+deadline) so the property sweep cannot flake a shared runner on timing.
+"""
+
+import os
+import socket
+import struct
+import time
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.pricing import make_pricer
+from repro.exceptions import ServingError
+from repro.serving import (
+    FrameDecoder,
+    MicroBatchConfig,
+    PricerRegistry,
+    QuoteService,
+    QuoteSocketClient,
+    SessionKey,
+    start_frontend_thread,
+)
+from repro.serving.frontend import FRAME_HEADER, MAX_FRAME_BYTES, encode_frame
+from repro.core.models import LinearModel
+
+settings.register_profile("ci", max_examples=25, deadline=None,
+                          suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile("dev", max_examples=100, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=32),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=16,
+)
+payloads = st.dictionaries(st.text(min_size=1, max_size=12), json_values, max_size=6)
+
+
+# --------------------------------------------------------------------------- #
+# Sans-IO: FrameDecoder round trips
+# --------------------------------------------------------------------------- #
+
+
+@given(payload=payloads)
+def test_encode_decode_roundtrip_exact(payload):
+    """One frame through encode → decode is the identical payload (JSON
+    floats round-trip via shortest repr — this exactness is load-bearing
+    for the transcript-equivalence contract)."""
+    frames = FrameDecoder().feed(encode_frame(payload))
+    assert frames == [payload]
+
+
+@given(items=st.lists(payloads, min_size=1, max_size=5), data=st.data())
+def test_split_points_never_change_the_frames(items, data):
+    """A frame stream fed at arbitrary chunk boundaries — mid-header,
+    mid-body, many frames at once — decodes to exactly the same sequence."""
+    stream = b"".join(encode_frame(item) for item in items)
+    decoder = FrameDecoder()
+    decoded = []
+    position = 0
+    while position < len(stream):
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(stream) - position), label="chunk"
+        )
+        decoded.extend(decoder.feed(stream[position : position + size]))
+        position += size
+    assert decoded == items
+    assert decoder.buffered == 0
+
+
+@given(payload=payloads, data=st.data())
+def test_truncated_frame_stays_buffered_then_completes(payload, data):
+    """A partial frame yields nothing (and raises nothing); feeding the
+    remainder completes it exactly — the decoder can never lose sync on a
+    slow or bursty peer."""
+    frame = encode_frame(payload)
+    cut = data.draw(st.integers(min_value=0, max_value=len(frame) - 1), label="cut")
+    decoder = FrameDecoder()
+    assert decoder.feed(frame[:cut]) == []
+    assert decoder.buffered == cut
+    assert decoder.feed(frame[cut:]) == [payload]
+    assert decoder.buffered == 0
+
+
+@given(length=st.integers(min_value=MAX_FRAME_BYTES + 1, max_value=2**32 - 1))
+def test_oversized_length_header_raises(length):
+    decoder = FrameDecoder()
+    with pytest.raises(ServingError):
+        decoder.feed(FRAME_HEADER.pack(length))
+
+
+@given(garbage=st.binary(min_size=1, max_size=64))
+def test_non_json_body_raises_not_hangs(garbage):
+    """Any body that is not valid UTF-8 JSON raises ServingError (framing
+    is intact, content is not) — it must never be silently dropped."""
+    decoder = FrameDecoder()
+    frame = FRAME_HEADER.pack(len(garbage)) + garbage
+    try:
+        frames = decoder.feed(frame)
+    except ServingError:
+        return
+    # Binary blobs that *happen* to be valid JSON (e.g. b"1") must decode.
+    assert len(frames) == 1
+
+
+def test_decoder_handles_empty_feeds_and_zero_length_frames():
+    decoder = FrameDecoder()
+    assert decoder.feed(b"") == []
+    empty_object = encode_frame({})
+    assert decoder.feed(empty_object) == [{}]
+    # A zero-length body is undecodable JSON, not a hang.
+    with pytest.raises(ServingError):
+        decoder.feed(FRAME_HEADER.pack(0))
+
+
+# --------------------------------------------------------------------------- #
+# Live socket: malformed input must answer or hang up — never hang
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def live_server(tmp_path_factory):
+    """One frontend over a real 4-d ellipsoid pricer for the whole module."""
+    theta = np.array([1.1, 0.7, 0.4, 0.9])
+
+    def factory(_key):
+        return LinearModel(theta), make_pricer(dimension=4, radius=4.0, epsilon=0.05)
+
+    service = QuoteService(
+        PricerRegistry(factory),
+        config=MicroBatchConfig(max_batch=1, max_wait_seconds=0.0),
+    )
+    handle = start_frontend_thread(
+        service,
+        unix_path=str(tmp_path_factory.mktemp("wire") / "wire.sock"),
+        drain_interval=0.0005,
+    )
+    yield handle
+    handle.stop()
+
+
+@given(features=json_values, reserve=json_values)
+@settings(suppress_health_check=[HealthCheck.function_scoped_fixture,
+                                 HealthCheck.too_slow])
+def test_arbitrary_quote_field_values_answer_or_error(live_server, features, reserve):
+    """Whatever lands in ``features``/``reserve``, the server answers the
+    quote with ``quote_result`` or ``error`` — the connection never hangs
+    and is immediately reusable."""
+    with QuoteSocketClient(unix_path=live_server.address, timeout=30.0) as client:
+        client._send(
+            {
+                "op": "quote",
+                "app": "wire",
+                "segment": "fuzz",
+                "features": features,
+                "reserve": reserve,
+                "id": 1,
+            }
+        )
+        frame = client.read_frame()
+        assert frame["op"] in ("quote_result", "error")
+        if frame["op"] == "quote_result":
+            # Settle so the session never accumulates pending decisions.
+            client.feedback(SessionKey("wire", "fuzz"), frame["quote_id"], False)
+        client.ping()
+
+
+def test_truncated_frame_then_close_does_not_hang_the_server(live_server):
+    """A peer that dies mid-frame must not wedge its handler or the
+    frontend: another client connects and quotes immediately after."""
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.connect(live_server.address)
+    frame = encode_frame({"op": "ping"})
+    raw.sendall(frame[: len(frame) - 3])  # header + partial body
+    raw.close()
+    deadline = time.monotonic() + 10
+    opened = live_server.frontend.stats.connections_opened
+    while time.monotonic() < deadline:
+        if live_server.frontend.stats.connections_closed >= opened:
+            break
+        time.sleep(0.01)
+    with QuoteSocketClient(unix_path=live_server.address) as healthy:
+        healthy.ping()
+
+
+def test_oversized_frame_length_gets_error_frame_then_eof(live_server):
+    raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raw.settimeout(10)
+    raw.connect(live_server.address)
+    try:
+        raw.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        decoder = FrameDecoder()
+        frames = []
+        while not frames:
+            chunk = raw.recv(65536)
+            assert chunk, "server closed without an error frame"
+            frames.extend(decoder.feed(chunk))
+        assert frames[0]["op"] == "error"
+        assert frames[0].get("code") == "protocol"
+        # The server hangs up after a frame-boundary violation.
+        assert raw.recv(65536) == b""
+    finally:
+        raw.close()
+
+
+def test_interleaved_pipelined_responses_correlate_exactly_once(live_server):
+    """Many interleaved quote/feedback requests on one connection: every
+    tag is answered exactly once, no response is lost or duplicated."""
+    import asyncio
+
+    from repro.serving import AsyncQuoteClient
+
+    async def _run():
+        key = SessionKey("wire", "interleave")
+        async with await AsyncQuoteClient.connect(
+            unix_path=live_server.address
+        ) as client:
+            quote_futures = [
+                client.submit_quote(key, [0.1 * (i + 1), 0.2, 0.3, 0.4])
+                for i in range(20)
+            ]
+            results = await asyncio.gather(*quote_futures)
+            feedback_futures = [
+                client.submit_feedback(key, result["quote_id"], accepted=bool(i % 2))
+                for i, result in enumerate(results)
+            ]
+            acks = await asyncio.gather(*feedback_futures)
+            return results, acks
+
+    results, acks = asyncio.run(_run())
+    assert len({r["quote_id"] for r in results}) == 20
+    assert all(a["op"] == "feedback_ok" for a in acks)
