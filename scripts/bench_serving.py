@@ -20,11 +20,18 @@ Four measurement modes, all written into one ``BENCH_serving.json``:
   the report carries offered vs *achieved* qps plus queue-delay percentiles.
 * **networked replay-at-rate** (``--net-target-qps``) — the same open-loop
   arrival schedule driven **through the socket frontend**: ``--connections``
-  pipelined :class:`AsyncQuoteClient` connections over a unix socket, quotes
-  fanned round-robin, feedback settled as results arrive.  Reports offered
-  vs achieved qps, client-side round-trip percentiles, the server-side
-  queue-delay percentiles, backpressure rejections, and the frontend
-  counters — this is the mode that actually exercises the network path.
+  pipelined :class:`AsyncQuoteClient` connections over a unix socket
+  (binary v2 wire and write coalescing by default; ``--wire 1`` measures
+  the JSON path), quotes fanned round-robin, feedback settled as results
+  arrive.  Reports offered vs achieved qps, client-side round-trip
+  percentiles, the server-side queue-delay percentiles, backpressure
+  rejections, and the frontend wire/dispatch counters — this is the mode
+  that actually exercises the network path.
+* **latency-vs-offered-load sweep** (``--sweep-qps lo:hi:steps``) — runs the
+  networked mode at ``steps`` offered rates between ``lo`` and ``hi`` (a
+  fresh service and frontend per point, so no learning-state carryover) and
+  locates the *knee*: the highest offered rate the frontend still sustains
+  (achieved ≥ 90% of offered).  The whole curve lands in the report.
 * **shard scaling** (``--shards N``) — the same closed-loop replay dispatched
   through :class:`repro.serving.sharding.ShardedRegistry` with 1 worker and
   with N workers (identical pipe dispatch, so the comparison isolates the
@@ -119,6 +126,19 @@ def parse_args(argv=None) -> argparse.Namespace:
         type=int,
         default=4,
         help="pipelined client connections for the networked rate mode",
+    )
+    parser.add_argument(
+        "--wire",
+        type=int,
+        choices=(1, 2),
+        default=2,
+        help="wire protocol for the networked modes (2 = binary batched, 1 = JSON)",
+    )
+    parser.add_argument(
+        "--sweep-qps",
+        default=None,
+        metavar="LO:HI:STEPS",
+        help="latency-vs-offered-load sweep through the socket (e.g. 2000:16000:5)",
     )
     parser.add_argument(
         "--shards",
@@ -306,23 +326,26 @@ def run_replay_at_rate(args, materialized, keys, factory):
     }
 
 
-def run_networked_replay_at_rate(args, materialized, keys, factory):
-    """Open-loop pacing **through the socket**: pipelined clients, real wire.
+def run_networked_point(args, materialized, keys, factory, target_qps):
+    """One open-loop measurement **through the socket**: real wire, one rate.
 
     The in-process rate mode never touches a socket; this one starts the
-    asyncio frontend on a unix socket and drives it from ``--connections``
-    :class:`AsyncQuoteClient` connections.  Quotes follow the same open-loop
+    asyncio frontend on a unix socket (a fresh service per call, so repeated
+    points never inherit learning state) and drives it from
+    ``--connections`` pipelined :class:`AsyncQuoteClient` connections
+    speaking ``--wire`` with write coalescing.  Quotes follow the open-loop
     schedule (quote ``i`` offered at ``start + i/qps``), fanned round-robin
-    across connections; each one is a fire-and-settle task (await result →
-    send feedback), so completions never throttle the arrival process.
-    Backpressure rejections are counted, not retried — an overloaded
-    frontend sheds load instead of queueing unboundedly, and the achieved
-    qps shows it.
+    across connections.  The settle path is callback-driven, not
+    task-per-quote: each quote future chains into its feedback submit on
+    completion, so a burst of submits per tick stays one coalesced frame
+    out and one coalesced frame back, and completions never throttle the
+    arrival process.  Backpressure rejections are counted, not retried — an
+    overloaded frontend sheds load instead of queueing unboundedly, and the
+    achieved qps shows it.
     """
     rate_rounds = args.rate_rounds or args.rounds
     if rate_rounds > args.rounds:
         rate_rounds = args.rounds
-    target_qps = args.net_target_qps
     connections = max(1, args.connections)
     registry = PricerRegistry(factory)
     service = QuoteService(registry, config=micro_batch_config(args))
@@ -332,39 +355,63 @@ def run_networked_replay_at_rate(args, materialized, keys, factory):
     )
     total = rate_rounds * len(keys)
     print(
-        "replaying at %.0f offered qps through the socket (%d quotes, %d connections) ..."
-        % (target_qps, total, connections)
+        "replaying at %.0f offered qps through the socket "
+        "(%d quotes, %d connections, wire v%d) ..."
+        % (target_qps, total, connections, args.wire)
     )
 
     async def _drive():
         clients = [
-            await AsyncQuoteClient.connect(unix_path=handle.address)
+            await AsyncQuoteClient.connect(
+                unix_path=handle.address, wire=args.wire, coalesce_writes=True
+            )
             for _ in range(connections)
         ]
         interval = 1.0 / target_qps
         round_trip = []
         counters = {"settled": 0, "rejected": 0, "errors": 0}
+        state = {"outstanding": 0, "submits_done": False}
+        done = asyncio.Event()
 
-        async def _one(client, key, features, reserve, market_value):
-            begin = time.perf_counter()
+        def _finish_one():
+            state["outstanding"] -= 1
+            if state["outstanding"] == 0 and state["submits_done"]:
+                done.set()
+
+        def _on_feedback(future):
+            if future.cancelled() or future.exception() is not None:
+                counters["errors"] += 1
+            else:
+                counters["settled"] += 1
+            _finish_one()
+
+        def _on_quote(future, client, key, market_value, begin):
+            if future.cancelled():
+                counters["errors"] += 1
+                _finish_one()
+                return
+            exc = future.exception()
+            if exc is not None:
+                if isinstance(exc, BackpressureError):
+                    counters["rejected"] += 1
+                else:
+                    counters["errors"] += 1
+                _finish_one()
+                return
+            result = future.result()
+            round_trip.append(time.perf_counter() - begin)
             try:
-                result = await client.quote(key, features, reserve=reserve)
-                round_trip.append(time.perf_counter() - begin)
-                await client.feedback(
+                feedback = client.submit_feedback(
                     key, result["quote_id"], frame_sold_at(result, market_value)
                 )
-            except BackpressureError:
-                counters["rejected"] += 1
-                return
             except ServingError:
-                # A failed feedback (dead connection, shed load) is an error
-                # to count, not a reason to crash the measurement.
                 counters["errors"] += 1
+                _finish_one()
                 return
-            counters["settled"] += 1
+            feedback.add_done_callback(_on_feedback)
 
-        tasks = []
         offered = 0
+        behind = 0
         start = time.perf_counter()
         for round_ in stream_rounds(materialized.slice(0, rate_rounds)):
             for key in keys:
@@ -372,14 +419,37 @@ def run_networked_replay_at_rate(args, materialized, keys, factory):
                 now = time.perf_counter()
                 if now < due:
                     await asyncio.sleep(due - now)
+                    behind = 0
+                else:
+                    # Behind schedule: submit back-to-back, but yield every
+                    # few dozen submits so the coalesced flush, the reader
+                    # task, and the response callbacks keep running.
+                    behind += 1
+                    if behind % 64 == 0:
+                        await asyncio.sleep(0)
                 client = clients[offered % len(clients)]
-                tasks.append(
-                    asyncio.ensure_future(
-                        _one(client, key, round_.features, round_.reserve, round_.market_value)
+                begin = time.perf_counter()
+                try:
+                    future = client.submit_quote(
+                        key, round_.features, reserve=round_.reserve
                     )
+                except ServingError:
+                    counters["errors"] += 1
+                    offered += 1
+                    continue
+                state["outstanding"] += 1
+                future.add_done_callback(
+                    lambda f, c=client, k=key, mv=round_.market_value, b=begin:
+                        _on_quote(f, c, k, mv, b)
                 )
                 offered += 1
-        await asyncio.gather(*tasks)
+        state["submits_done"] = True
+        if state["outstanding"] == 0:
+            done.set()
+        try:
+            await asyncio.wait_for(done.wait(), timeout=120.0)
+        except asyncio.TimeoutError:
+            counters["errors"] += state["outstanding"]
         wall_seconds = time.perf_counter() - start
         stats = await clients[0].stats()
         for client in clients:
@@ -395,6 +465,7 @@ def run_networked_replay_at_rate(args, materialized, keys, factory):
     achieved = counters["settled"] / wall_seconds if wall_seconds > 0 else float("inf")
     trip = LatencySummary.from_seconds(round_trip)
     queue_delay = stats.get("latency", {})
+    frontend = stats.get("frontend", {})
     print(
         "offered %.0f qps, achieved %.0f qps over the wire   "
         "round-trip p50 %.4f ms   p99 %.4f ms   (%d rejected)"
@@ -403,6 +474,7 @@ def run_networked_replay_at_rate(args, materialized, keys, factory):
     return {
         "offered_qps": round(target_qps, 1),
         "achieved_qps": round(achieved, 1),
+        "wire": args.wire,
         "connections": connections,
         "quotes": counters["settled"],
         "rejected_backpressure": counters["rejected"],
@@ -411,8 +483,64 @@ def run_networked_replay_at_rate(args, materialized, keys, factory):
         "wall_seconds": round(wall_seconds, 4),
         "round_trip": {name: round(value, 6) for name, value in trip.as_dict().items()},
         "queue_delay": {name: round(value, 6) for name, value in queue_delay.items()},
-        "frontend": stats.get("frontend", {}),
+        "frontend": frontend,
     }
+
+
+def parse_sweep(spec: str):
+    """``lo:hi:steps`` → the list of offered rates (linear spacing)."""
+    try:
+        lo_text, hi_text, steps_text = spec.split(":")
+        lo, hi, steps = float(lo_text), float(hi_text), int(steps_text)
+    except ValueError:
+        raise SystemExit("--sweep-qps expects LO:HI:STEPS, got %r" % spec)
+    if lo <= 0 or hi < lo or steps < 1:
+        raise SystemExit("--sweep-qps needs 0 < LO <= HI and STEPS >= 1")
+    if steps == 1:
+        return [lo]
+    return [lo + index * (hi - lo) / (steps - 1) for index in range(steps)]
+
+
+def run_networked_sweep(args, materialized, keys, factory):
+    """Latency-vs-offered-load curve through the socket, plus its knee.
+
+    Each offered rate is an independent :func:`run_networked_point` (fresh
+    service, fresh frontend).  The *knee* is the highest offered rate still
+    sustained — achieved ≥ 90% of offered with no backpressure shedding —
+    i.e. where the open-loop arrival process stops being served at its own
+    rate and latency starts growing without bound.
+    """
+    rates = parse_sweep(args.sweep_qps)
+    print("sweeping offered load through the socket: %s qps ..."
+          % ", ".join("%.0f" % rate for rate in rates))
+    points = []
+    for rate in rates:
+        point = run_networked_point(args, materialized, keys, factory, rate)
+        point["sustained"] = (
+            point["achieved_qps"] >= 0.9 * point["offered_qps"]
+            and point["rejected_backpressure"] == 0
+        )
+        points.append(point)
+    knee = None
+    for point in points:
+        if point["sustained"]:
+            knee = point
+    summary = {
+        "wire": args.wire,
+        "connections": max(1, args.connections),
+        "offered_qps": [point["offered_qps"] for point in points],
+        "achieved_qps": [point["achieved_qps"] for point in points],
+        "round_trip_p50_ms": [point["round_trip"].get("p50_ms") for point in points],
+        "round_trip_p99_ms": [point["round_trip"].get("p99_ms") for point in points],
+        "knee_qps": knee["offered_qps"] if knee else None,
+        "points": points,
+    }
+    if knee:
+        print("knee: %.0f offered qps sustained (achieved %.0f)"
+              % (knee["offered_qps"], knee["achieved_qps"]))
+    else:
+        print("knee: none of the swept rates was sustained")
+    return summary
 
 
 def run_sharded_scaling(args, materialized, keys, factory):
@@ -518,7 +646,11 @@ def main(argv=None) -> int:
     if args.target_qps > 0:
         report["replay_at_rate"] = run_replay_at_rate(args, materialized, keys, factory)
     if args.net_target_qps > 0:
-        report["replay_at_rate_networked"] = run_networked_replay_at_rate(
+        report["replay_at_rate_networked"] = run_networked_point(
+            args, materialized, keys, factory, args.net_target_qps
+        )
+    if args.sweep_qps:
+        report["replay_at_rate_networked_sweep"] = run_networked_sweep(
             args, materialized, keys, factory
         )
     if args.shards > 0:

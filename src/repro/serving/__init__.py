@@ -21,8 +21,12 @@ latency under live arrivals) as an actual serving layer:
 * :mod:`repro.serving.sharding` — :class:`ShardedRegistry`, a router hashing
   session keys across N worker processes (one registry + service per
   worker, quote/feedback dispatch over pipes, per-shard snapshot dirs);
+* :mod:`repro.serving.wire` — the framing layer and both wire formats
+  (length-prefixed JSON v1 and the columnar binary v2 negotiated per
+  connection), shared by the server and both clients;
 * :mod:`repro.serving.frontend` — :class:`QuoteFrontend`, the asyncio socket
-  server (length-prefixed JSON over TCP or unix socket) over either backend
+  server (either wire format over TCP or unix socket) over either backend,
+  dispatching each event-loop tick's frames as one coalesced backend call,
   with bounded-waiter / per-connection-budget / slow-reader backpressure,
   plus the synchronous :class:`QuoteSocketClient` and
   :func:`serve_closed_loop_socket`, the through-the-wire twin of the
@@ -71,6 +75,7 @@ from repro.serving.resharding import (
 )
 from repro.serving.service import MicroBatchConfig, QuoteService, ServiceStats
 from repro.serving.sharding import ShardedRegistry, shard_of_key
+from repro.serving.wire import WIRE_V1, WIRE_V2
 
 __all__ = [
     "AsyncQuoteClient",
@@ -95,6 +100,8 @@ __all__ = [
     "SessionMove",
     "ShardedRegistry",
     "SyntheticFeed",
+    "WIRE_V1",
+    "WIRE_V2",
     "dataset_arrival_features",
     "dataset_replay_market",
     "frame_sold_at",

@@ -18,6 +18,18 @@ Two usage levels:
   fires thousands of these without awaiting, which is what makes offered
   rate independent of completion rate through the socket.
 
+**Batching.**  ``connect(wire=2)`` negotiates the binary columnar v2
+protocol (:mod:`repro.serving.wire`); against an old server the client
+silently stays on JSON v1.  ``connect(coalesce_writes=True)`` additionally
+stages ``submit_quote``/``submit_feedback`` payloads and flushes them at
+the end of the current event-loop tick — consecutive runs of the same kind
+leave as **one** frame (v2) or one contiguous buffer (v1), so an open loop
+that fires a burst of submits per tick pays one syscall and, server-side,
+one executor hop for the whole burst.  :meth:`submit_quotes` /
+:meth:`submit_feedbacks` batch explicitly.  Coalescing never reorders:
+only adjacent same-kind payloads merge, so a closed loop (feedback before
+the next quote) is preserved exactly.
+
 Failure mapping: ``error`` frames with ``code: "backpressure"`` resolve the
 future with :class:`~repro.exceptions.BackpressureError` (the quote was
 rejected before submission — resubmitting is safe); other ``error`` frames
@@ -29,13 +41,14 @@ pending future, so no caller can hang on a dead connection.
 replay driver — the per-round protocol is identical to
 :func:`repro.serving.frontend.serve_closed_loop_socket`, so its transcript
 is bit-identical to the offline engine (pinned for every golden family by
-``tests/serving/test_async_client.py``).
+``tests/serving/test_async_client.py``, and on the v2 path by
+``tests/serving/test_wire_v2.py``).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,12 +58,22 @@ from repro.engine.streaming import stream_rounds
 from repro.engine.transcript import Transcript
 from repro.exceptions import ServingError
 from repro.serving.frontend import (
-    encode_frame,
     error_from_frame,
-    read_frame,
     settle_frame_into_transcript,
 )
 from repro.serving.requests import SessionKey
+from repro.serving.wire import (
+    WIRE_V1,
+    WIRE_V2,
+    FrameDecoder,
+    encode_feedback_batch,
+    encode_frame,
+    encode_frames,
+    encode_quote_batch,
+)
+
+#: Socket read size of the client reader task.
+READ_CHUNK_BYTES = 256 * 1024
 
 
 class AsyncQuoteClient:
@@ -69,6 +92,11 @@ class AsyncQuoteClient:
         self._next_tag = 0
         self._closed = False
         self._failure: Optional[ServingError] = None
+        self._wire = WIRE_V1
+        self._coalesce = False
+        #: Payloads staged for the end-of-tick flush: ``(kind, payload)``.
+        self._staged: List[Tuple[str, dict]] = []
+        self._flush_scheduled = False
         self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
 
     @classmethod
@@ -77,8 +105,15 @@ class AsyncQuoteClient:
         host: Optional[str] = None,
         port: Optional[int] = None,
         unix_path: Optional[str] = None,
+        wire: int = WIRE_V1,
+        coalesce_writes: bool = False,
     ) -> "AsyncQuoteClient":
-        """Open a TCP or unix-socket connection to a :class:`QuoteFrontend`."""
+        """Open a TCP or unix-socket connection to a :class:`QuoteFrontend`.
+
+        ``wire=2`` negotiates the binary v2 protocol (falling back to v1
+        against an old server); ``coalesce_writes=True`` batches the
+        ``submit_*`` primitives per event-loop tick.
+        """
         if (unix_path is None) == (host is None) or (
             unix_path is None and port is None
         ):
@@ -87,33 +122,70 @@ class AsyncQuoteClient:
             reader, writer = await asyncio.open_unix_connection(unix_path)
         else:
             reader, writer = await asyncio.open_connection(host, int(port))
-        return cls(reader, writer)
+        client = cls(reader, writer)
+        client._coalesce = bool(coalesce_writes)
+        if wire >= WIRE_V2:
+            await client.negotiate(wire)
+        return client
 
     @property
     def outstanding(self) -> int:
         """Requests sent and not yet answered on this connection."""
         return len(self._pending)
 
+    @property
+    def wire(self) -> int:
+        """The negotiated protocol version (1 until a successful hello)."""
+        return self._wire
+
+    async def negotiate(self, version: int = WIRE_V2) -> int:
+        """Request a protocol upgrade; returns the agreed version.
+
+        An old server answers ``hello`` with an ``error`` frame — the client
+        stays on v1 and every operation keeps working.
+        """
+        future = self._submit_json({"op": "hello", "wire": int(version)})
+        try:
+            frame = await self._expect(future, "hello_ok")
+        except ServingError:
+            if self._failure is not None:
+                raise self._failure
+            return self._wire
+        self._wire = int(frame.get("wire", WIRE_V1))
+        return self._wire
+
     # -- correlation ----------------------------------------------------- #
 
     async def _read_loop(self) -> None:
+        decoder = FrameDecoder()
         try:
             while True:
-                frame = await read_frame(self._reader)
-                if frame is None:
+                try:
+                    chunk = await self._reader.read(READ_CHUNK_BYTES)
+                except OSError:
+                    chunk = b""
+                if not chunk:
                     self._fail_all(ServingError("server closed the connection"))
                     return
-                self._deliver(frame)
+                for frame in decoder.feed(chunk):
+                    self._deliver(frame)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 — any reader failure kills the link
             self._fail_all(ServingError("connection failed: %s" % exc))
 
     def _deliver(self, frame: dict) -> None:
+        if not isinstance(frame, dict):
+            return
+        op = frame.get("op")
+        if op in ("quote_result_batch", "feedback_ok_batch"):
+            for item in frame.get("items") or []:
+                self._deliver(item)
+            return
         tag = frame.get("id")
         future = self._pending.pop(tag, None) if tag is not None else None
         if future is None or future.done():
-            if frame.get("op") == "error" and tag is None:
+            if op == "error" and tag is None:
                 # A frame-boundary protocol error: the server hangs up after
                 # sending it, so nothing pending can ever be answered.
                 self._fail_all(error_from_frame(frame))
@@ -121,7 +193,7 @@ class AsyncQuoteClient:
             # caller that gave up) is dropped — ids are never reused, so it
             # cannot be mistaken for another request's answer.
             return
-        if frame.get("op") == "error":
+        if op == "error":
             future.set_exception(error_from_frame(frame))
         else:
             future.set_result(frame)
@@ -129,35 +201,88 @@ class AsyncQuoteClient:
     def _fail_all(self, exc: ServingError) -> None:
         # Remember the terminal failure: a request submitted *after* the
         # connection died has no reader left to resolve its future, so
-        # _submit must refuse it instead of letting the caller hang.
+        # _register must refuse it instead of letting the caller hang.
         if self._failure is None:
             self._failure = exc
+        self._staged.clear()
         pending, self._pending = self._pending, {}
         for future in pending.values():
             if not future.done():
                 future.set_exception(exc)
 
-    def _submit(self, payload: dict) -> "asyncio.Future":
+    # -- writes ----------------------------------------------------------- #
+
+    def _register(self, payload: dict) -> "asyncio.Future":
+        """Tag a payload and create the future its response resolves."""
         if self._closed:
             raise ServingError("client is closed")
         if self._failure is not None:
             raise ServingError("connection is dead: %s" % self._failure)
         self._next_tag += 1
-        tag = self._next_tag
-        payload["id"] = tag
+        payload["id"] = self._next_tag
         future = asyncio.get_running_loop().create_future()
-        self._pending[tag] = future
-        self._writer.write(encode_frame(payload))
+        self._pending[self._next_tag] = future
         return future
 
-    @staticmethod
-    async def _expect(future: "asyncio.Future", op: str) -> dict:
-        frame = await future
-        if frame.get("op") != op:
-            raise ServingError("expected %r frame, got %r" % (op, frame.get("op")))
-        return frame
+    def _write_now(self, kind: str, payloads: Sequence[dict]) -> None:
+        """Encode one same-kind run as a single buffer and write it."""
+        if self._wire >= WIRE_V2 and kind == "quote":
+            self._writer.write(encode_quote_batch(payloads))
+        elif self._wire >= WIRE_V2 and kind == "feedback":
+            self._writer.write(encode_feedback_batch(payloads))
+        else:
+            self._writer.write(encode_frames(payloads))
+
+    def _enqueue(self, kind: str, payload: dict) -> None:
+        if self._coalesce:
+            self._staged.append((kind, payload))
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                asyncio.get_running_loop().call_soon(self._flush_staged)
+            return
+        self._write_now(kind, [payload])
+
+    def _flush_staged(self) -> None:
+        """End-of-tick flush: consecutive same-kind runs leave as one write."""
+        self._flush_scheduled = False
+        staged, self._staged = self._staged, []
+        if not staged or self._closed or self._failure is not None:
+            return
+        try:
+            index = 0
+            while index < len(staged):
+                kind = staged[index][0]
+                end = index + 1
+                while end < len(staged) and staged[end][0] == kind:
+                    end += 1
+                self._write_now(
+                    kind, [payload for _kind, payload in staged[index:end]]
+                )
+                index = end
+        except Exception as exc:  # noqa: BLE001 — a dead writer fails the link
+            self._fail_all(ServingError("write failed: %s" % exc))
 
     # -- pipelining primitives ------------------------------------------- #
+
+    def _quote_payload(
+        self, key: SessionKey, features, reserve: Optional[float]
+    ) -> dict:
+        return {
+            "op": "quote",
+            "app": key.app,
+            "segment": key.segment,
+            "features": [float(value) for value in np.asarray(features, dtype=float)],
+            "reserve": None if reserve is None else float(reserve),
+        }
+
+    def _feedback_payload(self, key: SessionKey, quote_id: int, accepted: bool) -> dict:
+        return {
+            "op": "feedback",
+            "app": key.app,
+            "segment": key.segment,
+            "quote_id": int(quote_id),
+            "accepted": bool(accepted),
+        }
 
     def submit_quote(
         self,
@@ -170,32 +295,73 @@ class AsyncQuoteClient:
         Returns immediately — pipelining is simply calling this again before
         awaiting.  The future raises :class:`BackpressureError` on a
         frontend rejection and :class:`ServingError` on a drain failure.
+        With ``coalesce_writes`` the frame leaves at the end of the current
+        event-loop tick, batched with its same-kind neighbours.
         """
-        return self._submit(
-            {
-                "op": "quote",
-                "app": key.app,
-                "segment": key.segment,
-                "features": [float(value) for value in np.asarray(features, dtype=float)],
-                "reserve": None if reserve is None else float(reserve),
-            }
-        )
+        payload = self._quote_payload(key, features, reserve)
+        future = self._register(payload)
+        self._enqueue("quote", payload)
+        return future
 
     def submit_feedback(
         self, key: SessionKey, quote_id: int, accepted: bool
     ) -> "asyncio.Future":
         """Fire one feedback event; the future resolves on ``feedback_ok``."""
-        return self._submit(
-            {
-                "op": "feedback",
-                "app": key.app,
-                "segment": key.segment,
-                "quote_id": int(quote_id),
-                "accepted": bool(accepted),
-            }
-        )
+        payload = self._feedback_payload(key, quote_id, accepted)
+        future = self._register(payload)
+        self._enqueue("feedback", payload)
+        return future
+
+    def submit_quotes(
+        self, items: Iterable[Tuple[SessionKey, "np.ndarray", Optional[float]]]
+    ) -> List["asyncio.Future"]:
+        """Fire a batch of quotes as **one** frame (v2) or one buffer (v1).
+
+        ``items`` yields ``(key, features, reserve)`` triples; returns one
+        future per item, in order.  Bypasses the coalescing stage — the
+        batch is written immediately as a single unit.
+        """
+        payloads = []
+        futures = []
+        for key, features, reserve in items:
+            payload = self._quote_payload(key, features, reserve)
+            futures.append(self._register(payload))
+            payloads.append(payload)
+        if payloads:
+            self._write_now("quote", payloads)
+        return futures
+
+    def submit_feedbacks(
+        self, events: Iterable[Tuple[SessionKey, int, bool]]
+    ) -> List["asyncio.Future"]:
+        """Fire a batch of feedback events as one frame (v2) or buffer (v1).
+
+        ``events`` yields ``(key, quote_id, accepted)`` triples.
+        """
+        payloads = []
+        futures = []
+        for key, quote_id, accepted in events:
+            payload = self._feedback_payload(key, quote_id, accepted)
+            futures.append(self._register(payload))
+            payloads.append(payload)
+        if payloads:
+            self._write_now("feedback", payloads)
+        return futures
+
+    @staticmethod
+    async def _expect(future: "asyncio.Future", op: str) -> dict:
+        frame = await future
+        if frame.get("op") != op:
+            raise ServingError("expected %r frame, got %r" % (op, frame.get("op")))
+        return frame
 
     # -- awaited operations ---------------------------------------------- #
+
+    def _submit_json(self, payload: dict) -> "asyncio.Future":
+        """Housekeeping ops: always a single JSON frame, never staged."""
+        future = self._register(payload)
+        self._writer.write(encode_frame(payload))
+        return future
 
     async def quote(
         self, key: SessionKey, features, reserve: Optional[float] = None
@@ -209,14 +375,14 @@ class AsyncQuoteClient:
         await self._expect(self.submit_feedback(key, quote_id, accepted), "feedback_ok")
 
     async def flush(self) -> int:
-        frame = await self._expect(self._submit({"op": "flush"}), "flush_ok")
+        frame = await self._expect(self._submit_json({"op": "flush"}), "flush_ok")
         return int(frame["drained"])
 
     async def stats(self) -> dict:
-        return await self._expect(self._submit({"op": "stats"}), "stats")
+        return await self._expect(self._submit_json({"op": "stats"}), "stats")
 
     async def ping(self) -> None:
-        await self._expect(self._submit({"op": "ping"}), "pong")
+        await self._expect(self._submit_json({"op": "ping"}), "pong")
 
     async def drain(self) -> None:
         """Flow-control the outgoing buffer (submit-heavy open loops)."""
@@ -229,6 +395,7 @@ class AsyncQuoteClient:
         if self._closed:
             return
         self._closed = True
+        self._staged.clear()
         self._reader_task.cancel()
         try:
             await self._reader_task
@@ -260,8 +427,8 @@ async def serve_closed_loop_async(
     serve_closed_loop_socket`: one quote per round, the sale settled against
     the realised market value with the engine's scalar comparison, feedback
     awaited before the next round.  Because the per-round protocol — and the
-    JSON float round-trip — is identical, the resulting transcript is
-    bit-identical to the offline engine.
+    float round-trip on both wire versions — is identical, the resulting
+    transcript is bit-identical to the offline engine.
     """
     transcript = Transcript.for_materialized(materialized)
     for round_ in stream_rounds(materialized):

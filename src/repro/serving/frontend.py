@@ -2,36 +2,57 @@
 
 :class:`QuoteFrontend` exposes a :class:`~repro.serving.service.QuoteService`
 (or a :class:`~repro.serving.sharding.ShardedRegistry`) over TCP or a unix
-domain socket.  The wire format is **length-prefixed JSON**: every frame is a
-4-byte big-endian unsigned length followed by that many bytes of UTF-8 JSON.
-Python's ``json`` emits shortest round-trip ``repr`` floats, so prices and
-features survive the wire bit-exactly — which is what lets a closed-loop
-replay *through the socket* stay bit-identical to the offline engine
-(pinned by ``tests/serving/test_frontend.py`` for every golden family).
+domain socket.  The framing and the two wire formats (length-prefixed JSON
+v1, columnar binary v2) live in :mod:`repro.serving.wire`; both round-trip
+prices and features bit-exactly, which is what lets a closed-loop replay
+*through the socket* stay bit-identical to the offline engine (pinned by
+``tests/serving/test_frontend.py`` and ``test_wire_v2.py`` for every golden
+family, on both protocol versions).
 
 Client → server operations (``op`` field):
 
-=============  =============================================================
-``quote``      ``{app, segment, features: [..], reserve: x|null, id?}`` —
-               enqueue a quote; the response frame arrives when the
-               micro-batch window drains (``op: quote_result``, echoing
-               the optional client-chosen ``id``).
-``feedback``   ``{app, segment, quote_id, accepted}`` → ``feedback_ok``.
-``flush``      force a drain → ``{op: flush_ok, drained: n}`` (quote
-               results still go to their issuing connections).
-``stats``      service/registry counters → ``{op: stats, ...}``.
-``ping``       liveness → ``{op: pong}``.
-=============  =============================================================
+==================  ========================================================
+``quote``           ``{app, segment, features: [..], reserve: x|null,
+                    id?}`` — enqueue a quote; the response frame arrives
+                    when the micro-batch window drains (``op:
+                    quote_result``, echoing the optional client-chosen
+                    ``id``).
+``quote_batch``     the v2 columnar batch of ``quote`` items (one frame,
+                    one backend submit for the whole batch).
+``feedback``        ``{app, segment, quote_id, accepted}`` →
+                    ``feedback_ok``.
+``feedback_batch``  the v2 columnar batch of ``feedback`` items.
+``hello``           ``{wire: 2}`` → ``{op: hello_ok, wire: 2}`` — upgrade
+                    the connection to the binary v2 responses; JSON v1
+                    stays the default (old clients keep working, old
+                    servers answer ``hello`` with an ``error`` frame and
+                    the client stays on v1).
+``flush``           force a drain → ``{op: flush_ok, drained: n}``.
+``stats``           service/registry counters → ``{op: stats, ...}``.
+``ping``            liveness → ``{op: pong}``.
+==================  ========================================================
 
 Failures arrive as ``{op: error, error: msg, id?, lost_quote_ids: [..]}``;
 a drain failure notifies every connection whose quote was lost or requeued.
 
-The server drives the backend from a single **drain task**: every submit
-kicks it, and it otherwise ticks at ``drain_interval`` so the time bound of
-the micro-batch window fires without traffic.  All backend access is
-serialised behind one lock and pushed off the event loop via
-``run_in_executor``, so a slow pricer (or a shard pipe round-trip) never
-stalls frame parsing.
+**Per-tick frame dispatch.**  The connection handler reads socket chunks
+into a sans-IO :class:`~repro.serving.wire.FrameDecoder`; every chunk yields
+the *list* of frames that arrived in that event-loop tick.  Consecutive
+``quote`` frames of a tick (and the items of a v2 ``quote_batch``) are
+coalesced into **one** backend ``submit_many`` call — one lock acquisition
+and one executor hop for the whole run, instead of one per frame — and
+consecutive ``feedback`` frames into one ``feedback_many`` call with
+per-event outcomes.  Coalescing never reorders a connection's operations:
+only *adjacent* frames of the same kind merge, so the closed-loop protocol
+(feedback before the next quote) is preserved exactly.  Responses are
+batched symmetrically: each drain writes one connection's responses as a
+single v2 ``quote_result_batch`` frame (or one contiguous v1 buffer), so a
+window of quotes crosses the wire as one frame in each direction.
+
+All backend access is serialised behind one lock and pushed off the event
+loop via a dedicated single-worker executor owned by the frontend (no
+per-call thread churn; the submit serialisation point is explicit), so a
+slow pricer (or a shard pipe round-trip) never stalls frame parsing.
 
 **Backpressure.**  A frontend degrades gracefully instead of leaking memory
 when clients outrun the backend or stop reading:
@@ -50,21 +71,21 @@ when clients outrun the backend or stop reading:
 * a connection that disconnects mid-flight has its waiters removed — the
   backend still serves the quotes, the responses are simply discarded.
 
-The admission checks run under the same lock as the submit, so the bounds
-are exact, and the counters (`frontend_stats`, also in the ``stats`` frame)
+The admission checks run under the same lock as the submit — including the
+quotes admitted earlier in the *same* coalesced batch — so the bounds are
+exact, and the counters (`frontend_stats`, also in the ``stats`` frame)
 make them assertable: ``peak_waiters`` can never exceed ``max_waiters``.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
 import socket
-import struct
 import threading
 from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -74,69 +95,28 @@ from repro.engine.streaming import stream_rounds
 from repro.engine.transcript import Transcript
 from repro.exceptions import BackpressureError, ServingError
 from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
+from repro.serving.wire import (  # noqa: F401  (re-exported: historical home)
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    WIRE_V1,
+    WIRE_V2,
+    FrameDecoder,
+    encode_feedback_batch,
+    encode_feedback_ok_batch,
+    encode_frame,
+    encode_frames,
+    encode_quote_batch,
+    encode_quote_result_batch,
+    read_frame,
+)
 
-#: Frame header: one 4-byte big-endian unsigned length.
-FRAME_HEADER = struct.Struct(">I")
-
-#: Upper bound on a single frame (defensive: a corrupt header must not OOM).
-MAX_FRAME_BYTES = 16 * 1024 * 1024
+#: Socket read size of the per-connection tick loop.
+READ_CHUNK_BYTES = 256 * 1024
 
 
 # --------------------------------------------------------------------------- #
-# Framing and payload codecs (shared by server and clients)
+# Payload codecs (shared by server and clients)
 # --------------------------------------------------------------------------- #
-
-
-def encode_frame(payload: dict) -> bytes:
-    """One length-prefixed JSON frame."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(body) > MAX_FRAME_BYTES:
-        raise ServingError("frame of %d bytes exceeds the %d-byte bound"
-                           % (len(body), MAX_FRAME_BYTES))
-    return FRAME_HEADER.pack(len(body)) + body
-
-
-class FrameDecoder:
-    """Incremental (sans-IO) decoder of the length-prefixed JSON framing.
-
-    Feed it byte chunks as they arrive — at *any* split points, including
-    mid-header and mid-body — and it yields the completed frames in order.
-    A truncated frame simply stays buffered until the remaining bytes
-    arrive; an oversized length header or an undecodable body raises
-    :class:`ServingError` (after which the stream is no longer at a frame
-    boundary and the connection must be dropped).  Shared by the blocking
-    and the async clients, and pinned by the hypothesis round-trip tier
-    (``tests/serving/test_wire_protocol.py``).
-    """
-
-    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
-        self._buffer = bytearray()
-        self._max_frame_bytes = max_frame_bytes
-
-    @property
-    def buffered(self) -> int:
-        """Bytes of the (possibly incomplete) next frame held back."""
-        return len(self._buffer)
-
-    def feed(self, data: bytes) -> List[dict]:
-        """Consume a chunk; return every frame it completed (maybe none)."""
-        self._buffer.extend(data)
-        frames: List[dict] = []
-        while len(self._buffer) >= FRAME_HEADER.size:
-            (length,) = FRAME_HEADER.unpack_from(self._buffer)
-            if length > self._max_frame_bytes:
-                raise ServingError("frame length %d exceeds the %d-byte bound"
-                                   % (length, self._max_frame_bytes))
-            end = FRAME_HEADER.size + length
-            if len(self._buffer) < end:
-                break
-            body = bytes(self._buffer[FRAME_HEADER.size:end])
-            del self._buffer[:end]
-            try:
-                frames.append(json.loads(body.decode("utf-8")))
-            except (UnicodeDecodeError, ValueError) as exc:
-                raise ServingError("undecodable frame body: %s" % exc)
-        return frames
 
 
 def frame_sold_at(result: dict, market_value: float) -> bool:
@@ -191,30 +171,6 @@ def error_from_frame(frame: dict) -> ServingError:
     )
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
-    """Read one frame; ``None`` on EOF or a dead connection.
-
-    ``OSError`` covers more than a reset: a *write* to a disconnected peer
-    poisons the stream reader with the same ``BrokenPipeError`` (asyncio
-    delivers one ``connection_lost`` exception to both directions), and a
-    reader that re-raised it would crash the connection handler instead of
-    letting it clean up — treat every transport-level failure as EOF.
-    """
-    try:
-        header = await reader.readexactly(FRAME_HEADER.size)
-    except (asyncio.IncompleteReadError, OSError):
-        return None
-    (length,) = FRAME_HEADER.unpack(header)
-    if length > MAX_FRAME_BYTES:
-        raise ServingError("frame length %d exceeds the %d-byte bound"
-                           % (length, MAX_FRAME_BYTES))
-    try:
-        body = await reader.readexactly(length)
-    except (asyncio.IncompleteReadError, OSError):
-        return None
-    return json.loads(body.decode("utf-8"))
-
-
 def request_from_payload(payload: dict) -> QuoteRequest:
     """Decode a ``quote`` frame into a :class:`QuoteRequest`."""
     try:
@@ -257,12 +213,88 @@ class _Connection:
     """Server-side state of one client connection."""
 
     writer: asyncio.StreamWriter
+    #: Negotiated protocol version for *responses* (requests are
+    #: self-describing); upgraded by a ``hello`` frame.
+    wire_version: int = WIRE_V1
     #: Quote ids submitted on this connection and not yet answered — the
     #: per-connection budget and the disconnect cleanup both read this.
     outstanding: Set[int] = field(default_factory=set)
     #: Set when the connection was aborted as a slow reader; suppresses
     #: further writes while the handler unwinds.
     aborted: bool = False
+
+
+class BatchSizeHistogram:
+    """Power-of-two histogram of batch sizes (1, 2, ≤4, ≤8, ...).
+
+    Cheap enough for the hot path (one ``bit_length`` per record) while
+    still answering the question the bench report needs: how large are the
+    coalesced batches actually getting?
+    """
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def record(self, size: int) -> None:
+        bucket = 1 << max(0, int(size) - 1).bit_length()  # smallest pow2 >= size
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += int(size)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "buckets": {
+                "<=%d" % bucket: self._buckets[bucket]
+                for bucket in sorted(self._buckets)
+            },
+        }
+
+
+@dataclass
+class WireStats:
+    """Wire and dispatch counters of one :class:`QuoteFrontend`.
+
+    Frames and bytes are counted per protocol version (in: the actual frame
+    encoding; out: the encoding chosen for the write), and the dispatch
+    histograms attribute the throughput: how many frames arrive per
+    event-loop tick, how many quotes coalesce into one executor hop, and
+    how many responses batch into one write.
+    """
+
+    frames_in_v1: int = 0
+    frames_in_v2: int = 0
+    bytes_in: int = 0
+    frames_out_v1: int = 0
+    frames_out_v2: int = 0
+    bytes_out: int = 0
+    ticks: int = 0
+    executor_hops: int = 0
+    frames_per_tick: BatchSizeHistogram = field(default_factory=BatchSizeHistogram)
+    submit_batch: BatchSizeHistogram = field(default_factory=BatchSizeHistogram)
+    feedback_batch: BatchSizeHistogram = field(default_factory=BatchSizeHistogram)
+    response_batch: BatchSizeHistogram = field(default_factory=BatchSizeHistogram)
+
+    def as_dict(self) -> dict:
+        return {
+            "frames_in": {"v1": self.frames_in_v1, "v2": self.frames_in_v2},
+            "frames_out": {"v1": self.frames_out_v1, "v2": self.frames_out_v2},
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "ticks": self.ticks,
+            "executor_hops": self.executor_hops,
+            "frames_per_tick": self.frames_per_tick.as_dict(),
+            "submit_batch": self.submit_batch.as_dict(),
+            "feedback_batch": self.feedback_batch.as_dict(),
+            "response_batch": self.response_batch.as_dict(),
+        }
 
 
 @dataclass
@@ -283,12 +315,14 @@ class FrontendStats:
 
 
 class QuoteFrontend:
-    """Length-prefixed-JSON socket server over a quote-serving backend.
+    """Socket server (JSON v1 / binary v2) over a quote-serving backend.
 
     ``backend`` is anything with the service surface this module drives:
     ``submit(request) -> quote_id``, ``poll() -> [QuoteResponse]``,
     ``flush() -> [QuoteResponse]``, ``feedback_batch(events)`` — i.e. a
-    :class:`QuoteService` or a :class:`ShardedRegistry`.
+    :class:`QuoteService` or a :class:`ShardedRegistry`.  The batched
+    entry points (``submit_many``, ``feedback_many``) are used when the
+    backend provides them, with a single-hop fallback otherwise.
 
     The three backpressure bounds (see the module docstring): ``max_waiters``
     caps the waiter map across all connections,
@@ -325,12 +359,18 @@ class QuoteFrontend:
         self.max_outstanding_per_connection = max_outstanding_per_connection
         self.max_write_buffer_bytes = max_write_buffer_bytes
         self.stats = FrontendStats()
+        self.wire_stats = WireStats()
         self._lock = asyncio.Lock()
         self._kick = asyncio.Event()
         self._waiters: Dict[int, Tuple[_Connection, Any]] = {}
         self._connections: Set[_Connection] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self._drain_task: Optional[asyncio.Task] = None
+        #: Dedicated single worker for all backend calls: no thread churn,
+        #: and the backend serialisation point is explicit (the lock orders
+        #: the calls; the worker runs them).  Created in start(), shut down
+        #: in stop().
+        self._executor: Optional[ThreadPoolExecutor] = None
         self._running = False
 
     @property
@@ -352,6 +392,9 @@ class QuoteFrontend:
         if (unix_path is None) == (host is None):
             raise ValueError("pass exactly one of host/port or unix_path")
         self._running = True
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="quote-frontend-backend"
+        )
         if unix_path is not None:
             self._server = await asyncio.start_unix_server(self._handle, path=unix_path)
         else:
@@ -370,7 +413,8 @@ class QuoteFrontend:
 
         Clean even with quotes in flight: live connections are closed (their
         clients observe EOF and fail their pending futures), the waiter map
-        is cleared, and the drain task is cancelled mid-await if necessary.
+        is cleared, the drain task is cancelled mid-await if necessary, and
+        the backend executor is shut down (in-flight call completes).
         """
         self._running = False
         if self._drain_task is not None:
@@ -382,8 +426,8 @@ class QuoteFrontend:
                 pass
             self._drain_task = None
         # Hang up before waiting on the server: connection handlers blocked
-        # in read_frame observe EOF and exit, so wait_closed cannot hang on
-        # a client that never disconnects.
+        # on a socket read observe EOF and exit, so wait_closed cannot hang
+        # on a client that never disconnects.
         for connection in list(self._connections):
             try:
                 connection.writer.close()
@@ -394,14 +438,28 @@ class QuoteFrontend:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
 
     # -- backend access (serialised, off-loop) -------------------------- #
+
+    def _run_in_executor(self, loop, function, *args):
+        executor = self._executor
+        if executor is None:
+            raise ServingError("frontend is not running")
+        self.wire_stats.executor_hops += 1
+        try:
+            return loop.run_in_executor(executor, function, *args)
+        except RuntimeError:
+            # A dispatch racing stop(): the pool rejected the job.
+            raise ServingError("frontend is stopping")
 
     async def _backend_call(self, method: str, *args):
         loop = asyncio.get_running_loop()
         function = getattr(self.backend, method)
         async with self._lock:
-            return await loop.run_in_executor(None, function, *args)
+            return await self._run_in_executor(loop, function, *args)
 
     # -- the drain task -------------------------------------------------- #
 
@@ -430,6 +488,13 @@ class QuoteFrontend:
         return len(responses)
 
     def _route(self, responses) -> None:
+        """Deliver one drain's responses, batched per connection.
+
+        All of a connection's responses from this drain leave as **one**
+        transport write — a single v2 ``quote_result_batch`` frame on an
+        upgraded connection, one contiguous buffer of v1 frames otherwise.
+        """
+        by_connection: Dict[_Connection, List[dict]] = {}
         for response in responses:
             connection, client_id = self._waiters.pop(response.quote_id, (None, None))
             if connection is None:
@@ -438,7 +503,10 @@ class QuoteFrontend:
             payload = response_to_payload(response)
             if client_id is not None:
                 payload["id"] = client_id
-            self._write(connection, payload)
+            by_connection.setdefault(connection, []).append(payload)
+        for connection, payloads in by_connection.items():
+            self.wire_stats.response_batch.record(len(payloads))
+            self._write_many(connection, payloads)
 
     def _notify_drain_failure(self, exc: ServingError) -> None:
         """Fan a drain failure out to the connections it affects.
@@ -466,8 +534,12 @@ class QuoteFrontend:
                 payload["id"] = client_id
             self._write(connection, payload)
 
-    def _write(self, connection: _Connection, payload: dict) -> None:
-        """Write one frame without ever awaiting a slow reader.
+    # -- writes (never await a slow reader) ------------------------------ #
+
+    def _write_raw(
+        self, connection: _Connection, data: bytes, v1_frames: int = 0, v2_frames: int = 0
+    ) -> None:
+        """Write one pre-encoded buffer without ever awaiting a slow reader.
 
         ``StreamWriter.drain()`` would block the drain task behind a client
         that stopped consuming; instead the write buffer is inspected after
@@ -479,11 +551,59 @@ class QuoteFrontend:
         if connection.aborted or writer.is_closing():
             return
         try:
-            writer.write(encode_frame(payload))
+            writer.write(data)
         except (ConnectionResetError, BrokenPipeError, OSError):
             return
+        self.wire_stats.bytes_out += len(data)
+        self.wire_stats.frames_out_v1 += v1_frames
+        self.wire_stats.frames_out_v2 += v2_frames
         if writer.transport.get_write_buffer_size() > self.max_write_buffer_bytes:
             self._abort_slow_reader(connection)
+
+    def _write(self, connection: _Connection, payload: dict) -> None:
+        """Write one JSON frame (housekeeping, errors, v1 responses)."""
+        self._write_raw(connection, encode_frame(payload), v1_frames=1)
+
+    def _write_many(self, connection: _Connection, payloads: Sequence[dict]) -> None:
+        """Write one tick's response payloads as a single transport buffer.
+
+        On a v2 connection the homogeneous hot payloads collapse into
+        columnar batch frames (``quote_result_batch`` for tagged results,
+        ``feedback_ok_batch`` for tagged acks — v2 clients correlate by
+        tag, so regrouping is safe); everything else stays JSON.  On a v1
+        connection every payload is a JSON frame, concatenated into one
+        buffer in exactly the given order (tagless v1 clients rely on frame
+        order).
+        """
+        if not payloads:
+            return
+        if connection.wire_version >= WIRE_V2:
+            results = []
+            ok_tags = []
+            rest = []
+            for payload in payloads:
+                op = payload.get("op")
+                if op == "quote_result" and payload.get("id") is not None:
+                    results.append(payload)
+                elif op == "feedback_ok" and payload.get("id") is not None:
+                    ok_tags.append(payload["id"])
+                else:
+                    rest.append(payload)
+            buffers = []
+            v2_frames = 0
+            if results:
+                buffers.append(encode_quote_result_batch(results))
+                v2_frames += 1
+            if ok_tags:
+                buffers.append(encode_feedback_ok_batch(ok_tags))
+                v2_frames += 1
+            if rest:
+                buffers.append(encode_frames(rest))
+            self._write_raw(
+                connection, b"".join(buffers), v1_frames=len(rest), v2_frames=v2_frames
+            )
+        else:
+            self._write_raw(connection, encode_frames(payloads), v1_frames=len(payloads))
 
     def _abort_slow_reader(self, connection: _Connection) -> None:
         connection.aborted = True
@@ -511,20 +631,28 @@ class QuoteFrontend:
         connection = _Connection(writer=writer)
         self._connections.add(connection)
         self.stats.connections_opened += 1
+        decoder = FrameDecoder(on_frame=self._count_frame_in)
         try:
             while True:
                 try:
-                    message = await read_frame(reader)
-                except (ServingError, ValueError) as exc:
-                    # Oversized header or undecodable JSON: the stream is no
+                    chunk = await reader.read(READ_CHUNK_BYTES)
+                except OSError:
+                    # A failed response write poisons the stream reader with
+                    # the same BrokenPipeError — treat as EOF, not a crash.
+                    break
+                if not chunk or connection.aborted:
+                    break
+                try:
+                    frames = decoder.feed(chunk)
+                except ServingError as exc:
+                    # Oversized header or undecodable body: the stream is no
                     # longer at a frame boundary — report and hang up.
                     self._write(
                         connection, {"op": "error", "code": "protocol", "error": str(exc)}
                     )
                     break
-                if message is None or connection.aborted:
-                    break
-                await self._dispatch(message, connection)
+                if frames:
+                    await self._dispatch_tick(frames, connection)
         finally:
             self._connections.discard(connection)
             self.stats.connections_closed += 1
@@ -538,75 +666,241 @@ class QuoteFrontend:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    def _admit_quote(self, connection: _Connection) -> Optional[str]:
+    def _count_frame_in(self, version: int, nbytes: int) -> None:
+        self.wire_stats.bytes_in += nbytes
+        if version >= WIRE_V2:
+            self.wire_stats.frames_in_v2 += 1
+        else:
+            self.wire_stats.frames_in_v1 += 1
+
+    async def _dispatch_tick(self, frames: List[dict], connection: _Connection) -> None:
+        """Dispatch every frame parsed in one event-loop tick, coalesced.
+
+        Batch frames are expanded to their items; consecutive runs of the
+        same hot kind (``quote`` / ``feedback``) become one batched backend
+        call each.  Adjacent-run coalescing preserves the connection's
+        operation order exactly — a feedback between two quotes still
+        applies between them.
+        """
+        self.wire_stats.ticks += 1
+        self.wire_stats.frames_per_tick.record(len(frames))
+        ops: List[Tuple[str, dict]] = []
+        for frame in frames:
+            # A valid-JSON body need not be an object; surface junk as an
+            # unknown-op error instead of crashing the handler.
+            if not isinstance(frame, dict):
+                ops.append(("other", {"op": frame}))
+                continue
+            op = frame.get("op")
+            if op in ("quote_batch", "feedback_batch"):
+                kind = "quote" if op == "quote_batch" else "feedback"
+                for item in frame.get("items") or []:
+                    if isinstance(item, dict):
+                        ops.append((kind, item))
+                    else:
+                        ops.append(("other", {"op": item}))
+            elif op in ("quote", "feedback"):
+                ops.append((op, frame))
+            else:
+                ops.append(("other", frame))
+        index = 0
+        while index < len(ops):
+            kind = ops[index][0]
+            end = index + 1
+            if kind in ("quote", "feedback"):
+                while end < len(ops) and ops[end][0] == kind:
+                    end += 1
+            group = [payload for _kind, payload in ops[index:end]]
+            if kind == "quote":
+                await self._dispatch_quotes(group, connection)
+            elif kind == "feedback":
+                await self._dispatch_feedbacks(group, connection)
+            else:
+                await self._dispatch(group[0], connection)
+            index = end
+
+    def _admit_quote(
+        self, connection: _Connection, admitted_in_batch: int = 0
+    ) -> Optional[str]:
         """The backpressure gate; a rejection reason, or ``None`` to admit.
 
         Called with the backend lock held (atomic with the submit and the
-        waiter registration), so the bounds are exact — the waiter map can
+        waiter registration).  ``admitted_in_batch`` counts quotes admitted
+        earlier in the same coalesced batch — they have not been registered
+        yet, but they will be, so the bounds stay exact: the waiter map can
         never exceed ``max_waiters``, provably.
         """
-        if len(self._waiters) >= self.max_waiters:
+        if len(self._waiters) + admitted_in_batch >= self.max_waiters:
             self.stats.rejected_waiter_map += 1
             return "waiter map full (%d quotes in flight, bound %d)" % (
-                len(self._waiters),
+                len(self._waiters) + admitted_in_batch,
                 self.max_waiters,
             )
-        if len(connection.outstanding) >= self.max_outstanding_per_connection:
+        if (
+            len(connection.outstanding) + admitted_in_batch
+            >= self.max_outstanding_per_connection
+        ):
             self.stats.rejected_connection_budget += 1
             return "connection budget exhausted (%d outstanding, bound %d)" % (
-                len(connection.outstanding),
+                len(connection.outstanding) + admitted_in_batch,
                 self.max_outstanding_per_connection,
             )
         return None
 
-    async def _dispatch(self, message: dict, connection: _Connection) -> None:
-        op = message.get("op")
-        client_id = message.get("id")
-        try:
-            if op == "quote":
-                request = request_from_payload(message)
-                # Registering the waiter must be atomic with the submit
-                # w.r.t. the drain task's poll (both hold the backend lock),
-                # or a drain racing in between could produce the response
-                # before anyone is listening for it.
-                loop = asyncio.get_running_loop()
-                async with self._lock:
-                    rejection = self._admit_quote(connection)
-                    if rejection is None:
-                        quote_id = await loop.run_in_executor(
-                            None, self.backend.submit, request
+    async def _dispatch_quotes(
+        self, items: Sequence[dict], connection: _Connection
+    ) -> None:
+        """Admit, submit, and register one coalesced run of quotes.
+
+        One lock acquisition and one executor hop (``submit_many``) for the
+        whole run.  Admission is checked per quote under the lock, counting
+        the quotes admitted earlier in this batch, so the backpressure
+        bounds hold exactly as they do for per-frame dispatch.
+        """
+        out: List[dict] = []
+        parsed: List[Tuple[Any, QuoteRequest]] = []
+        for item in items:
+            tag = item.get("id")
+            try:
+                parsed.append((tag, request_from_payload(item)))
+            except (ServingError, TypeError, ValueError) as exc:
+                out.append({"op": "error", "error": str(exc), "id": tag})
+        admitted: List[Tuple[Any, QuoteRequest]] = []
+        if parsed:
+            loop = asyncio.get_running_loop()
+            # Registering the waiters must be atomic with the submit w.r.t.
+            # the drain task's poll (both hold the backend lock), or a drain
+            # racing in between could produce a response before anyone is
+            # listening for it.
+            async with self._lock:
+                for tag, request in parsed:
+                    rejection = self._admit_quote(connection, len(admitted))
+                    if rejection is not None:
+                        out.append(
+                            {
+                                "op": "error",
+                                "code": "backpressure",
+                                "error": "quote rejected: %s" % rejection,
+                                "id": tag,
+                            }
                         )
+                        continue
+                    admitted.append((tag, request))
+                if admitted:
+                    requests = [request for _tag, request in admitted]
+                    self.wire_stats.submit_batch.record(len(requests))
+                    try:
+                        quote_ids = await self._submit_many(loop, requests)
+                    except (ServingError, TypeError, ValueError) as exc:
+                        # The batch never enqueued (or partially failed
+                        # backend-side): answer every admitted quote with an
+                        # error frame; orphaned backend responses are
+                        # discarded by _route.
+                        for tag, _request in admitted:
+                            out.append({"op": "error", "error": str(exc), "id": tag})
+                        admitted = []
+                    else:
                         # A stop() racing this submit has already cleared
                         # the waiter map; registering now would leak the
-                        # entry forever (nothing routes after shutdown).
+                        # entries forever (nothing routes after shutdown).
                         if self._running:
-                            self._waiters[quote_id] = (connection, client_id)
-                            connection.outstanding.add(quote_id)
+                            for (tag, _request), quote_id in zip(admitted, quote_ids):
+                                self._waiters[quote_id] = (connection, tag)
+                                connection.outstanding.add(quote_id)
                             self.stats.peak_waiters = max(
                                 self.stats.peak_waiters, len(self._waiters)
                             )
-                if rejection is not None:
-                    self._write(
-                        connection,
-                        {
-                            "op": "error",
-                            "code": "backpressure",
-                            "error": "quote rejected: %s" % rejection,
-                            "id": client_id,
-                        },
-                    )
-                    return
-                self._kick.set()
-            elif op == "feedback":
+        if out:
+            self._write_many(connection, out)
+        if admitted:
+            self._kick.set()
+
+    async def _submit_many(self, loop, requests: List[QuoteRequest]) -> List[int]:
+        """One executor hop enqueueing a batch (lock already held)."""
+        submit_many = getattr(self.backend, "submit_many", None)
+        if submit_many is not None:
+            return await self._run_in_executor(loop, submit_many, requests)
+        submit = self.backend.submit
+        return await self._run_in_executor(
+            loop, lambda: [submit(request) for request in requests]
+        )
+
+    async def _dispatch_feedbacks(
+        self, items: Sequence[dict], connection: _Connection
+    ) -> None:
+        """Apply one coalesced run of feedback events in one executor hop.
+
+        ``feedback_many`` returns per-event outcomes, so each event is
+        acknowledged (``feedback_ok``) or answered with its own ``error``
+        frame — the same observable granularity as per-frame dispatch.
+        """
+        out: List[dict] = []
+        events: List[Tuple[Any, FeedbackEvent]] = []
+        for item in items:
+            tag = item.get("id")
+            try:
                 event = FeedbackEvent(
                     key=SessionKey(
-                        app=str(message["app"]), segment=str(message["segment"])
+                        app=str(item["app"]), segment=str(item["segment"])
                     ),
-                    quote_id=int(message["quote_id"]),
-                    accepted=bool(message["accepted"]),
+                    quote_id=int(item["quote_id"]),
+                    accepted=bool(item["accepted"]),
                 )
-                await self._backend_call("feedback_batch", [event])
-                self._write(connection, {"op": "feedback_ok", "id": client_id})
+            except KeyError as exc:
+                out.append(
+                    {"op": "error", "error": "missing field %s" % exc, "id": tag}
+                )
+                continue
+            except (TypeError, ValueError) as exc:
+                out.append({"op": "error", "error": str(exc), "id": tag})
+                continue
+            events.append((tag, event))
+        if events:
+            self.wire_stats.feedback_batch.record(len(events))
+            try:
+                outcomes = await self._feedback_many([event for _tag, event in events])
+            except ServingError as exc:
+                outcomes = [exc] * len(events)
+            for (tag, _event), outcome in zip(events, outcomes):
+                if outcome is None:
+                    out.append({"op": "feedback_ok", "id": tag})
+                else:
+                    out.append({"op": "error", "error": str(outcome), "id": tag})
+        self._write_many(connection, out)
+
+    async def _feedback_many(self, events: List[FeedbackEvent]) -> List:
+        """One executor hop applying a feedback window; per-event outcomes."""
+        loop = asyncio.get_running_loop()
+        feedback_many = getattr(self.backend, "feedback_many", None)
+        async with self._lock:
+            if feedback_many is not None:
+                return await self._run_in_executor(loop, feedback_many, events)
+            feedback_batch = self.backend.feedback_batch
+
+            def _fallback():
+                outcomes = []
+                for event in events:
+                    try:
+                        feedback_batch([event])
+                        outcomes.append(None)
+                    except (ServingError, TypeError, ValueError) as exc:
+                        outcomes.append(exc)
+                return outcomes
+
+            return await self._run_in_executor(loop, _fallback)
+
+    async def _dispatch(self, message: dict, connection: _Connection) -> None:
+        """Housekeeping operations (one frame each; never coalesced)."""
+        op = message.get("op")
+        client_id = message.get("id")
+        try:
+            if op == "hello":
+                requested = message.get("wire", WIRE_V1)
+                agreed = WIRE_V2 if int(requested) >= WIRE_V2 else WIRE_V1
+                connection.wire_version = agreed
+                self._write(
+                    connection, {"op": "hello_ok", "wire": agreed, "id": client_id}
+                )
             elif op == "flush":
                 drained = await self._drain_once("flush")
                 self._write(
@@ -626,9 +920,8 @@ class QuoteFrontend:
                 {"op": "error", "error": "missing field %s" % exc, "id": client_id},
             )
         except (ServingError, TypeError, ValueError) as exc:
-            # TypeError/ValueError cover malformed field values (a null
-            # quote_id, a string where a number belongs): answer with an
-            # error frame instead of killing the connection mid-protocol.
+            # TypeError/ValueError cover malformed field values: answer with
+            # an error frame instead of killing the connection mid-protocol.
             self._write(connection, {"op": "error", "error": str(exc), "id": client_id})
 
     def frontend_stats(self) -> dict:
@@ -643,6 +936,7 @@ class QuoteFrontend:
             "rejected_connection_budget": self.stats.rejected_connection_budget,
             "rejected": self.stats.rejected,
             "slow_reader_disconnects": self.stats.slow_reader_disconnects,
+            "wire": self.wire_stats.as_dict(),
             "limits": {
                 "max_waiters": self.max_waiters,
                 "max_outstanding_per_connection": self.max_outstanding_per_connection,
@@ -757,12 +1051,18 @@ def start_frontend_thread(
 
 
 class QuoteSocketClient:
-    """Blocking client speaking the length-prefixed JSON protocol.
+    """Blocking client speaking the frontend protocol (JSON v1 by default).
 
     One outstanding request at a time per client: frames on a connection are
     ordered, so after a ``quote`` the next ``quote_result``/``error`` frame
     answers it.  For concurrent traffic open several clients (the server
     multiplexes connections).
+
+    Pass ``wire=2`` to negotiate the binary v2 protocol: quotes and
+    feedback then travel as columnar batch frames (of one item each on this
+    single-outstanding client) and responses arrive as v2 batches.  Against
+    an old server the ``hello`` is answered with an ``error`` frame and the
+    client silently stays on v1.
     """
 
     def __init__(
@@ -771,6 +1071,7 @@ class QuoteSocketClient:
         port: Optional[int] = None,
         unix_path: Optional[str] = None,
         timeout: float = 30.0,
+        wire: int = WIRE_V1,
     ) -> None:
         if (unix_path is None) == (host is None) or (
             unix_path is None and port is None
@@ -784,18 +1085,37 @@ class QuoteSocketClient:
             self._sock = socket.create_connection((host, int(port)), timeout=timeout)
         self._decoder = FrameDecoder()
         self._frames: "deque[dict]" = deque()
+        self._next_tag = 0
+        self.wire = WIRE_V1
+        if wire >= WIRE_V2:
+            self._negotiate(wire)
 
     # -- framing -------------------------------------------------------- #
 
     def _send(self, payload: dict) -> None:
         self._sock.sendall(encode_frame(payload))
 
+    def _tag(self) -> int:
+        self._next_tag += 1
+        return self._next_tag
+
+    def _negotiate(self, version: int) -> None:
+        self._send({"op": "hello", "wire": int(version)})
+        frame = self.read_frame()
+        if frame.get("op") == "hello_ok":
+            self.wire = int(frame.get("wire", WIRE_V1))
+        # An error frame (old server): stay on v1 — every op still works.
+
     def read_frame(self) -> dict:
         while not self._frames:
             chunk = self._sock.recv(65536)
             if not chunk:
                 raise ServingError("server closed the connection mid-frame")
-            self._frames.extend(self._decoder.feed(chunk))
+            for frame in self._decoder.feed(chunk):
+                if frame.get("op") in ("quote_result_batch", "feedback_ok_batch"):
+                    self._frames.extend(frame["items"])
+                else:
+                    self._frames.append(frame)
         return self._frames.popleft()
 
     def _expect(self, op: str) -> dict:
@@ -810,27 +1130,33 @@ class QuoteSocketClient:
 
     def quote(self, key: SessionKey, features, reserve: Optional[float] = None) -> dict:
         """Request one quote and block until its result frame arrives."""
-        self._send(
-            {
-                "op": "quote",
-                "app": key.app,
-                "segment": key.segment,
-                "features": [float(value) for value in np.asarray(features, dtype=float)],
-                "reserve": None if reserve is None else float(reserve),
-            }
-        )
+        payload = {
+            "op": "quote",
+            "app": key.app,
+            "segment": key.segment,
+            "features": [float(value) for value in np.asarray(features, dtype=float)],
+            "reserve": None if reserve is None else float(reserve),
+        }
+        if self.wire >= WIRE_V2:
+            payload["id"] = self._tag()
+            self._sock.sendall(encode_quote_batch([payload]))
+        else:
+            self._send(payload)
         return self._expect("quote_result")
 
     def feedback(self, key: SessionKey, quote_id: int, accepted: bool) -> None:
-        self._send(
-            {
-                "op": "feedback",
-                "app": key.app,
-                "segment": key.segment,
-                "quote_id": int(quote_id),
-                "accepted": bool(accepted),
-            }
-        )
+        payload = {
+            "op": "feedback",
+            "app": key.app,
+            "segment": key.segment,
+            "quote_id": int(quote_id),
+            "accepted": bool(accepted),
+        }
+        if self.wire >= WIRE_V2:
+            payload["id"] = self._tag()
+            self._sock.sendall(encode_feedback_batch([payload]))
+        else:
+            self._send(payload)
         self._expect("feedback_ok")
 
     def flush(self) -> int:
@@ -874,7 +1200,8 @@ def serve_closed_loop_socket(
     The socket twin of :func:`repro.serving.loop.serve_closed_loop`: one
     quote per round, the sale settled against the realised market value with
     the same scalar comparison, feedback applied before the next round.
-    Because JSON floats round-trip exactly and the backend drives the same
+    Because both wire formats round-trip floats exactly (shortest-repr JSON
+    on v1, raw IEEE doubles on v2) and the backend drives the same
     propose/update protocol, the resulting transcript is bit-identical to
     the offline engine — through the socket *and* (with a sharded backend)
     through a process boundary.

@@ -136,6 +136,23 @@ class QuoteService:
         )
         return quote_id
 
+    def submit_many(self, requests: Iterable[QuoteRequest]) -> List[int]:
+        """Enqueue a batch of requests; returns their quote ids in order.
+
+        Semantically identical to calling :meth:`submit` per request (same
+        id assignment, same private stamped copies) with one clock read for
+        the whole batch — the entry point the frontend's per-tick dispatch
+        uses to enqueue a coalesced run of quote frames in one call.
+        """
+        now = self._clock()
+        quote_ids: List[int] = []
+        for request in requests:
+            quote_id = self._next_quote_id
+            self._next_quote_id += 1
+            self._queue.append(replace(request, quote_id=quote_id, enqueued_at=now))
+            quote_ids.append(quote_id)
+        return quote_ids
+
     @property
     def queued(self) -> int:
         """Requests currently waiting in the micro-batch window."""
@@ -281,6 +298,32 @@ class QuoteService:
                     pricer.update(decision, event.accepted)
                 self.registry.note_feedback(session, count=len(group))
                 self.stats.feedback_applied += len(group)
+
+    def feedback_many(self, events: Iterable[FeedbackEvent]) -> List[Optional[Exception]]:
+        """Apply a mixed window of outcomes with **per-event** results.
+
+        Groups by session exactly like :meth:`feedback_batch` and applies
+        each group all-or-nothing through it, but instead of raising on the
+        first bad group it returns one outcome per input event, aligned with
+        the input order: ``None`` for an applied event, the exception for a
+        failed one.  This is the frontend's coalesced-dispatch entry point —
+        one executor hop applies a whole tick's feedback frames while
+        keeping the per-frame acknowledge/error granularity of the protocol
+        (a naive batch-then-retry would mis-report the already-applied
+        events of a partially failed batch as errors).
+        """
+        events = list(events)
+        outcomes: List[Optional[Exception]] = [None] * len(events)
+        groups: "OrderedDict" = OrderedDict()
+        for index, event in enumerate(events):
+            groups.setdefault(event.key, []).append(index)
+        for key, indices in groups.items():
+            try:
+                self.feedback_batch([events[index] for index in indices])
+            except (ServingError, TypeError, ValueError) as exc:
+                for index in indices:
+                    outcomes[index] = exc
+        return outcomes
 
     def _session_for_feedback(self, key) -> PricingSession:
         """Resolve a feedback target without creating (or LRU-thrashing) it.

@@ -94,7 +94,7 @@ def _shard_worker_main(
             break
         try:
             if op == "submit":
-                result = [service.submit(request) for request in payload]
+                result = service.submit_many(payload)
             elif op == "poll":
                 result = service.poll()
             elif op == "flush":
@@ -104,6 +104,8 @@ def _shard_worker_main(
             elif op == "feedback":
                 service.feedback_batch(payload)
                 result = len(payload)
+            elif op == "feedback_many":
+                result = service.feedback_many(payload)
             elif op == "replay":
                 result = _replay_closed_loop_window(service, payload)
             elif op == "stats":
@@ -461,6 +463,49 @@ class ShardedRegistry:
         self._gather(
             [(self._shards[shard], "feedback", group) for shard, group in by_shard.items()]
         )
+
+    def feedback_many(self, events: Iterable[FeedbackEvent]) -> List[Optional[Exception]]:
+        """Apply a mixed window of outcomes with **per-event** results.
+
+        The cross-process twin of :meth:`QuoteService.feedback_many`: events
+        are routed to their keys' shards (one pipe message per touched
+        shard, shards overlapped send-all-then-collect) and each shard
+        returns per-event outcomes, re-aligned here with the input order.
+        An event whose global quote id does not belong to its key's shard
+        gets its :class:`ServingError` as the outcome without crossing any
+        pipe; a dead shard fails only its own events.
+        """
+        events = list(events)
+        outcomes: List[Optional[Exception]] = [None] * len(events)
+        by_shard: Dict[int, List[int]] = {}
+        local_events: Dict[int, List[FeedbackEvent]] = {}
+        for index, event in enumerate(events):
+            try:
+                shard, local_id = self._localize(event.key, event.quote_id)
+            except ServingError as exc:
+                outcomes[index] = exc
+                continue
+            by_shard.setdefault(shard, []).append(index)
+            local_events.setdefault(shard, []).append(
+                FeedbackEvent(key=event.key, quote_id=local_id, accepted=event.accepted)
+            )
+        if not by_shard:
+            return outcomes
+        shards = list(by_shard)
+        for shard in shards:
+            self._send(self._shards[shard], "feedback_many", local_events[shard])
+        for shard in shards:
+            handle = self._shards[shard]
+            try:
+                shard_outcomes = self._recv(handle)
+            except Exception as exc:  # keep draining the other pipes
+                for index in by_shard[shard]:
+                    outcomes[index] = exc
+                continue
+            for index, outcome in zip(by_shard[shard], shard_outcomes):
+                if isinstance(outcome, Exception):
+                    outcomes[index] = self._translate_error(handle.index, outcome)
+        return outcomes
 
     # ------------------------------------------------------------------ #
     # Replay driver (the sharded load-generator path)
