@@ -109,6 +109,19 @@ class BackpressureError(ServingError):
     """
 
 
+class RebalanceError(ServingError):
+    """An online session migration (live reshard) failed or timed out.
+
+    Raised by :meth:`~repro.serving.sharding.ShardedRegistry.rehome_session`
+    and :mod:`repro.serving.rebalance` when a session cannot be quiesced
+    within its deadline, a moved snapshot fails verification, a routing
+    commit finds a key parked on the wrong shard, or a shard involved in a
+    move is dead.  Inherits :class:`ServingError`'s structured accounting:
+    quotes parked for the moving session that could not be replayed appear
+    in ``lost_quote_ids`` (and survive pickling across the worker pipe).
+    """
+
+
 class ReshardingError(ReproError):
     """A snapshot-migration between shard counts failed or was inconsistent.
 

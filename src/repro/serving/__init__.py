@@ -34,10 +34,16 @@ latency under live arrivals) as an actual serving layer:
 * :mod:`repro.serving.client` — :class:`AsyncQuoteClient`, the pipelined
   asyncio client (multiple outstanding requests per connection, futures
   keyed by request tag) and :func:`serve_closed_loop_async`;
-* :mod:`repro.serving.resharding` — snapshot migration between shard
-  counts: rewrite per-shard snapshot dirs from N to M shards under the
-  stable key hash, with exact-state verification
-  (``scripts/reshard.py`` is the CLI).
+* :mod:`repro.serving.resharding` — **offline** snapshot migration between
+  shard counts: rewrite per-shard snapshot dirs from N to M shards under
+  the stable key hash, with exact-state verification
+  (``scripts/reshard.py`` is the CLI);
+* :mod:`repro.serving.rebalance` — **online** N→M resharding:
+  :class:`LiveRebalancer` re-homes sessions one at a time through the
+  router's per-session quiesce (park admissions, drain, move the
+  checkpoint, replay parked quotes on the target shard) while every other
+  session keeps serving, then commits the versioned routing table
+  (``scripts/rebalance.py`` is the CLI).
 
 Load generation lives in ``scripts/bench_serving.py`` (quotes/sec, p50/p99
 quote latency, replay-at-rate pacing — in-process and through the socket —
@@ -64,6 +70,12 @@ from repro.serving.frontend import (
     start_frontend_thread,
 )
 from repro.serving.loop import serve_closed_loop
+from repro.serving.rebalance import (
+    LiveRebalancer,
+    RebalanceReport,
+    SessionRebalance,
+    rebalance_live,
+)
 from repro.serving.registry import PricerRegistry, PricingSession, RegistryStats
 from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
 from repro.serving.resharding import (
@@ -74,7 +86,7 @@ from repro.serving.resharding import (
     verify_reshard,
 )
 from repro.serving.service import MicroBatchConfig, QuoteService, ServiceStats
-from repro.serving.sharding import ShardedRegistry, shard_of_key
+from repro.serving.sharding import RoutingTable, ShardedRegistry, shard_of_key
 from repro.serving.wire import WIRE_V1, WIRE_V2
 
 __all__ = [
@@ -83,6 +95,7 @@ __all__ = [
     "FrameDecoder",
     "FrontendHandle",
     "FrontendStats",
+    "LiveRebalancer",
     "MicroBatchConfig",
     "PricerRegistry",
     "PricingSession",
@@ -92,12 +105,15 @@ __all__ = [
     "QuoteService",
     "QuoteSocketClient",
     "REPLAY_DATASETS",
+    "RebalanceReport",
     "RegistryStats",
     "ReplayFeed",
     "ReshardReport",
+    "RoutingTable",
     "ServiceStats",
     "SessionKey",
     "SessionMove",
+    "SessionRebalance",
     "ShardedRegistry",
     "SyntheticFeed",
     "WIRE_V1",
@@ -106,6 +122,7 @@ __all__ = [
     "dataset_replay_market",
     "frame_sold_at",
     "plan_reshard",
+    "rebalance_live",
     "replay_feed",
     "reshard_snapshots",
     "serve_closed_loop",

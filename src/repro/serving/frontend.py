@@ -792,13 +792,30 @@ class QuoteFrontend:
                     try:
                         quote_ids = await self._submit_many(loop, requests)
                     except (ServingError, TypeError, ValueError) as exc:
-                        # The batch never enqueued (or partially failed
-                        # backend-side): answer every admitted quote with an
-                        # error frame; orphaned backend responses are
-                        # discarded by _route.
-                        for tag, _request in admitted:
-                            out.append({"op": "error", "error": str(exc), "id": tag})
-                        admitted = []
+                        # A sharded backend reports partial failure with the
+                        # per-position ids it *did* enqueue (None = never
+                        # enqueued).  Those quotes will be served — register
+                        # their waiters; answering them with errors here
+                        # would orphan their responses and strand their
+                        # decisions pending forever on healthy workers.
+                        partial = getattr(exc, "submitted_quote_ids", None)
+                        if partial is None or not self._running:
+                            partial = [None] * len(admitted)
+                        survivors = []
+                        for (tag, request), quote_id in zip(admitted, partial):
+                            if quote_id is None:
+                                out.append(
+                                    {"op": "error", "error": str(exc), "id": tag}
+                                )
+                                continue
+                            self._waiters[quote_id] = (connection, tag)
+                            connection.outstanding.add(quote_id)
+                            survivors.append((tag, request))
+                        if survivors:
+                            self.stats.peak_waiters = max(
+                                self.stats.peak_waiters, len(self._waiters)
+                            )
+                        admitted = survivors
                     else:
                         # A stop() racing this submit has already cleared
                         # the waiter map; registering now would leak the
@@ -947,7 +964,18 @@ class QuoteFrontend:
     async def _collect_stats(self) -> dict:
         backend = self.backend
         if hasattr(backend, "stats") and callable(backend.stats):
-            stats = await self._backend_call("stats")  # ShardedRegistry
+            # ShardedRegistry: its aggregate block flows through verbatim
+            # (minus the bulky per-shard detail) — including the
+            # ``rebalance`` block (sessions moved, parked/replayed quote
+            # counts, quiesce-time percentiles) and the ``routing`` block
+            # (table version, hash divisor, live overrides), so stats-frame
+            # consumers can watch an online migration progress without a
+            # side channel.  Quotes submitted for a session mid-move are
+            # parked by the backend and replayed on the target shard under
+            # their already-issued ids, so the frontend's waiter map needs
+            # no special casing — responses arrive under the ids it waited
+            # on, and no quote is ever lost to a migration.
+            stats = await self._backend_call("stats")
             stats.pop("per_shard", None)
             payload = dict(stats)
         else:

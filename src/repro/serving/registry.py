@@ -39,6 +39,10 @@ from repro.serving.requests import SessionKey
 #: A factory builds (model, fresh same-config pricer) for one session key.
 SessionFactory = Callable[[SessionKey], Tuple[Any, Any]]
 
+#: Suffix of session snapshot files written by :class:`PricerRegistry`
+#: (:mod:`repro.serving.resharding` re-exports it for the offline tools).
+SESSION_SUFFIX = ".session.npz"
+
 
 @dataclass
 class PricingSession:
@@ -53,6 +57,10 @@ class PricingSession:
     feedback_seen: int = 0
     updates_since_persist: int = 0
     hydrated: bool = False
+    #: Pinned sessions are exempt from LRU eviction (and refuse explicit
+    #: eviction) — the online rebalancer pins a freshly-attached session
+    #: until its parked quotes have been replayed onto it.
+    pinned: bool = False
 
     @property
     def rounds_seen(self) -> int:
@@ -75,6 +83,9 @@ class RegistryStats:
     hydrations: int = 0
     evictions: int = 0
     persists: int = 0
+    #: Sessions handed off to another shard (persist + drop, no eviction):
+    #: the online rebalancer's exit path.  Disjoint from ``evictions``.
+    exports: int = 0
 
     @property
     def opened(self) -> int:
@@ -88,6 +99,7 @@ class RegistryStats:
             "opened": self.opened,
             "evictions": self.evictions,
             "persists": self.persists,
+            "exports": self.exports,
         }
 
 
@@ -173,6 +185,19 @@ class PricerRegistry:
     def __contains__(self, key: SessionKey) -> bool:
         return key in self._sessions
 
+    def pin(self, key: SessionKey) -> None:
+        """Exempt a resident session from eviction until :meth:`unpin`."""
+        session = self._sessions.get(key)
+        if session is None:
+            raise ServingError("cannot pin session %s: not resident" % (key,))
+        session.pinned = True
+
+    def unpin(self, key: SessionKey) -> None:
+        """Lift a session's eviction exemption (no-op when not resident)."""
+        session = self._sessions.get(key)
+        if session is not None:
+            session.pinned = False
+
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
@@ -218,6 +243,34 @@ class PricerRegistry:
                 written += 1
         return written
 
+    def export_session(self, key: SessionKey) -> str:
+        """Persist one quiesced session and drop it; returns its snapshot path.
+
+        The shard-handoff exit of the online rebalancer: the session's state
+        is written to its snapshot file (so the router can re-home the file)
+        and residency is released *without* counting an eviction.  Requires
+        persistence to be configured and the session to be fully settled —
+        a pending decision cannot be rebuilt from a snapshot, so exporting
+        one would strand its feedback.
+        """
+        session = self._sessions.get(key)
+        if session is None:
+            raise ServingError("cannot export session %s: not resident" % (key,))
+        if session.pending:
+            raise ServingError(
+                "cannot export session %s with %d in-flight quote(s); quiesce "
+                "it first" % (key, len(session.pending))
+            )
+        path = self.snapshot_path(key)
+        if path is None:
+            raise ServingError(
+                "cannot export session %s without a snapshot_dir" % (key,)
+            )
+        self.persist(session)
+        del self._sessions[key]
+        self.stats.exports += 1
+        return path
+
     def evict(self, key: SessionKey) -> bool:
         """Persist and drop one session; returns whether it was resident.
 
@@ -234,6 +287,10 @@ class PricerRegistry:
                 "cannot evict session %s with %d in-flight quote(s); settle "
                 "their feedback first" % (key, len(session.pending))
             )
+        if session.pinned:
+            raise ServingError(
+                "cannot evict pinned session %s; unpin it first" % (key,)
+            )
         # Persist before dropping: if the snapshot write fails, the session
         # stays resident and the eviction can be retried.
         self.persist(session)
@@ -244,16 +301,17 @@ class PricerRegistry:
     def _enforce_capacity(self, protect: SessionKey) -> None:
         """LRU-evict cold sessions past ``max_sessions``.
 
-        ``protect`` (the just-created session) and sessions with in-flight
-        quotes are never evicted; if every candidate is in flight the
-        registry temporarily exceeds capacity rather than losing decisions.
+        ``protect`` (the just-created session), pinned sessions, and sessions
+        with in-flight quotes are never evicted; if every candidate is
+        exempt the registry temporarily exceeds capacity rather than losing
+        decisions.
         """
         if self._max_sessions is None:
             return
         while len(self._sessions) > self._max_sessions:
             victim = None
             for key, session in self._sessions.items():
-                if key != protect and not session.pending:
+                if key != protect and not session.pending and not session.pinned:
                     victim = key
                     break
             if victim is None:

@@ -40,6 +40,7 @@ from __future__ import annotations
 import math
 import os
 import re
+import shutil
 import tempfile
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -48,11 +49,22 @@ import numpy as np
 
 from repro.engine import checkpoint as checkpoint_store
 from repro.exceptions import ReshardingError
+from repro.serving.registry import SESSION_SUFFIX
 from repro.serving.requests import SessionKey
 from repro.serving.sharding import shard_of_key
 
-#: Suffix of session snapshot files written by :class:`PricerRegistry`.
-SESSION_SUFFIX = ".session.npz"
+__all__ = [
+    "SESSION_SUFFIX",
+    "SessionMove",
+    "ReshardReport",
+    "shard_dir",
+    "discover_shard_dirs",
+    "checkpoint_session_key",
+    "plan_reshard",
+    "reshard_snapshots",
+    "verify_reshard",
+    "state_equal",
+]
 
 _SHARD_DIR_RE = re.compile(r"^shard-(\d+)$")
 
@@ -249,8 +261,13 @@ def reshard_snapshots(
     ``shard-00 .. shard-(M-1)`` directory is created, so a restarted
     :class:`ShardedRegistry` finds its full layout) and copies each session
     snapshot — byte-for-byte, atomically — into the directory its key
-    hashes to under ``target_shards``.  The source tree is never modified,
-    so a failed or interrupted migration cannot strand the running layout.
+    hashes to under ``target_shards``.  The whole tree is staged in a
+    hidden sibling directory and promoted into place with a single rename
+    once every copy succeeded, so a mid-copy failure (disk full, a
+    corrupt source file) leaves **no half-written target tree** behind —
+    the staging directory is removed on raise and ``target_dir`` is
+    untouched.  The source tree is never modified either, so a failed or
+    interrupted migration cannot strand the running layout.
 
     With ``verify=True`` every migrated checkpoint is reloaded and compared
     bit-exactly against its source; passing a ``factory`` (the same
@@ -276,11 +293,25 @@ def reshard_snapshots(
     report = plan_reshard(
         source_dir, target_dir, target_shards, source_shards=source_shards
     )
-    for shard in range(target_shards):
-        os.makedirs(shard_dir(target_dir, shard), exist_ok=True)
-    for move in report.moves:
-        with open(move.source_path, "rb") as handle:
-            _atomic_write(move.target_path, handle.read())
+    parent = os.path.dirname(os.path.abspath(target_dir)) or "."
+    os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(prefix=".reshard-staging-", dir=parent)
+    try:
+        for shard in range(target_shards):
+            os.makedirs(shard_dir(staging, shard), exist_ok=True)
+        for move in report.moves:
+            staged_path = os.path.join(
+                staging, os.path.relpath(move.target_path, target_dir)
+            )
+            with open(move.source_path, "rb") as handle:
+                _atomic_write(staged_path, handle.read())
+        if os.path.isdir(target_dir):
+            # Verified empty above; rename() needs the slot free.
+            os.rmdir(target_dir)
+        os.rename(staging, target_dir)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
     if verify:
         verify_reshard(report, factory=factory)
     return report
@@ -291,8 +322,13 @@ def verify_reshard(report: ReshardReport, factory=None) -> ReshardReport:
 
     Checkpoint-exact always; with ``factory``, each migrated session is
     additionally *hydrated* — a fresh pricer restored from the target file
-    must re-extract a ``state_dict()`` bit-identical to the source state.
-    Raises :class:`ReshardingError` on the first divergence.
+    must re-extract a ``state_dict()`` bit-identical to the source state,
+    and the re-extracted state must survive a save/load round trip (the
+    exact path a later re-persist of the hydrated session takes).  The
+    round trip runs in a scratch directory that is removed on success and
+    on every exception path, so verification never leaves temporary
+    hydration state behind in (or next to) the migrated tree.  Raises
+    :class:`ReshardingError` on the first divergence.
     """
     for move in report.moves:
         source = checkpoint_store.load_checkpoint(move.source_path)
@@ -312,16 +348,44 @@ def verify_reshard(report: ReshardReport, factory=None) -> ReshardReport:
                 "migrated session %s diverged from its source checkpoint" % (move.key,)
             )
         if factory is not None:
-            _model, pricer = factory(move.key)
-            checkpoint_store.restore_pricer(pricer, target)
-            if not state_equal(pricer.state_dict(), source.state):
-                raise ReshardingError(
-                    "session %s hydrated from the migrated snapshot does not "
-                    "reproduce the source state exactly" % (move.key,)
-                )
+            _verify_hydration(move, source, target, factory)
     report.verified = True
     report.hydration_verified = factory is not None
     return report
+
+
+def _verify_hydration(move: SessionMove, source, target, factory) -> None:
+    """Hydrate one migrated session and round-trip its re-extracted state.
+
+    All temporary state (the scratch checkpoint of the hydrated pricer)
+    lives in a private directory that is removed in a ``finally`` — success
+    and every exception path (a divergence, a factory error, a corrupt
+    checkpoint) leave nothing behind.
+    """
+    _model, pricer = factory(move.key)
+    checkpoint_store.restore_pricer(pricer, target)
+    scratch = tempfile.mkdtemp(prefix=".reshard-verify-")
+    try:
+        if not state_equal(pricer.state_dict(), source.state):
+            raise ReshardingError(
+                "session %s hydrated from the migrated snapshot does not "
+                "reproduce the source state exactly" % (move.key,)
+            )
+        scratch_path = os.path.join(scratch, "hydrated" + SESSION_SUFFIX)
+        checkpoint_store.save_checkpoint(
+            scratch_path,
+            pricer,
+            rounds_done=target.rounds_done,
+            meta=dict(target.meta),
+        )
+        reread = checkpoint_store.load_checkpoint(scratch_path)
+        if not state_equal(reread.state, source.state):
+            raise ReshardingError(
+                "session %s does not survive a hydrate → re-persist round "
+                "trip bit-identically" % (move.key,)
+            )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
 
 
 def state_equal(left, right) -> bool:

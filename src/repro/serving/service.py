@@ -101,6 +101,10 @@ class QuoteService:
         Micro-batch window; defaults to :class:`MicroBatchConfig`.
     clock:
         Monotonic time source (injectable for deterministic window tests).
+    first_quote_id:
+        First quote id to assign.  A respawned shard worker is seeded past
+        its dead predecessor's highest issued id, so a stale feedback event
+        for a lost quote can never settle a fresh one by id collision.
     """
 
     def __init__(
@@ -108,13 +112,18 @@ class QuoteService:
         registry: PricerRegistry,
         config: Optional[MicroBatchConfig] = None,
         clock: Callable[[], float] = time.perf_counter,
+        first_quote_id: int = 0,
     ) -> None:
+        if first_quote_id < 0:
+            raise ValueError(
+                "first_quote_id must be non-negative, got %d" % first_quote_id
+            )
         self.registry = registry
         self.config = config or MicroBatchConfig()
         self._clock = clock
         self._queue: Deque[QuoteRequest] = deque()
         self._outbox: List[QuoteResponse] = []
-        self._next_quote_id = 0
+        self._next_quote_id = first_quote_id
         self.stats = ServiceStats()
 
     # ------------------------------------------------------------------ #
@@ -157,6 +166,14 @@ class QuoteService:
     def queued(self) -> int:
         """Requests currently waiting in the micro-batch window."""
         return len(self._queue)
+
+    def queued_for(self, key) -> int:
+        """Requests of one session waiting in the micro-batch window.
+
+        The rebalancer's quiesce probe: a session is drained once nothing of
+        it is queued here and nothing is pending in its registry session.
+        """
+        return sum(1 for request in self._queue if request.key == key)
 
     def window_closed(self, now: Optional[float] = None) -> bool:
         """Whether the micro-batch window has closed (a drain would fire)."""

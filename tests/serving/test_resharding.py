@@ -242,3 +242,84 @@ def test_reshard_cli_end_to_end(tmp_path, capsys):
         ]
     )
     assert code == 1
+
+
+def test_mid_copy_failure_leaves_no_half_written_target_tree(tmp_path, monkeypatch):
+    """An injected copy failure mid-migration must leave the target slot
+    untouched (no partial tree a restarted registry could hydrate from) and
+    clean up its staging directory."""
+    import repro.serving.resharding as resharding_module
+
+    keys = [SessionKey("app", "segment-%d" % index) for index in range(6)]
+    source, _factory = _populated_tree(tmp_path, keys, num_shards=2)
+    target = tmp_path / "out"
+
+    real_write = resharding_module._atomic_write
+    calls = {"count": 0}
+
+    def failing_write(path, data):
+        calls["count"] += 1
+        if calls["count"] == 3:
+            raise OSError("disk full (injected)")
+        real_write(path, data)
+
+    monkeypatch.setattr(resharding_module, "_atomic_write", failing_write)
+    with pytest.raises(OSError, match="injected"):
+        reshard_snapshots(str(source), str(target), target_shards=3)
+    assert calls["count"] == 3
+    # No half-written target: the slot does not exist at all.
+    assert not os.path.exists(target)
+    # No staging leftovers next to it either.
+    leftovers = [
+        name for name in os.listdir(tmp_path) if name.startswith(".reshard-staging-")
+    ]
+    assert leftovers == []
+    # The same migration succeeds cleanly afterwards.
+    monkeypatch.setattr(resharding_module, "_atomic_write", real_write)
+    report = reshard_snapshots(str(source), str(target), target_shards=3)
+    assert report.verified and report.sessions == 6
+
+
+def test_hydration_verify_cleans_up_scratch_state(tmp_path, monkeypatch):
+    """verify_reshard(factory=...) must leave no temporary hydration state
+    behind — on success and when the factory (or the comparison) raises."""
+    import glob
+    import repro.serving.resharding as resharding_module
+    from repro.serving import verify_reshard
+
+    scratch_dirs = []
+    real_mkdtemp = resharding_module.tempfile.mkdtemp
+
+    def tracking_mkdtemp(*args, **kwargs):
+        path = real_mkdtemp(*args, **kwargs)
+        if kwargs.get("prefix", "").startswith(".reshard-verify-") or (
+            args and str(args[-1]).startswith(".reshard-verify-")
+        ):
+            scratch_dirs.append(path)
+        return path
+
+    monkeypatch.setattr(resharding_module.tempfile, "mkdtemp", tracking_mkdtemp)
+
+    keys = [SessionKey("app", "segment-%d" % index) for index in range(3)]
+    source, factory = _populated_tree(tmp_path, keys, num_shards=2)
+    target = tmp_path / "out"
+    report = reshard_snapshots(str(source), str(target), target_shards=3, factory=factory)
+    assert report.hydration_verified
+    assert scratch_dirs, "hydration verification never created scratch state"
+    for path in scratch_dirs:
+        assert not os.path.exists(path), "scratch state leaked on success"
+
+    # Failure path: a factory that raises mid-verification.
+    scratch_dirs.clear()
+    calls = {"count": 0}
+
+    def exploding_factory(key):
+        calls["count"] += 1
+        if calls["count"] == 2:
+            raise RuntimeError("factory exploded (injected)")
+        return factory(key)
+
+    with pytest.raises(RuntimeError, match="injected"):
+        verify_reshard(report, factory=exploding_factory)
+    for path in scratch_dirs:
+        assert not os.path.exists(path), "scratch state leaked on the error path"
