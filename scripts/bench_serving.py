@@ -38,6 +38,16 @@ Four measurement modes, all written into one ``BENCH_serving.json``:
   parallelism), reporting both throughputs and the scaling factor.  Scaling
   requires as many idle cores as shards — on a 1-CPU container the factor
   is necessarily ≈ 1.
+* **Zipf popularity sweep** (``--zipf-sessions N``) — the columnar-store
+  stress: quotes drawn from a Zipf(``--zipf-a``) popularity law over ``N``
+  distinct sessions (≥ 100k in the committed run) against a residency bound
+  of ``--zipf-max-sessions``, so the tail of the distribution thrashes
+  through persist → clock-evict → hydrate continuously.  Reports
+  hydration-storm latency percentiles, resident-memory bytes (and
+  bytes/session — the CI regression gate), the zero-copy vs legacy
+  hydration split, and an eviction-cost curve across resident set sizes:
+  clock-hand steps per eviction must stay flat as the resident set grows —
+  the O(1) replacement for the old O(n) LRU scan.
 
 Usage::
 
@@ -57,6 +67,8 @@ import shutil
 import sys
 import tempfile
 import time
+
+import numpy as np
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
@@ -151,6 +163,36 @@ def parse_args(argv=None) -> argparse.Namespace:
         type=int,
         default=256,
         help="rounds per pipe message in the sharded replay dispatch",
+    )
+    parser.add_argument(
+        "--zipf-sessions",
+        type=int,
+        default=0,
+        help="Zipf popularity sweep: distinct session universe size (0 = skip)",
+    )
+    parser.add_argument(
+        "--zipf-events",
+        type=int,
+        default=200_000,
+        help="quote+feedback events drawn for the Zipf sweep",
+    )
+    parser.add_argument(
+        "--zipf-a",
+        type=float,
+        default=1.1,
+        help="Zipf exponent of the session popularity law",
+    )
+    parser.add_argument(
+        "--zipf-max-sessions",
+        type=int,
+        default=4096,
+        help="residency bound for the Zipf sweep (the clock-eviction stress)",
+    )
+    parser.add_argument(
+        "--zipf-format",
+        choices=("legacy", "segment"),
+        default="segment",
+        help="snapshot format the Zipf sweep persists through",
     )
     parser.add_argument(
         "--min-qps",
@@ -615,6 +657,165 @@ def run_sharded_scaling(args, materialized, keys, factory):
     }
 
 
+def run_zipf_popularity(args, environment, materialized):
+    """Zipf-popularity session churn: the columnar store's stress workload.
+
+    ``--zipf-sessions`` distinct sessions, accesses drawn from a bounded
+    Zipf(``--zipf-a``) law, residency capped at ``--zipf-max-sessions`` —
+    the popular head stays resident while the long tail cycles through
+    persist → clock-evict → hydrate on every touch (a hydration storm).
+    The numbers that matter:
+
+    * hydration latency percentiles (per-hydration wall clock, straight
+      from the store's instrumentation) — the mmap segment read path;
+    * ``resident_bytes`` / ``bytes_per_session`` — memory stays bounded by
+      the residency cap, not the session universe (the CI gate compares
+      bytes/session against the committed baseline);
+    * the eviction-cost curve — ``clock_hand_steps / evictions`` across
+      growing resident sizes.  The old LRU scan walked the whole resident
+      set per eviction (O(n)); the clock hand must hold a flat, small
+      constant.
+    """
+    num_sessions = args.zipf_sessions
+    rows = list(stream_rounds(materialized.slice(0, min(args.rounds, 512))))
+    version = list(ALGORITHM_VERSIONS)[0]
+
+    def factory(key):
+        return environment.model, build_pricer_for_version(environment, version)
+
+    print(
+        "zipf popularity sweep: %d sessions, a=%.2f, %d events, "
+        "max %d resident, %s snapshots ..."
+        % (
+            num_sessions,
+            args.zipf_a,
+            args.zipf_events,
+            args.zipf_max_sessions,
+            args.zipf_format,
+        )
+    )
+    rng = np.random.default_rng(args.seed)
+    pmf = np.arange(1, num_sessions + 1, dtype=np.float64) ** -args.zipf_a
+    pmf /= pmf.sum()
+    draws = rng.choice(num_sessions, size=args.zipf_events, p=pmf)
+    keys = [SessionKey("zipf", "s%07d" % index) for index in range(num_sessions)]
+
+    def run_point(max_sessions, event_draws):
+        snapshot_dir = tempfile.mkdtemp(prefix="bench-zipf-")
+        registry = PricerRegistry(
+            factory,
+            snapshot_dir=snapshot_dir,
+            max_sessions=max_sessions,
+            snapshot_format=args.zipf_format,
+        )
+        service = QuoteService(registry, config=micro_batch_config(args))
+        start = time.perf_counter()
+        for index, rank in enumerate(event_draws):
+            row = rows[index % len(rows)]
+            key = keys[rank]
+            response = service.quote(
+                QuoteRequest(key=key, features=row.features, reserve=row.reserve)
+            )
+            service.feedback(
+                FeedbackEvent(
+                    key=key,
+                    quote_id=response.quote_id,
+                    accepted=response.sold_at(row.market_value),
+                )
+            )
+        wall_seconds = time.perf_counter() - start
+        stats = registry.stats.as_dict()
+        hydration = LatencySummary.from_seconds(registry.store.hydration_seconds)
+        resident = registry.resident_count
+        served = service.stats.quotes_served
+        settled = service.stats.feedback_applied
+        registry.close()
+        shutil.rmtree(snapshot_dir, ignore_errors=True)
+        events = len(event_draws)
+        return {
+            "events": events,
+            "distinct_sessions_touched": int(np.unique(event_draws).size),
+            "max_sessions": max_sessions,
+            "wall_seconds": round(wall_seconds, 4),
+            "events_per_second": round(events / wall_seconds, 1)
+            if wall_seconds > 0
+            else float("inf"),
+            "lost_quotes": events - settled,
+            "hit_rate": round(1.0 - stats["opened"] / max(events, 1), 4),
+            "hydration_ms": {
+                name: round(value, 6) for name, value in hydration.as_dict().items()
+            },
+            "resident_sessions": resident,
+            "steps_per_eviction": round(
+                stats["clock_hand_steps"] / max(stats["evictions"], 1), 3
+            ),
+            "evictions_per_second": round(
+                stats["evictions"] / wall_seconds, 1
+            )
+            if wall_seconds > 0
+            else float("inf"),
+            "bytes_per_session": round(
+                stats["resident_bytes"] / max(resident, 1), 1
+            ),
+            "registry": stats,
+            "served": served,
+        }
+
+    main_point = run_point(args.zipf_max_sessions, draws)
+    print(
+        "  %d events in %.2fs -> %.0f events/sec   hydration p50 %.4f ms  "
+        "p99 %.4f ms   %.1f bytes/session resident   %.2f clock steps/eviction"
+        % (
+            main_point["events"],
+            main_point["wall_seconds"],
+            main_point["events_per_second"],
+            main_point["hydration_ms"]["p50_ms"],
+            main_point["hydration_ms"]["p99_ms"],
+            main_point["bytes_per_session"],
+            main_point["steps_per_eviction"],
+        )
+    )
+
+    # The O(1) eviction demonstration: identical event stream against
+    # growing resident sets.  An O(n) victim scan would show steps (and
+    # cost) growing with the resident size; the clock hand stays flat.
+    cost_events = draws[: min(len(draws), 40_000)]
+    sizes = sorted(
+        {
+            max(128, args.zipf_max_sessions // 8),
+            max(256, args.zipf_max_sessions // 2),
+            args.zipf_max_sessions,
+        }
+    )
+    curve = {
+        "resident_sizes": [],
+        "steps_per_eviction": [],
+        "evictions_per_second": [],
+        "events_per_second": [],
+    }
+    for size in sizes:
+        point = run_point(size, cost_events)
+        curve["resident_sizes"].append(size)
+        curve["steps_per_eviction"].append(point["steps_per_eviction"])
+        curve["evictions_per_second"].append(point["evictions_per_second"])
+        curve["events_per_second"].append(point["events_per_second"])
+        print(
+            "  eviction cost @ %5d resident: %.2f steps/eviction, %.0f evictions/sec"
+            % (size, point["steps_per_eviction"], point["evictions_per_second"])
+        )
+
+    result = dict(main_point)
+    result.update(
+        {
+            "sessions": num_sessions,
+            "zipf_a": args.zipf_a,
+            "snapshot_format": args.zipf_format,
+            "eviction_cost": curve,
+        }
+    )
+    return result
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     print(
@@ -655,6 +856,8 @@ def main(argv=None) -> int:
         )
     if args.shards > 0:
         report["sharding"] = run_sharded_scaling(args, materialized, keys, factory)
+    if args.zipf_sessions > 0:
+        report["zipf"] = run_zipf_popularity(args, environment, materialized)
 
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

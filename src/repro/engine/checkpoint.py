@@ -155,6 +155,26 @@ def _unpack(data: bytes):
     return header, arrays
 
 
+def flatten_state(state: dict):
+    """Split a state mapping into ``(skeleton, arrays)``.
+
+    The *skeleton* is the JSON-safe nested structure with every
+    ``numpy.ndarray`` leaf replaced by an index placeholder; *arrays* is the
+    leaf list in deterministic traversal order.  For a given pricer family
+    the ``(dtype, shape)`` sequence of the leaves is fixed — this is the
+    per-family array manifest the columnar session store
+    (:mod:`repro.serving.store`) derives its slab schema from, so slab rows,
+    snapshot segments, and ``.npz`` checkpoints all share one flattening.
+    """
+    arrays: list = []
+    return _encode(state, arrays), arrays
+
+
+def unflatten_state(skeleton, arrays) -> dict:
+    """Inverse of :func:`flatten_state` (bit-identical array round-trip)."""
+    return _decode(skeleton, list(arrays))
+
+
 def serialize_state(state: dict) -> bytes:
     """Serialise a :meth:`state_dict` mapping to self-contained bytes."""
     arrays: list = []

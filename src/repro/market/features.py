@@ -81,10 +81,16 @@ class CompensationFeatureExtractor:
 
         aggregated = self.aggregate(compensations)
         if self.normalise:
-            norm = float(np.linalg.norm(aggregated))
-            if norm > 0.0:
-                scale = norm
-                features = aggregated / norm
+            # Factor out the peak before taking the norm: squaring the raw
+            # entries under/overflows for extreme magnitudes (a denormal
+            # compensation used to produce a "unit" vector with L2 norm
+            # measurably above 1).
+            peak = float(np.max(aggregated))
+            if peak > 0.0:
+                scaled = aggregated / peak
+                unit_norm = float(np.linalg.norm(scaled))
+                scale = peak * unit_norm
+                features = scaled / unit_norm
             else:
                 scale = 1.0
                 features = aggregated

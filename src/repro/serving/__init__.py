@@ -4,10 +4,13 @@ This package turns the batch simulator into a request/response pricing
 service — the paper's Section V-D *online* story (millisecond per-round quote
 latency under live arrivals) as an actual serving layer:
 
-* :mod:`repro.serving.registry` — :class:`PricerRegistry`, a session store
-  keyed by ``(app, segment)`` that hydrates pricers from checkpoint ``.npz``
-  snapshots, persists them on a write-behind cadence, and LRU-evicts cold
-  sessions;
+* :mod:`repro.serving.store` — :class:`SessionStore`, the columnar state
+  backend: per-family struct-of-arrays slabs, O(1) clock-hand eviction, and
+  mmap-backed snapshot segments with a JSONL index sidecar (the legacy
+  file-per-session ``.npz`` format stays readable and is the default);
+* :mod:`repro.serving.registry` — :class:`PricerRegistry`, the session
+  facade keyed by ``(app, segment)`` that hydrates pricers from snapshots,
+  persists them on a write-behind cadence, and evicts cold sessions;
 * :mod:`repro.serving.service` — :class:`QuoteService`, a micro-batching
   quote queue that coalesces concurrent requests within a time/size window
   into columnar ``propose_batch`` calls where legal, plus the feedback path
@@ -87,6 +90,13 @@ from repro.serving.resharding import (
 )
 from repro.serving.service import MicroBatchConfig, QuoteService, ServiceStats
 from repro.serving.sharding import RoutingTable, ShardedRegistry, shard_of_key
+from repro.serving.store import (
+    MaterializedRows,
+    SegmentLog,
+    SessionStore,
+    export_segments_to_legacy,
+    list_segment_sessions,
+)
 from repro.serving.wire import WIRE_V1, WIRE_V2
 
 __all__ = [
@@ -96,6 +106,7 @@ __all__ = [
     "FrontendHandle",
     "FrontendStats",
     "LiveRebalancer",
+    "MaterializedRows",
     "MicroBatchConfig",
     "PricerRegistry",
     "PricingSession",
@@ -110,17 +121,21 @@ __all__ = [
     "ReplayFeed",
     "ReshardReport",
     "RoutingTable",
+    "SegmentLog",
     "ServiceStats",
     "SessionKey",
     "SessionMove",
     "SessionRebalance",
+    "SessionStore",
     "ShardedRegistry",
     "SyntheticFeed",
     "WIRE_V1",
     "WIRE_V2",
     "dataset_arrival_features",
     "dataset_replay_market",
+    "export_segments_to_legacy",
     "frame_sold_at",
+    "list_segment_sessions",
     "plan_reshard",
     "rebalance_live",
     "replay_feed",

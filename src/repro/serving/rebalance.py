@@ -27,12 +27,15 @@ The migration protocol for scaling N → M shards:
 4. **scale in** — when M < N, retire the now-empty trailing workers (each
    removal re-checks the shard really holds nothing).
 
-Admissions of *brand-new* session keys race the final sweep by nature: a
-key first seen between the last empty sweep and the commit lands on the old
-placement and is caught by the post-commit consistency of ``commit_routing``
-only if overridden.  The sweep loop narrows this window to microseconds; a
-deployment that creates new sessions at a high rate should briefly gate
-*new-key* admissions (existing sessions need no gate) around the commit.
+Admissions of *brand-new* session keys race the sweeps by nature: a key
+first seen mid-migration lands on the old placement and is caught by the
+next sweep.  The residual window — a key admitted *between* the final empty
+sweep and the commit — is closed by taking the router's admission lock
+(:meth:`~repro.serving.sharding.ShardedRegistry.routing_freeze`) around the
+final plan + commit: while the rebalancer verifies the plan is empty and
+collapses the routing table, no new session can be admitted, so nothing can
+slip onto the old placement unmoved.  Admissions block for the duration of
+one planning pass (no quotes are lost — they queue on the lock).
 
 ``scripts/rebalance.py`` wraps this as a CLI and
 ``tests/serving/test_rebalance.py`` pins the bit-exactness bar: all golden
@@ -55,6 +58,7 @@ from repro.serving.resharding import (
     discover_shard_dirs,
 )
 from repro.serving.sharding import MAX_SHARDS, ShardedRegistry, shard_of_key
+from repro.serving.store import list_segment_sessions
 
 __all__ = [
     "SessionRebalance",
@@ -152,6 +156,11 @@ class LiveRebalancer:
         Optional hook ``(move_count, SessionRebalance) -> None`` invoked
         after each completed move — the chaos tier uses it to kill a shard
         worker mid-migration.
+    before_commit:
+        Optional hook invoked with the routing freeze held, after the final
+        plan came back empty and immediately before ``commit_routing`` —
+        the regression tier uses it to race concurrent admissions into the
+        commit window and assert they block until the new routing is live.
     """
 
     def __init__(
@@ -162,6 +171,7 @@ class LiveRebalancer:
         poll_interval: float = 0.002,
         verify: bool = True,
         after_move: Optional[Callable[[int, SessionRebalance], None]] = None,
+        before_commit: Optional[Callable[[], None]] = None,
     ) -> None:
         if not 1 <= target_shards <= MAX_SHARDS:
             raise RebalanceError(
@@ -178,6 +188,7 @@ class LiveRebalancer:
         self.poll_interval = poll_interval
         self.verify = verify
         self.after_move = after_move
+        self.before_commit = before_commit
 
     # ------------------------------------------------------------------ #
 
@@ -185,9 +196,9 @@ class LiveRebalancer:
         """Every session the service knows: resident plus cold snapshots.
 
         Cold sessions (persisted then evicted, or never touched since a
-        restart) exist only as ``.session.npz`` files — a migration that
-        moved only resident sessions would strand them on directories the
-        new placement never reads.
+        restart) exist only as ``.session.npz`` files or segment-index
+        records — a migration that moved only resident sessions would
+        strand them on directories the new placement never reads.
         """
         keys: Dict[SessionKey, None] = {}
         for shard_keys in self.sharded.resident_keys_by_shard().values():
@@ -206,6 +217,8 @@ class LiveRebalancer:
                     os.path.join(directory, name)
                 )
                 keys.setdefault(checkpoint_session_key(checkpoint), None)
+            for key in list_segment_sessions(directory):
+                keys.setdefault(key, None)
         return list(keys)
 
     def plan(self) -> List[Tuple[SessionKey, int, int]]:
@@ -228,9 +241,23 @@ class LiveRebalancer:
         while sharded.num_shards < self.target_shards:
             sharded.add_shard()
         while True:
-            plan = self.plan()
-            if not plan:
-                break
+            # The final (empty) plan and the commit happen atomically under
+            # the router's admission lock: a brand-new session key admitted
+            # concurrently either lands *before* the planning pass (and is
+            # planned and moved by this sweep) or blocks on the lock until
+            # the new hash placement is committed — the residual
+            # between-sweep-and-commit stranding window no longer exists.
+            # A non-empty plan releases the lock before moving anything:
+            # rehome_session must interleave with live traffic.
+            with sharded.routing_freeze():
+                plan = self.plan()
+                if not plan:
+                    if self.before_commit is not None:
+                        self.before_commit()
+                    report.routing_version = sharded.commit_routing(
+                        self.target_shards
+                    )
+                    break
             report.sweeps += 1
             if report.sweeps > MAX_SWEEPS:
                 raise RebalanceError(
@@ -261,7 +288,6 @@ class LiveRebalancer:
                 report.moves.append(move)
                 if self.after_move is not None:
                     self.after_move(len(report.moves), move)
-        report.routing_version = sharded.commit_routing(self.target_shards)
         while sharded.num_shards > self.target_shards:
             sharded.remove_trailing_shard()
         report.stats = sharded.rebalance_stats.as_dict()

@@ -1,110 +1,68 @@
-"""Checkpoint-backed pricing-session store.
+"""Checkpoint-backed pricing-session registry (facade over the store).
 
 A *session* is one live pricer (plus its market value model) serving one
 traffic segment.  The :class:`PricerRegistry` owns every resident session and
 gives the serving layer three lifecycle guarantees:
 
-* **hydration** — a session whose snapshot file exists under
-  ``snapshot_dir`` is rebuilt from it: the factory constructs a fresh,
-  same-configuration pricer and the checkpoint subsystem
-  (:mod:`repro.engine.checkpoint`) restores its exact state, so a restarted
-  service continues pricing bit-identically to an uninterrupted one (the
-  same exact-resume contract the offline chunked runner is pinned to);
+* **hydration** — a session whose snapshot exists under ``snapshot_dir`` is
+  rebuilt from it: the factory constructs a fresh, same-configuration pricer
+  and the checkpoint subsystem (:mod:`repro.engine.checkpoint`) restores its
+  exact state, so a restarted service continues pricing bit-identically to
+  an uninterrupted one (the same exact-resume contract the offline chunked
+  runner is pinned to);
 * **write-behind persistence** — with ``persist_every=N``, a session's state
   is snapshotted after every N-th feedback update (and always on eviction
   and :meth:`~PricerRegistry.flush`), bounding the feedback loss of a crash
-  to the last N updates without putting ``.npz`` serialisation on the quote
-  hot path;
-* **LRU eviction** — with ``max_sessions`` set, the least-recently-used cold
-  session is persisted and dropped when capacity is exceeded.  Sessions with
-  in-flight quotes (pending decisions awaiting feedback) are never evicted —
-  a decision object cannot be rebuilt from a snapshot.
+  to the last N updates without putting serialisation on the quote hot path;
+* **clock-hand eviction** — with ``max_sessions`` set, a cold session is
+  persisted and dropped when capacity is exceeded, chosen by a second-chance
+  clock sweep (O(1) amortised per eviction).  Sessions with in-flight quotes
+  (pending decisions awaiting feedback) are never evicted — a decision
+  object cannot be rebuilt from a snapshot.
 
-Snapshots are ordinary pricer checkpoints (versioned no-pickle ``.npz``), so
-an offline sweep can be warm-started from a serving session's file and vice
-versa.
+Since PR 9 the mechanics live in :mod:`repro.serving.store`: state is
+captured into per-family struct-of-arrays slabs, and snapshots are written
+either as legacy file-per-session ``.session.npz`` checkpoints (the default,
+interchangeable with offline sweeps) or as mmap-backed segment files
+(``snapshot_format="segment"``) whose hydration is a zero-copy slice.  This
+module keeps the stable public surface — ``session`` / ``peek`` / ``pin`` /
+``evict`` / ``flush`` / ``export_session`` — that :class:`QuoteService`,
+:class:`~repro.serving.sharding.ShardedRegistry`, and the live rebalancer
+are built against.
 """
 
 from __future__ import annotations
 
-import os
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import List, Optional
 
-from repro.engine import checkpoint as checkpoint_store
-from repro.exceptions import ServingError
 from repro.serving.requests import SessionKey
+from repro.serving.store import (
+    DEFAULT_SEGMENT_BYTES,
+    SESSION_SUFFIX,
+    SNAPSHOT_FORMATS,
+    MaterializedRows,
+    PricingSession,
+    RegistryStats,
+    SessionFactory,
+    SessionStore,
+)
 
-#: A factory builds (model, fresh same-config pricer) for one session key.
-SessionFactory = Callable[[SessionKey], Tuple[Any, Any]]
-
-#: Suffix of session snapshot files written by :class:`PricerRegistry`
-#: (:mod:`repro.serving.resharding` re-exports it for the offline tools).
-SESSION_SUFFIX = ".session.npz"
-
-
-@dataclass
-class PricingSession:
-    """One resident pricing session."""
-
-    key: SessionKey
-    model: Any
-    pricer: Any
-    #: Decisions awaiting accept/reject feedback, keyed by quote id.
-    pending: Dict[int, Any] = field(default_factory=dict)
-    quotes_served: int = 0
-    feedback_seen: int = 0
-    updates_since_persist: int = 0
-    hydrated: bool = False
-    #: Pinned sessions are exempt from LRU eviction (and refuse explicit
-    #: eviction) — the online rebalancer pins a freshly-attached session
-    #: until its parked quotes have been replayed onto it.
-    pinned: bool = False
-
-    @property
-    def rounds_seen(self) -> int:
-        """Rounds the session's pricer has priced (propose calls)."""
-        return self.pricer.rounds_seen
-
-
-@dataclass
-class RegistryStats:
-    """Lifecycle counters of one registry (reported by the serving bench).
-
-    ``created`` counts sessions built *from scratch* and ``hydrations``
-    sessions rebuilt from a snapshot — the two are disjoint (a hydrated
-    session is not double-counted as a creation), so
-    ``created + hydrations`` (:attr:`opened`) is the number of times a
-    session entered residency for the first time since its last eviction.
-    """
-
-    created: int = 0
-    hydrations: int = 0
-    evictions: int = 0
-    persists: int = 0
-    #: Sessions handed off to another shard (persist + drop, no eviction):
-    #: the online rebalancer's exit path.  Disjoint from ``evictions``.
-    exports: int = 0
-
-    @property
-    def opened(self) -> int:
-        """Sessions that entered residency (fresh creations + hydrations)."""
-        return self.created + self.hydrations
-
-    def as_dict(self) -> dict:
-        return {
-            "created": self.created,
-            "hydrations": self.hydrations,
-            "opened": self.opened,
-            "evictions": self.evictions,
-            "persists": self.persists,
-            "exports": self.exports,
-        }
+__all__ = [
+    "SESSION_SUFFIX",
+    "SNAPSHOT_FORMATS",
+    "SessionFactory",
+    "PricingSession",
+    "RegistryStats",
+    "PricerRegistry",
+]
 
 
 class PricerRegistry:
-    """Session store keyed by :class:`SessionKey` with LRU residency.
+    """Session registry keyed by :class:`SessionKey` with bounded residency.
+
+    A thin facade over :class:`repro.serving.store.SessionStore` — every
+    method delegates, and the store is reachable as :attr:`store` for the
+    columnar row APIs and bench introspection.
 
     Parameters
     ----------
@@ -113,13 +71,18 @@ class PricerRegistry:
         constructed with the session's configuration — hydration loads only
         the mutable state into it (the checkpoint contract).
     snapshot_dir:
-        Directory of session snapshot files.  ``None`` disables persistence:
+        Directory of session snapshots.  ``None`` disables persistence:
         evicted sessions lose their state and hydration never happens.
     max_sessions:
         Resident-session capacity; ``None`` means unbounded.
     persist_every:
         Write-behind cadence in feedback updates; ``0`` persists only on
         eviction / flush.
+    snapshot_format:
+        ``"legacy"`` (file-per-session ``.npz``, the default) or
+        ``"segment"`` (shared mmap segment files + index journal).
+    segment_max_bytes:
+        Segment-file rotation threshold (segment format only).
     """
 
     def __init__(
@@ -128,192 +91,98 @@ class PricerRegistry:
         snapshot_dir: Optional[str] = None,
         max_sessions: Optional[int] = None,
         persist_every: int = 0,
+        snapshot_format: str = "legacy",
+        segment_max_bytes: int = DEFAULT_SEGMENT_BYTES,
     ) -> None:
-        if max_sessions is not None and max_sessions < 1:
-            raise ValueError("max_sessions must be at least 1, got %d" % max_sessions)
-        if persist_every < 0:
-            raise ValueError("persist_every must be non-negative, got %d" % persist_every)
-        self._factory = factory
-        self._snapshot_dir = snapshot_dir
-        self._max_sessions = max_sessions
-        self._persist_every = persist_every
-        self._sessions: "OrderedDict[SessionKey, PricingSession]" = OrderedDict()
-        self.stats = RegistryStats()
+        self.store = SessionStore(
+            factory,
+            snapshot_dir=snapshot_dir,
+            max_sessions=max_sessions,
+            persist_every=persist_every,
+            snapshot_format=snapshot_format,
+            segment_max_bytes=segment_max_bytes,
+        )
+
+    @property
+    def stats(self) -> RegistryStats:
+        return self.store.stats
 
     # ------------------------------------------------------------------ #
     # Lookup / residency
     # ------------------------------------------------------------------ #
 
     def session(self, key: SessionKey) -> PricingSession:
-        """The resident session for ``key``, creating or hydrating it.
-
-        Every access marks the session most-recently-used; creating a new
-        session may LRU-evict a cold one past ``max_sessions``.
-        """
-        existing = self._sessions.get(key)
-        if existing is not None:
-            self._sessions.move_to_end(key)
-            return existing
-        model, pricer = self._factory(key)
-        session = PricingSession(key=key, model=model, pricer=pricer)
-        path = self.snapshot_path(key)
-        if path is not None and os.path.exists(path):
-            checkpoint = checkpoint_store.load_checkpoint(path)
-            checkpoint_store.restore_pricer(pricer, checkpoint)
-            session.hydrated = True
-            self.stats.hydrations += 1
-        else:
-            self.stats.created += 1
-        self._sessions[key] = session
-        self._enforce_capacity(protect=key)
-        return session
+        """The resident session for ``key``, creating or hydrating it."""
+        return self.store.session(key)
 
     def peek(self, key: SessionKey) -> Optional[PricingSession]:
-        """The resident session for ``key`` without touching LRU order."""
-        return self._sessions.get(key)
+        """The resident session for ``key`` without touching recency."""
+        return self.store.peek(key)
 
     @property
     def resident_count(self) -> int:
         """Number of sessions currently resident."""
-        return len(self._sessions)
+        return self.store.resident_count
 
     @property
     def resident_keys(self) -> List[SessionKey]:
         """Resident keys in LRU → MRU order."""
-        return list(self._sessions)
+        return self.store.resident_keys
 
     def __contains__(self, key: SessionKey) -> bool:
-        return key in self._sessions
+        return key in self.store
 
     def pin(self, key: SessionKey) -> None:
         """Exempt a resident session from eviction until :meth:`unpin`."""
-        session = self._sessions.get(key)
-        if session is None:
-            raise ServingError("cannot pin session %s: not resident" % (key,))
-        session.pinned = True
+        self.store.pin(key)
 
     def unpin(self, key: SessionKey) -> None:
         """Lift a session's eviction exemption (no-op when not resident)."""
-        session = self._sessions.get(key)
-        if session is not None:
-            session.pinned = False
+        self.store.unpin(key)
 
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
 
     def snapshot_path(self, key: SessionKey) -> Optional[str]:
-        """The snapshot file for ``key`` (``None`` when persistence is off)."""
-        if self._snapshot_dir is None:
-            return None
-        return os.path.join(self._snapshot_dir, "%s.session.npz" % key.slug())
+        """The legacy snapshot file for ``key`` (``None`` = persistence off)."""
+        return self.store.snapshot_path(key)
 
     def persist(self, session: PricingSession) -> bool:
-        """Snapshot one session to disk; returns whether a file was written."""
-        path = self.snapshot_path(session.key)
-        if path is None:
-            return False
-        checkpoint_store.save_checkpoint(
-            path,
-            session.pricer,
-            rounds_done=session.rounds_seen,
-            meta={"app": session.key.app, "segment": session.key.segment},
-        )
-        session.updates_since_persist = 0
-        self.stats.persists += 1
-        return True
+        """Snapshot one session to disk; returns whether anything was written."""
+        return self.store.persist(session)
 
     def note_feedback(self, session: PricingSession, count: int = 1) -> None:
-        """Record ``count`` applied feedback updates (write-behind cadence).
-
-        A coalesced feedback window notes its whole group at once, so the
-        cadence check runs — and at most one snapshot is written — per
-        window, not per event.
-        """
-        session.feedback_seen += count
-        session.updates_since_persist += count
-        if 0 < self._persist_every <= session.updates_since_persist:
-            self.persist(session)
+        """Record ``count`` applied feedback updates (write-behind cadence)."""
+        self.store.note_feedback(session, count)
 
     def flush(self) -> int:
         """Persist every resident session; returns the number written."""
-        written = 0
-        for session in self._sessions.values():
-            if self.persist(session):
-                written += 1
-        return written
+        return self.store.flush()
 
     def export_session(self, key: SessionKey) -> str:
-        """Persist one quiesced session and drop it; returns its snapshot path.
+        """Persist one quiesced session as a legacy file and drop it."""
+        return self.store.export_session(key)
 
-        The shard-handoff exit of the online rebalancer: the session's state
-        is written to its snapshot file (so the router can re-home the file)
-        and residency is released *without* counting an eviction.  Requires
-        persistence to be configured and the session to be fully settled —
-        a pending decision cannot be rebuilt from a snapshot, so exporting
-        one would strand its feedback.
-        """
-        session = self._sessions.get(key)
-        if session is None:
-            raise ServingError("cannot export session %s: not resident" % (key,))
-        if session.pending:
-            raise ServingError(
-                "cannot export session %s with %d in-flight quote(s); quiesce "
-                "it first" % (key, len(session.pending))
-            )
-        path = self.snapshot_path(key)
-        if path is None:
-            raise ServingError(
-                "cannot export session %s without a snapshot_dir" % (key,)
-            )
-        self.persist(session)
-        del self._sessions[key]
-        self.stats.exports += 1
-        return path
+    def materialize_legacy(self, key: SessionKey) -> Optional[str]:
+        """Ensure a cold session exists as a legacy file (segment → ``.npz``)."""
+        return self.store.materialize_legacy(key)
 
     def evict(self, key: SessionKey) -> bool:
-        """Persist and drop one session; returns whether it was resident.
+        """Persist and drop one session; returns whether it was resident."""
+        return self.store.evict(key)
 
-        Refuses to evict a session with in-flight quotes (pending decisions
-        awaiting feedback) — a decision object cannot be rebuilt from a
-        snapshot, so evicting would make its feedback unapplicable.  Settle
-        or discard the pending quotes first.
-        """
-        session = self._sessions.get(key)
-        if session is None:
-            return False
-        if session.pending:
-            raise ServingError(
-                "cannot evict session %s with %d in-flight quote(s); settle "
-                "their feedback first" % (key, len(session.pending))
-            )
-        if session.pinned:
-            raise ServingError(
-                "cannot evict pinned session %s; unpin it first" % (key,)
-            )
-        # Persist before dropping: if the snapshot write fails, the session
-        # stays resident and the eviction can be retried.
-        self.persist(session)
-        del self._sessions[key]
-        self.stats.evictions += 1
-        return True
+    # ------------------------------------------------------------------ #
+    # Contiguous row slices
+    # ------------------------------------------------------------------ #
 
-    def _enforce_capacity(self, protect: SessionKey) -> None:
-        """LRU-evict cold sessions past ``max_sessions``.
+    def materialize_rows(self, keys, refresh: bool = True) -> MaterializedRows:
+        """Contiguous struct-of-arrays slices of same-family sessions."""
+        return self.store.materialize_rows(keys, refresh=refresh)
 
-        ``protect`` (the just-created session), pinned sessions, and sessions
-        with in-flight quotes are never evicted; if every candidate is
-        exempt the registry temporarily exceeds capacity rather than losing
-        decisions.
-        """
-        if self._max_sessions is None:
-            return
-        while len(self._sessions) > self._max_sessions:
-            victim = None
-            for key, session in self._sessions.items():
-                if key != protect and not session.pending and not session.pinned:
-                    victim = key
-                    break
-            if victim is None:
-                return
-            self.evict(victim)
+    def scatter_rows(self, materialized: MaterializedRows) -> int:
+        """Write materialized slices back into slab rows and live pricers."""
+        return self.store.scatter_rows(materialized)
+
+    def close(self) -> None:
+        self.store.close()

@@ -199,6 +199,21 @@ def plan_reshard(
     if target_shards < 1:
         raise ReshardingError("target_shards must be at least 1, got %d" % target_shards)
     dirs = discover_shard_dirs(source_dir)
+    # The offline resharder moves sessions as individual ``.session.npz``
+    # files; a tree with live segment-resident sessions (the columnar
+    # store's ``snapshot_format="segment"``) would silently lose them.
+    from repro.serving.store import list_segment_sessions
+
+    for directory in dirs.values():
+        stranded = list_segment_sessions(directory)
+        if stranded:
+            raise ReshardingError(
+                "%s holds %d segment-resident session(s); offline resharding "
+                "operates on legacy files — run "
+                "repro.serving.store.export_segments_to_legacy on each shard "
+                "directory first, or migrate live with rebalance_live"
+                % (directory, len(stranded))
+            )
     inferred = max(dirs) + 1
     if source_shards is None:
         source_shards = inferred

@@ -342,6 +342,42 @@ class QuoteService:
                     outcomes[index] = exc
         return outcomes
 
+    # ------------------------------------------------------------------ #
+    # Contiguous row slices
+    # ------------------------------------------------------------------ #
+
+    def materialize_rows(self, keys, refresh: bool = True):
+        """Contiguous struct-of-arrays slices of same-family sessions.
+
+        The columnar hand-off between a ``submit_many`` window and the
+        engine: after the window's quotes settle, the touched sessions'
+        state can be gathered into one ``(k, ...)``-per-leaf batch
+        (:meth:`repro.serving.store.SessionStore.materialize_rows`), pushed
+        through a batched backend in a single call, and scattered back with
+        :meth:`scatter_rows` — instead of k object-protocol round trips.
+        Sessions with in-flight quotes may be materialized (it only reads
+        state), but must be settled before scattering results back.
+        """
+        return self.registry.materialize_rows(keys, refresh=refresh)
+
+    def scatter_rows(self, materialized) -> int:
+        """Write materialized slices back into slab rows and live pricers.
+
+        Refuses sessions that picked up in-flight quotes since
+        :meth:`materialize_rows`: their pending decisions were priced on
+        the pre-batch state, and overwriting it would settle their feedback
+        against state they never saw.
+        """
+        for key in materialized.keys:
+            session = self.registry.peek(key)
+            if session is not None and session.pending:
+                raise ServingError(
+                    "cannot scatter rows onto session %s with %d in-flight "
+                    "quote(s); settle their feedback first"
+                    % (key, len(session.pending))
+                )
+        return self.registry.scatter_rows(materialized)
+
     def _session_for_feedback(self, key) -> PricingSession:
         """Resolve a feedback target without creating (or LRU-thrashing) it.
 

@@ -63,6 +63,7 @@ import multiprocessing
 from repro.exceptions import RebalanceError, ServingError
 from repro.serving.registry import PricerRegistry
 from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse, SessionKey
+from repro.serving.store import SNAPSHOT_FORMATS, list_segment_sessions
 from repro.serving.service import MicroBatchConfig, QuoteService
 from repro.utils.metrics import LatencySummary
 
@@ -152,6 +153,7 @@ def _shard_worker_main(
     max_sessions,
     persist_every,
     first_quote_id: int = 0,
+    snapshot_format: str = "legacy",
 ) -> None:
     """One shard's request loop: a registry + service behind a pipe.
 
@@ -167,6 +169,7 @@ def _shard_worker_main(
         snapshot_dir=snapshot_dir,
         max_sessions=max_sessions,
         persist_every=persist_every,
+        snapshot_format=snapshot_format,
     )
     service = QuoteService(registry, config=config, first_quote_id=first_quote_id)
     while True:
@@ -207,10 +210,13 @@ def _shard_worker_main(
                         "path": registry.export_session(payload),
                     }
                 else:
-                    path = registry.snapshot_path(payload)
-                    if path is not None and not os.path.exists(path):
-                        path = None
-                    result = {"resident": False, "path": path}
+                    # Cold session: materialise a legacy file from a segment
+                    # record if that is where the state lives (tombstoning
+                    # it), or hand back the existing legacy file.
+                    result = {
+                        "resident": False,
+                        "path": registry.materialize_legacy(payload),
+                    }
             elif op == "attach_session":
                 key = payload["key"]
                 session = registry.session(key)
@@ -400,7 +406,13 @@ class ShardedRegistry:
         max_sessions: Optional[int] = None,
         persist_every: int = 0,
         start_method: Optional[str] = None,
+        snapshot_format: str = "legacy",
     ) -> None:
+        if snapshot_format not in SNAPSHOT_FORMATS:
+            raise ValueError(
+                "snapshot_format must be one of %r, got %r"
+                % (SNAPSHOT_FORMATS, snapshot_format)
+            )
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1, got %d" % num_shards)
         if num_shards > MAX_SHARDS:
@@ -416,6 +428,7 @@ class ShardedRegistry:
         self._snapshot_root = snapshot_dir
         self._max_sessions = max_sessions
         self._persist_every = persist_every
+        self._snapshot_format = snapshot_format
         self.num_shards = num_shards
         self._closed = False
         self._lock = threading.RLock()
@@ -465,6 +478,7 @@ class ShardedRegistry:
                 self._max_sessions,
                 self._persist_every,
                 first_quote_id,
+                self._snapshot_format,
             ),
             daemon=True,
         )
@@ -1241,10 +1255,30 @@ class ShardedRegistry:
                         "shard %d still holds %d snapshot file(s)"
                         % (handle.index, len(stranded))
                     )
+                # Segment-resident sessions are just as stranded as legacy
+                # files — they live in this shard's segments/ directory.
+                segment_resident = list_segment_sessions(handle.snapshot_dir)
+                if segment_resident:
+                    raise RebalanceError(
+                        "shard %d still holds %d segment-resident session(s)"
+                        % (handle.index, len(segment_resident))
+                    )
             self._stop_handle(handle, timeout=5.0)
             self._shards.pop()
             self.num_shards = len(self._shards)
             return self.num_shards
+
+    def routing_freeze(self):
+        """The router lock as a context manager: no admissions while held.
+
+        ``submit_many`` / ``quote`` and every routing mutation serialise on
+        this lock, so holding it closes the race between a migration's final
+        empty sweep and :meth:`commit_routing` — a brand-new session key
+        cannot be admitted (and land on the old hash placement) in between.
+        The lock is reentrant: the holder may still plan, re-home, and
+        commit from the same thread.
+        """
+        return self._lock
 
     def commit_routing(self, hash_shards: Optional[int] = None) -> int:
         """Retire per-key overrides into a new hash divisor; returns version.

@@ -127,6 +127,23 @@ def test_protocol_housekeeping_ops(tmp_path):
             assert stats["quotes_served"] == 1
             assert stats["feedback_applied"] == 1
             assert stats["registry"]["created"] == 1
+            # The columnar store's counters ride the same frame: one
+            # resident ellipsoid session holds its state in a slab row
+            # (non-zero resident bytes), no snapshot dir means no segments,
+            # and the hydration split is source-exact.
+            registry_stats = stats["registry"]
+            assert registry_stats["resident_bytes"] > 0
+            assert registry_stats["segments"] == 0
+            assert registry_stats["segment_bytes"] == 0
+            assert registry_stats["clock_rotations"] == 0
+            assert registry_stats["clock_hand_steps"] == 0
+            assert registry_stats["zero_copy_hydrations"] == 0
+            assert registry_stats["legacy_hydrations"] == 0
+            assert (
+                registry_stats["zero_copy_hydrations"]
+                + registry_stats["legacy_hydrations"]
+                == registry_stats["hydrations"]
+            )
             assert client.flush() == 0  # nothing queued
 
             # Protocol errors come back as error frames, not hangs.

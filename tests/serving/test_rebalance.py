@@ -297,6 +297,162 @@ def test_commit_refuses_stranded_overrides(tmp_path):
 
 
 # --------------------------------------------------------------------------- #
+# Columnar store: segment-format shards through a live migration
+# --------------------------------------------------------------------------- #
+
+
+def test_segment_format_live_migration_bit_exact(tmp_path):
+    """A sharded service whose stores snapshot into mmap segments must
+    migrate 2→3 (and back down 3→2) with every session — resident and
+    cold-in-segment — continuing bit-identically, scale-in included (the
+    trailing shard can only retire once its segment index is empty)."""
+    model, materialized, theta = _single_market()
+    offline = simulate(
+        model, golden_specs.build_pricer(FAMILY, theta), materialized=materialized
+    )
+    factory = lambda key: (model, golden_specs.build_pricer(FAMILY, theta))
+    # One cold session guaranteed to relocate under the new divisor (it
+    # travels as a legacy export) and one guaranteed to stay put (its
+    # segment record survives the migration and must hydrate zero-copy).
+    cold_move = next(
+        key
+        for index in range(1000)
+        for key in [SessionKey("app", "cold-move-%d" % index)]
+        if shard_of_key(key, 2) != shard_of_key(key, 3)
+    )
+    cold_stay = next(
+        key
+        for index in range(1000)
+        for key in [SessionKey("app", "cold-stay-%d" % index)]
+        if shard_of_key(key, 2) == shard_of_key(key, 3)
+    )
+    hot_keys = [SessionKey("app", "hot-seg-%d" % index) for index in range(4)]
+    posted = {key: [] for key in [cold_move, cold_stay] + hot_keys}
+
+    # Era 1: the cold sessions exist only as segment records afterwards.
+    with ShardedRegistry(
+        factory,
+        num_shards=2,
+        snapshot_dir=str(tmp_path),
+        persist_every=1,
+        snapshot_format="segment",
+    ) as sharded:
+        _drive_sync(sharded, cold_move, materialized, 0, 10, posted[cold_move])
+        _drive_sync(sharded, cold_stay, materialized, 0, 10, posted[cold_stay])
+
+    with ShardedRegistry(
+        factory,
+        num_shards=2,
+        snapshot_dir=str(tmp_path),
+        persist_every=1,
+        snapshot_format="segment",
+    ) as sharded:
+        for key in hot_keys:
+            _drive_sync(sharded, key, materialized, 0, 6, posted[key])
+        report = rebalance_live(sharded, 3)
+        expected_moves = {
+            key
+            for key in [cold_move] + hot_keys
+            if shard_of_key(key, 2) != shard_of_key(key, 3)
+        }
+        assert {move.key for move in report.moves} == expected_moves
+        assert cold_stay not in {move.key for move in report.moves}
+        assert sharded.num_shards == 3
+        # Hot sessions continue, the cold ones resume — all bit-exact.
+        # cold_stay hydrates straight off its untouched segment record.
+        for key in hot_keys:
+            _drive_sync(sharded, key, materialized, 6, 12, posted[key])
+        _drive_sync(sharded, cold_move, materialized, 10, 12, posted[cold_move])
+        _drive_sync(sharded, cold_stay, materialized, 10, 12, posted[cold_stay])
+        # Scale back in: every session leaves shard 2 as a legacy export,
+        # its segment record tombstoned, so the retirement check passes.
+        report_down = rebalance_live(sharded, 2)
+        assert sharded.num_shards == 2
+        assert {move.key for move in report_down.moves} == expected_moves
+        for key in hot_keys:
+            _drive_sync(sharded, key, materialized, 12, 16, posted[key])
+        _drive_sync(sharded, cold_move, materialized, 12, 16, posted[cold_move])
+        _drive_sync(sharded, cold_stay, materialized, 12, 16, posted[cold_stay])
+        stats = sharded.stats()
+        assert stats["routing"]["hash_shards"] == 2
+        assert stats["registry"]["zero_copy_hydrations"] > 0
+    for key, prices in posted.items():
+        assert np.array_equal(
+            np.array(prices),
+            offline.transcript.posted_prices[: len(prices)],
+            equal_nan=True,
+        ), "session %s diverged through the segment-format migration" % (key,)
+
+
+# --------------------------------------------------------------------------- #
+# The commit-window race: new keys must not strand on the old placement
+# --------------------------------------------------------------------------- #
+
+
+def test_commit_window_blocks_new_admissions_until_routing_is_live(tmp_path):
+    """Regression for the residual rebalance race: a brand-new session key
+    admitted *between* the final empty sweep and commit_routing used to land
+    on the old hash placement, stranded and unserved by the new divisor.
+    The commit now runs under the routing freeze, so the racing admission
+    must block until the new placement is live and land on its 3-shard
+    home — serving bit-identically."""
+    model, materialized, theta = _single_market()
+    offline = simulate(
+        model, golden_specs.build_pricer(FAMILY, theta), materialized=materialized
+    )
+    factory = lambda key: (model, golden_specs.build_pricer(FAMILY, theta))
+    racer = next(
+        key
+        for index in range(1000)
+        for key in [SessionKey("app", "racer-%d" % index)]
+        if shard_of_key(key, 2) != shard_of_key(key, 3)
+    )
+    posted = []
+    entered = threading.Event()
+    admitted = threading.Event()
+
+    with ShardedRegistry(
+        factory, num_shards=2, snapshot_dir=str(tmp_path), persist_every=1
+    ) as sharded:
+        for index in range(3):
+            _drive_sync(
+                sharded, SessionKey("app", "seed-%d" % index), materialized, 0, 4, []
+            )
+
+        def admit():
+            entered.set()
+            _drive_sync(sharded, racer, materialized, 0, 8, posted)
+            admitted.set()
+
+        racer_thread = threading.Thread(target=admit)
+
+        def before_commit():
+            # Invoked with the freeze held, after the final empty plan and
+            # immediately before commit: race the admission in right here.
+            racer_thread.start()
+            assert entered.wait(5.0)
+            time.sleep(0.25)
+            # The admission is parked on the router lock — were the window
+            # still open, the quote would have been served on the 2-shard
+            # placement by now.
+            assert not admitted.is_set(), "admission slipped into the commit window"
+
+        rebalance_live(sharded, 3, before_commit=before_commit)
+        racer_thread.join(timeout=30.0)
+        assert not racer_thread.is_alive()
+        assert admitted.is_set()
+        # The racer was admitted under the *new* routing: no override, no
+        # stranding, straight onto its 3-shard hash home.
+        assert sharded.shard_of(racer) == shard_of_key(racer, 3)
+        stats = sharded.stats()
+        assert stats["routing"]["hash_shards"] == 3
+        assert stats["routing"]["overrides"] == 0
+    assert np.array_equal(
+        np.array(posted), offline.transcript.posted_prices[:8], equal_nan=True
+    )
+
+
+# --------------------------------------------------------------------------- #
 # Chaos: SIGKILL a shard worker mid-migration
 # --------------------------------------------------------------------------- #
 

@@ -1,0 +1,526 @@
+"""The columnar session store: golden round-trips in both snapshot formats,
+legacy → segment migration, clock-hand eviction, and row materialization.
+
+The acceptance bar of the store refactor: every golden family's state must
+survive persist → evict → hydrate **bit-identically** whether the snapshot
+lives in a per-session ``.session.npz`` file or an mmap segment record, a
+directory holding both formats at once must read correctly (the migration
+story), and the clock hand must pick the same victims the old LRU scan did
+for plain access patterns while honouring the pinned/pending exemptions.
+"""
+
+import json
+import os
+import sys
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "golden"))
+import golden_specs
+
+from repro.engine import load_checkpoint, prepare, simulate, stream_rounds
+from repro.engine.checkpoint import flatten_state
+from repro.exceptions import ServingError
+from repro.serving import (
+    FeedbackEvent,
+    PricerRegistry,
+    QuoteRequest,
+    QuoteService,
+    SessionKey,
+    export_segments_to_legacy,
+    list_segment_sessions,
+)
+from repro.serving.resharding import state_equal
+from repro.serving.store import SEGMENT_DIR, SEGMENT_INDEX, SESSION_SUFFIX
+
+ALL_FAMILIES = sorted(golden_specs.GOLDEN_SPECS)
+
+
+def _market(family):
+    model, batch, theta = golden_specs.build_market(family)
+    return model, prepare(model, batch), theta
+
+
+def _factory(family, model, theta):
+    return lambda key: (model, golden_specs.build_pricer(family, theta))
+
+
+def _drive(service, key, materialized, start, stop):
+    """Serve rounds [start, stop) closed-loop for one session."""
+    for round_ in stream_rounds(materialized, start, stop):
+        response = service.quote(
+            QuoteRequest(key=key, features=round_.features, reserve=round_.reserve)
+        )
+        sold = response.posted and response.posted_price <= round_.market_value
+        service.feedback(
+            FeedbackEvent(key=key, quote_id=response.quote_id, accepted=sold)
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Golden round-trips: both formats, all families, bit-identical
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("snapshot_format", ["legacy", "segment"])
+@pytest.mark.parametrize("family", ALL_FAMILIES)
+def test_golden_roundtrip_bit_identical(tmp_path, family, snapshot_format):
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        snapshot_format=snapshot_format,
+    )
+    service = QuoteService(registry)
+    key = SessionKey("golden", family)
+    _drive(service, key, materialized, 0, 24)
+
+    before = registry.session(key).pricer.state_dict()
+    registry.flush()
+    assert registry.evict(key)
+    assert key not in registry
+
+    session = registry.session(key)
+    assert session.hydrated
+    assert state_equal(session.pricer.state_dict(), before)
+
+    # Hydration source accounting is exact per format.
+    if snapshot_format == "segment":
+        assert registry.stats.zero_copy_hydrations == 1
+        assert registry.stats.legacy_hydrations == 0
+        assert registry.stats.segments >= 1
+        assert registry.stats.segment_bytes >= 0
+    else:
+        assert registry.stats.zero_copy_hydrations == 0
+        assert registry.stats.legacy_hydrations == 1
+        assert registry.stats.segments == 0
+    assert (
+        registry.stats.zero_copy_hydrations + registry.stats.legacy_hydrations
+        == registry.stats.hydrations
+    )
+    registry.close()
+
+
+def test_segment_thrashing_transcript_matches_offline(tmp_path):
+    """max_sessions=1 with two alternating sessions in *segment* format:
+    every access thrashes through persist → evict → zero-copy hydrate, and
+    both transcripts must still equal an uninterrupted offline run exactly."""
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        max_sessions=1,
+        snapshot_format="segment",
+    )
+    service = QuoteService(registry)
+    keys = [SessionKey("app", "alpha"), SessionKey("app", "beta")]
+
+    rounds = 48
+    transcripts = {key: {"prices": [], "sold": []} for key in keys}
+    for round_ in stream_rounds(materialized, 0, rounds):
+        for key in keys:
+            response = service.quote(
+                QuoteRequest(key=key, features=round_.features, reserve=round_.reserve)
+            )
+            sold = response.posted and response.posted_price <= round_.market_value
+            service.feedback(
+                FeedbackEvent(key=key, quote_id=response.quote_id, accepted=sold)
+            )
+            transcripts[key]["prices"].append(
+                np.nan if response.posted_price is None else response.posted_price
+            )
+            transcripts[key]["sold"].append(bool(sold))
+
+    assert registry.stats.evictions > 0
+    assert registry.stats.zero_copy_hydrations > 0
+    assert registry.stats.legacy_hydrations == 0
+    # No per-session files: all snapshot traffic went through segments.
+    assert not [
+        name for name in os.listdir(str(tmp_path)) if name.endswith(SESSION_SUFFIX)
+    ]
+
+    offline = simulate(
+        model,
+        golden_specs.build_pricer(family, theta),
+        materialized=materialized.slice(0, rounds),
+    )
+    for key in keys:
+        assert np.array_equal(
+            np.array(transcripts[key]["prices"]),
+            offline.transcript.posted_prices,
+            equal_nan=True,
+        )
+        assert np.array_equal(
+            np.array(transcripts[key]["sold"]), offline.transcript.sold
+        )
+    registry.close()
+
+
+# --------------------------------------------------------------------------- #
+# Migration: legacy files and segment records coexisting in one directory
+# --------------------------------------------------------------------------- #
+
+
+def test_legacy_to_segment_migration_and_mixed_directory(tmp_path):
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    key_old = SessionKey("app", "from-legacy")
+    key_new = SessionKey("app", "segment-native")
+
+    # Era 1: a legacy-format store persists key_old the old way.
+    legacy = PricerRegistry(
+        _factory(family, model, theta), snapshot_dir=str(tmp_path)
+    )
+    service = QuoteService(legacy)
+    _drive(service, key_old, materialized, 0, 16)
+    expected_old = legacy.session(key_old).pricer.state_dict()
+    legacy.flush()
+    legacy_path = legacy.snapshot_path(key_old)
+    assert os.path.exists(legacy_path)
+    legacy.close()
+
+    # Era 2: the same directory reopened in segment format.  key_old
+    # hydrates from its legacy file; key_new is born straight into segments.
+    store = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        snapshot_format="segment",
+    )
+    service = QuoteService(store)
+    session_old = store.session(key_old)
+    assert session_old.hydrated
+    assert store.stats.legacy_hydrations == 1
+    assert state_equal(session_old.pricer.state_dict(), expected_old)
+
+    _drive(service, key_new, materialized, 0, 16)
+    expected_new = store.session(key_new).pricer.state_dict()
+    store.flush()
+
+    # Persisting through the segment store retires the stale legacy file —
+    # the segment record is now the one authoritative copy.
+    assert not os.path.exists(legacy_path)
+    resident = set(list_segment_sessions(str(tmp_path)))
+    assert resident == {key_old, key_new}
+
+    assert store.evict(key_old) and store.evict(key_new)
+    rehydrated_old = store.session(key_old)
+    rehydrated_new = store.session(key_new)
+    assert store.stats.zero_copy_hydrations == 2
+    assert state_equal(rehydrated_old.pricer.state_dict(), expected_old)
+    assert state_equal(rehydrated_new.pricer.state_dict(), expected_new)
+    store.close()
+
+
+def test_export_segments_to_legacy_bridges_offline_resharder(tmp_path):
+    family = "sgd"
+    model, materialized, theta = _market(family)
+    keys = [SessionKey("app", "a"), SessionKey("app", "b")]
+    expected = {}
+
+    store = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        snapshot_format="segment",
+    )
+    service = QuoteService(store)
+    for key in keys:
+        _drive(service, key, materialized, 0, 12)
+        expected[key] = store.session(key).pricer.state_dict()
+    store.flush()
+    store.close()
+
+    assert export_segments_to_legacy(str(tmp_path)) == 2
+    assert list_segment_sessions(str(tmp_path)) == {}
+
+    # The exported files are ordinary checkpoints a legacy store hydrates.
+    legacy = PricerRegistry(
+        _factory(family, model, theta), snapshot_dir=str(tmp_path)
+    )
+    for key in keys:
+        session = legacy.session(key)
+        assert session.hydrated
+        assert state_equal(session.pricer.state_dict(), expected[key])
+    assert legacy.stats.legacy_hydrations == 2
+
+
+def test_export_session_tombstones_segment_record(tmp_path):
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    key = SessionKey("app", "moving")
+    store = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        snapshot_format="segment",
+    )
+    service = QuoteService(store)
+    _drive(service, key, materialized, 0, 8)
+    expected = store.session(key).pricer.state_dict()
+    store.flush()
+    assert key in list_segment_sessions(str(tmp_path))
+
+    path = store.export_session(key)
+    assert os.path.exists(path)
+    assert key not in store
+    assert key not in list_segment_sessions(str(tmp_path))
+    assert store.stats.exports == 1
+    assert store.stats.evictions == 0
+    assert state_equal(load_checkpoint(path).state, expected)
+    store.close()
+
+
+def test_materialize_legacy_rewrites_cold_segment_record(tmp_path):
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    key = SessionKey("app", "cold")
+    store = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        snapshot_format="segment",
+    )
+    service = QuoteService(store)
+    _drive(service, key, materialized, 0, 8)
+    expected = store.session(key).pricer.state_dict()
+    store.flush()
+    assert store.evict(key)
+
+    path = store.materialize_legacy(key)
+    assert path is not None and os.path.exists(path)
+    assert key not in list_segment_sessions(str(tmp_path))
+    assert state_equal(load_checkpoint(path).state, expected)
+
+    # Hydration now comes from the rewritten file.
+    session = store.session(key)
+    assert session.hydrated
+    assert store.stats.legacy_hydrations == 1
+    assert state_equal(session.pricer.state_dict(), expected)
+    store.close()
+
+
+# --------------------------------------------------------------------------- #
+# Segment log mechanics
+# --------------------------------------------------------------------------- #
+
+
+def test_segment_files_rotate_at_max_bytes(tmp_path):
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    store = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        snapshot_format="segment",
+        segment_max_bytes=64,  # the minimum: every append rolls to a fresh segment
+    )
+    service = QuoteService(store)
+    keys = [SessionKey("app", "s%d" % i) for i in range(3)]
+    for key in keys:
+        _drive(service, key, materialized, 0, 4)
+    store.flush()
+    assert store.stats.segments >= 2
+    segment_dir = os.path.join(str(tmp_path), SEGMENT_DIR)
+    assert len([n for n in os.listdir(segment_dir) if n.endswith(".seg")]) >= 2
+    assert store.stats.segment_bytes > 0
+    assert set(list_segment_sessions(str(tmp_path))) == set(keys)
+    store.close()
+
+
+def test_torn_index_tail_is_tolerated(tmp_path):
+    """A crash mid-append leaves a partial final index line; replay must
+    keep every complete record and drop only the torn tail."""
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    key = SessionKey("app", "survivor")
+    store = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        snapshot_format="segment",
+    )
+    service = QuoteService(store)
+    _drive(service, key, materialized, 0, 12)
+    expected = store.session(key).pricer.state_dict()
+    store.flush()
+    store.close()
+
+    index_path = os.path.join(str(tmp_path), SEGMENT_DIR, SEGMENT_INDEX)
+    with open(index_path, "ab") as handle:
+        handle.write(b'{"slug": "torn-mid-wri')  # no trailing newline
+
+    reopened = PricerRegistry(
+        _factory(family, model, theta),
+        snapshot_dir=str(tmp_path),
+        snapshot_format="segment",
+    )
+    session = reopened.session(key)
+    assert session.hydrated
+    assert reopened.stats.zero_copy_hydrations == 1
+    assert state_equal(session.pricer.state_dict(), expected)
+    reopened.close()
+
+
+# --------------------------------------------------------------------------- #
+# Clock-hand eviction
+# --------------------------------------------------------------------------- #
+
+
+def test_clock_hand_gives_recently_touched_sessions_a_second_chance():
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(_factory(family, model, theta), max_sessions=2)
+    key_a, key_b, key_c = (SessionKey("app", name) for name in "abc")
+    registry.session(key_a)
+    registry.session(key_b)
+    registry.session(key_a)  # sets a's reference bit
+    registry.session(key_c)  # over capacity: the hand clears a, evicts b
+    assert key_a in registry
+    assert key_b not in registry
+    assert key_c in registry
+    assert registry.stats.evictions == 1
+    assert registry.stats.clock_hand_steps >= 2
+
+
+def test_clock_skips_pinned_sessions(tmp_path):
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(
+        _factory(family, model, theta), snapshot_dir=str(tmp_path), max_sessions=1
+    )
+    key_a, key_b = SessionKey("app", "a"), SessionKey("app", "b")
+    registry.session(key_a)
+    registry.pin(key_a)
+    registry.session(key_b)
+    # Both the pinned session and the just-created one are exempt: the
+    # store runs over budget rather than dropping either.
+    assert registry.resident_count == 2
+    assert registry.stats.evictions == 0
+    registry.unpin(key_a)
+    registry.session(SessionKey("app", "c"))
+    assert registry.stats.evictions >= 1
+    assert registry.resident_count <= 2
+
+
+def test_slab_rows_are_recycled_and_gauges_track_residency():
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(_factory(family, model, theta), max_sessions=4)
+    keys = [SessionKey("app", "r%d" % i) for i in range(4)]
+    for key in keys:
+        registry.session(key)
+    slabs = registry.store._slabs
+    assert len(slabs) == 1
+    (slab,) = slabs.values()
+    peak_capacity = slab.capacity
+    peak_bytes = registry.stats.resident_bytes
+    assert peak_bytes > 0
+
+    for key in keys:
+        assert registry.evict(key)
+    assert registry.stats.resident_bytes == 0
+
+    # Re-admitting recycles freed rows: the slab never grows past its peak.
+    for key in keys:
+        registry.session(key)
+    assert slab.capacity == peak_capacity
+    assert registry.stats.resident_bytes == peak_bytes
+
+
+# --------------------------------------------------------------------------- #
+# Contiguous row materialization
+# --------------------------------------------------------------------------- #
+
+
+def test_materialize_rows_gathers_contiguous_batches(tmp_path):
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(_factory(family, model, theta))
+    service = QuoteService(registry)
+    keys = [SessionKey("app", "m%d" % i) for i in range(3)]
+    for i, key in enumerate(keys):
+        _drive(service, key, materialized, 0, 4 * (i + 1))
+
+    rows = service.materialize_rows(keys)
+    assert len(rows) == 3
+    assert rows.pricer_type == type(registry.session(keys[0]).pricer).__name__
+    for i, key in enumerate(keys):
+        skeleton, leaves = flatten_state(registry.session(key).pricer.state_dict())
+        assert json.loads(rows.skeletons[i]) == json.loads(json.dumps(skeleton))
+        for column, leaf in zip(rows.arrays, leaves):
+            assert column.flags["C_CONTIGUOUS"]
+            assert column.shape == (3,) + leaf.shape
+            assert np.array_equal(column[i], leaf)
+
+
+def test_scatter_rows_writes_batched_updates_back(tmp_path):
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(_factory(family, model, theta))
+    service = QuoteService(registry)
+    keys = [SessionKey("app", "w%d" % i) for i in range(3)]
+    for key in keys:
+        _drive(service, key, materialized, 0, 8)
+
+    rows = service.materialize_rows(keys)
+    # A batched engine step over the stacked arrays: one vectorised mutation
+    # touching every session's leaves at once.
+    for column in rows.arrays:
+        column += 1.0
+    assert service.scatter_rows(rows) == 3
+
+    for i, key in enumerate(keys):
+        _skeleton, leaves = flatten_state(registry.session(key).pricer.state_dict())
+        for column, leaf in zip(rows.arrays, leaves):
+            assert np.array_equal(column[i], leaf)
+
+    # And the write-back is durable through a snapshot round-trip.
+    expected = registry.session(keys[0]).pricer.state_dict()
+    registry2 = PricerRegistry(
+        _factory(family, model, theta), snapshot_dir=str(tmp_path)
+    )
+    session = registry2.session(keys[0])
+    session.pricer.load_state(expected)
+    registry2.flush()
+    assert registry2.evict(keys[0])
+    assert state_equal(registry2.session(keys[0]).pricer.state_dict(), expected)
+
+
+def test_materialize_rows_rejects_mixed_families_and_cold_keys():
+    family = "ellipsoid-reserve"
+    model_e, materialized, theta_e = _market(family)
+    model_f, _mat_f, theta_f = _market("fixed-price")
+
+    def factory(key):
+        if key.segment.startswith("fixed"):
+            return model_f, golden_specs.build_pricer("fixed-price", theta_f)
+        return model_e, golden_specs.build_pricer(family, theta_e)
+
+    registry = PricerRegistry(factory)
+    key_e = SessionKey("app", "ellipsoid")
+    key_f = SessionKey("app", "fixed")
+    registry.session(key_e)
+    registry.session(key_f)
+    with pytest.raises(ServingError):
+        registry.materialize_rows([key_e, key_f])
+    with pytest.raises(ServingError):
+        registry.materialize_rows([SessionKey("app", "never-seen")])
+    with pytest.raises(ServingError):
+        registry.materialize_rows([])
+
+
+def test_service_scatter_refuses_sessions_with_pending_quotes():
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(_factory(family, model, theta))
+    service = QuoteService(registry)
+    key = SessionKey("app", "inflight")
+    _drive(service, key, materialized, 0, 4)
+    rows = service.materialize_rows([key])
+
+    round_ = next(iter(stream_rounds(materialized, 4, 5)))
+    response = service.quote(
+        QuoteRequest(key=key, features=round_.features, reserve=round_.reserve)
+    )
+    with pytest.raises(ServingError):
+        service.scatter_rows(rows)
+    service.feedback(
+        FeedbackEvent(key=key, quote_id=response.quote_id, accepted=False)
+    )
