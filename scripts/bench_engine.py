@@ -35,7 +35,13 @@ sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(
 
 from repro.apps.common import ALGORITHM_VERSIONS, VersionPricerFactory, build_pricer_for_version
 from repro.apps.noisy_linear_query import NoisyLinearQueryConfig, build_noisy_query_environment
-from repro.engine import RunMatrix, simulate_reference
+from repro.engine import RunMatrix, simulate, simulate_reference
+from repro.engine.equivalence import (
+    assert_regret_curves_close,
+    assert_transcripts_close,
+    decision_flips,
+)
+from repro.engine.runner import prepare
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -57,7 +63,79 @@ def parse_args(argv=None) -> argparse.Namespace:
         action="store_true",
         help="only time the engine pass (no speedup/identity check)",
     )
+    parser.add_argument(
+        "--skip-backend",
+        action="store_true",
+        help="skip the relaxed-tier batched-backend comparison",
+    )
+    parser.add_argument(
+        "--backend-repeats",
+        type=int,
+        default=3,
+        help="timing repeats per path in the backend comparison (best-of)",
+    )
     return parser.parse_args(argv)
+
+
+def run_backend_compare(args, environment) -> dict:
+    """Reference vs ``backend="batched"`` on the conservative-tail workload.
+
+    The ellipsoid pricer's exploratory phase is cut-dense (block vectorisation
+    gains little there) but the long conservative tail re-prices round after
+    round on a *frozen* ellipsoid — exactly the regime the galloping-block
+    kernel collapses into O(log T) stacked support-interval evaluations.  The
+    same full horizon runs through both paths; equivalence is asserted under
+    the relaxed tier (zero decision flips expected) before timing is trusted.
+    """
+    version = "with reserve price"
+    materialized = prepare(environment.model, environment.arrivals)
+
+    def one_pass(backend):
+        best = float("inf")
+        result = None
+        pricer = None
+        for _ in range(max(1, args.backend_repeats)):
+            pricer = build_pricer_for_version(environment, version)
+            start = time.perf_counter()
+            result = simulate(
+                environment.model, pricer, materialized=materialized, backend=backend
+            )
+            best = min(best, time.perf_counter() - start)
+        return best, result, pricer
+
+    reference_seconds, reference, _ = one_pass(None)
+    batched_seconds, batched, _ = one_pass("batched")
+
+    flips = decision_flips(batched.transcript, reference.transcript)
+    relaxed_ok = True
+    try:
+        assert_transcripts_close(batched.transcript, reference.transcript)
+        assert_regret_curves_close(batched.transcript, reference.transcript)
+    except AssertionError as exc:
+        relaxed_ok = False
+        print("ERROR: batched backend outside relaxed tier: %s" % exc, file=sys.stderr)
+    conservative = int(np.count_nonzero(
+        ~np.asarray(reference.transcript.exploratory)
+        & ~np.asarray(reference.transcript.skipped)
+    ))
+    speedup = reference_seconds / batched_seconds if batched_seconds > 0 else float("inf")
+    print(
+        "backend compare (%s, T=%d, %d conservative rounds):" % (version, materialized.rounds, conservative)
+    )
+    print(
+        "  reference %.3fs   batched %.3fs   speedup %.2fx   flips %d"
+        % (reference_seconds, batched_seconds, speedup, flips)
+    )
+    return {
+        "version": version,
+        "rounds": materialized.rounds,
+        "conservative_rounds": conservative,
+        "reference_seconds": round(reference_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "speedup": round(speedup, 3),
+        "decision_flips": flips,
+        "relaxed_equivalent": relaxed_ok,
+    }
 
 
 def transcripts_identical(engine_result, reference_result) -> bool:
@@ -137,6 +215,11 @@ def main(argv=None) -> int:
         report["transcripts_identical"] = identical
         if not identical:
             print("ERROR: engine transcripts differ from the sequential reference", file=sys.stderr)
+            return 1
+
+    if not args.skip_backend:
+        report["backend_compare"] = run_backend_compare(args, environment)
+        if not report["backend_compare"]["relaxed_equivalent"]:
             return 1
 
     with open(args.output, "w") as handle:

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.ellipsoid import Ellipsoid
+from repro.core.ellipsoid import _DEGENERATE_GAIN, Ellipsoid
 from repro.exceptions import InvalidCutError
 from repro.utils.validation import ensure_finite_scalar, ensure_vector
 
@@ -91,8 +91,13 @@ def cut_position(ellipsoid: Ellipsoid, direction, offset: float, keep: str) -> f
     direction = ensure_vector(direction, dimension=ellipsoid.dimension, name="direction")
     offset = ensure_finite_scalar(offset, name="offset")
     gain = ellipsoid.direction_gain(direction)
-    if gain <= 0.0:
-        raise InvalidCutError("cut direction must be non-zero (x^T A x = %g)" % gain)
+    if not gain >= _DEGENERATE_GAIN:
+        # ``not >=`` also catches NaN.  A denormal positive gain would pass a
+        # plain ``> 0`` check and then overflow ``1 / sqrt(gain)``, emitting
+        # garbage or NaN cut parameters downstream.
+        raise InvalidCutError(
+            "cut direction has a degenerate support width (x^T A x = %g)" % gain
+        )
     signed = (float(direction @ ellipsoid.center) - offset) / math.sqrt(gain)
     if keep == "leq":
         return signed
@@ -143,6 +148,21 @@ def loewner_john_cut(
         )
     if on_infeasible not in ("raise", "skip", "clamp"):
         raise ValueError("on_infeasible must be 'raise', 'skip', or 'clamp', got %r" % on_infeasible)
+    if keep not in ("leq", "geq"):
+        raise ValueError("keep must be 'leq' or 'geq', got %r" % keep)
+    gain = ellipsoid.direction_gain(direction)
+    if not gain >= _DEGENERATE_GAIN:
+        # Degenerate direction: zero, denormal, or NaN support width.  The
+        # ellipsoid carries no information along such a direction, so in the
+        # non-raising modes the cut is a no-op rather than a division by ~0
+        # that would emit NaN cut parameters.
+        if on_infeasible == "raise":
+            raise InvalidCutError(
+                "cut direction has a degenerate support width (x^T A x = %g)" % gain
+            )
+        return CutResult(
+            ellipsoid=ellipsoid, alpha=float("nan"), kind=CutKind.NOOP, updated=False
+        )
     alpha = cut_position(ellipsoid, direction, offset, keep)
 
     if alpha > 1.0 + _ALPHA_TOLERANCE:

@@ -28,6 +28,13 @@ from repro.utils.validation import ensure_square_matrix, ensure_vector
 _PD_TOLERANCE = 1e-10
 _MEMBERSHIP_TOLERANCE = 1e-8
 
+# Smallest direction gain ``x^T A x`` treated as a usable support width.  A
+# denormal positive gain passes a plain ``> 0`` check but overflows
+# ``1 / sqrt(gain)`` downstream, emitting garbage or NaN cut parameters — the
+# same denormal class of bug fixed in ``market/features.py``.  Anything below
+# the smallest normal double (including exact zero and NaN) is degenerate.
+_DEGENERATE_GAIN = float(np.finfo(float).tiny)
+
 
 def unit_ball_volume(dimension: int) -> float:
     """Volume of the unit ball in ``dimension`` dimensions (the constant V_n)."""
@@ -163,8 +170,10 @@ class Ellipsoid:
         """The vector ``b = A x / sqrt(x^T A x)`` used in Algorithms 1 and 2."""
         direction = ensure_vector(direction, dimension=self.dimension, name="direction")
         gain = self.direction_gain(direction)
-        if gain <= 0.0:
-            raise ValueError("direction must be non-zero (x^T A x = %g)" % gain)
+        if not gain >= _DEGENERATE_GAIN:
+            raise ValueError(
+                "direction must have a non-degenerate support width (x^T A x = %g)" % gain
+            )
         return (self.shape @ direction) / math.sqrt(gain)
 
     def support_interval(self, direction) -> Tuple[float, float]:
@@ -175,8 +184,10 @@ class Ellipsoid:
         """
         direction = ensure_vector(direction, dimension=self.dimension, name="direction")
         gain = self.direction_gain(direction)
-        if gain < 0.0:
-            # Numerical noise can produce a tiny negative value for a PSD matrix.
+        if not gain >= _DEGENERATE_GAIN:
+            # Numerical noise can produce a tiny negative value for a PSD
+            # matrix, and a zero/denormal direction a degenerate width; both
+            # collapse to an exactly-zero support width.
             gain = 0.0
         half_width = math.sqrt(gain)
         middle = float(direction @ self.center)

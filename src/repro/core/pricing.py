@@ -30,6 +30,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.core.base import KnowledgePricerStateMixin, PostedPriceMechanism, PricingDecision
+from repro.core.ellipsoid import _DEGENERATE_GAIN, Ellipsoid
 from repro.core.knowledge import EllipsoidKnowledge, KnowledgeSet, PolytopeKnowledge
 from repro.utils.validation import ensure_finite_scalar, ensure_positive, ensure_vector
 
@@ -228,16 +229,26 @@ class EllipsoidPricer(KnowledgePricerStateMixin, PostedPriceMechanism):
     # Columnar engine fast path
     # ------------------------------------------------------------------ #
 
-    def run_batch(self, model, materialized, transcript) -> bool:
+    def run_batch(self, model, materialized, transcript, backend=None) -> bool:
         """Run a whole horizon with the per-round arithmetic of propose/update.
 
-        The loop body performs exactly the floating-point operations of
-        :meth:`propose` (the support interval ``x^T c ± sqrt(x^T A x)``) and
-        :meth:`update` (the Löwner–John cut), in the same order — only the
-        per-round input validation and :class:`PricingDecision` allocation are
-        elided — so seeded transcripts are bit-identical to the sequential
-        loop.  Internal counters (`exploratory_rounds`, `cuts_applied`, ...)
-        are maintained exactly as in the sequential path.
+        With ``backend=None`` (or ``"reference"``) the loop body performs
+        exactly the floating-point operations of :meth:`propose` (the support
+        interval ``x^T c ± sqrt(x^T A x)``) and :meth:`update` (the
+        Löwner–John cut), in the same order — only the per-round input
+        validation and :class:`PricingDecision` allocation are elided — so
+        seeded transcripts are bit-identical to the sequential loop.  Internal
+        counters (`exploratory_rounds`, `cuts_applied`, ...) are maintained
+        exactly as in the sequential path.
+
+        With a relaxed-tier ``backend`` (``"batched"``, ``"batched-torch"``)
+        the run is block-vectorised through the backend's stacked primitives
+        (:mod:`repro.core.batched_ellipsoid`): the knowledge ellipsoid is
+        constant between applied cuts, so whole blocks of support intervals
+        collapse into one gemm-backed contraction — the conservative tail,
+        where cuts never happen, becomes a handful of array passes.  The
+        result is held to the relaxed equivalence tier
+        (:mod:`repro.engine.equivalence`), not byte-identity.
         """
         config = self.config
         features = materialized.mapped_features
@@ -245,6 +256,8 @@ class EllipsoidPricer(KnowledgePricerStateMixin, PostedPriceMechanism):
             return False  # let the generic loop raise the usual dimension error
         if not np.all(np.isfinite(features)):
             return False
+        if backend not in (None, "reference"):
+            return self._run_batch_backend(model, materialized, transcript, backend)
         knowledge = self.knowledge
         fast_ellipsoid = isinstance(knowledge, EllipsoidKnowledge)
         use_reserve = config.use_reserve
@@ -270,9 +283,10 @@ class EllipsoidPricer(KnowledgePricerStateMixin, PostedPriceMechanism):
         for index in range(rounds):
             x = features[index]
             if fast_ellipsoid:
-                # Inlined Ellipsoid.support_interval (same expressions).
+                # Inlined Ellipsoid.support_interval (same expressions,
+                # including the degenerate-gain clamp).
                 gain = float(x @ shape @ x)
-                if gain < 0.0:
+                if not gain >= _DEGENERATE_GAIN:
                     gain = 0.0
                 half_width = sqrt(gain)
                 middle = float(x @ center)
@@ -314,6 +328,135 @@ class EllipsoidPricer(KnowledgePricerStateMixin, PostedPriceMechanism):
                     if fast_ellipsoid:
                         ellipsoid = knowledge.ellipsoid
                         shape, center = ellipsoid.shape, ellipsoid.center
+        self.skipped_rounds += skipped_rounds
+        self.exploratory_rounds += exploratory_rounds
+        self.conservative_rounds += conservative_rounds
+        self.cuts_applied += cuts_applied
+        self.advance_rounds(rounds)
+        return True
+
+    #: Initial block size of the backend path; doubled after every cut-free
+    #: block (galloping), so a cut-free conservative tail costs O(log T)
+    #: array passes while an exploration-heavy prefix wastes at most one
+    #: small block of speculative support intervals per applied cut.
+    _BACKEND_BLOCK_START = 64
+    _BACKEND_BLOCK_MAX = 65536
+
+    def _run_batch_backend(self, model, materialized, transcript, backend) -> bool:
+        """Block-vectorised horizon via a relaxed-tier math backend.
+
+        Between two *applied* cuts the knowledge ellipsoid is constant, so
+        every decision in between depends only on the stacked support
+        intervals — one backend contraction per block.  Blocks are scanned in
+        round order for the first cut candidate that actually changes the
+        ellipsoid (no-op cuts — degenerate directions, out-of-range α — leave
+        it unchanged, exactly as in the scalar path); the block's decided
+        prefix is committed, the cut is applied through the backend's stacked
+        kernel, and the walk resumes after it.
+        """
+        from repro.core import batched_ellipsoid
+
+        knowledge = self.knowledge
+        if not isinstance(knowledge, EllipsoidKnowledge):
+            # Polytope knowledge has no stacked kernel; reference semantics.
+            return self.run_batch(model, materialized, transcript)
+        math_backend = batched_ellipsoid.get_backend(backend)
+
+        config = self.config
+        features = materialized.mapped_features
+        market_values = materialized.market_values
+        link_reserves = materialized.link_reserves
+        use_reserve = config.use_reserve
+        delta = config.delta
+        epsilon = config.epsilon
+        allow_conservative_cuts = config.allow_conservative_cuts
+        identity_link = getattr(model, "link_is_identity", False)
+        rounds = features.shape[0]
+
+        link_prices = transcript.link_prices
+        posted_prices = transcript.posted_prices
+        sold_column = transcript.sold
+        skipped_column = transcript.skipped
+        exploratory_column = transcript.exploratory
+
+        # Hoisted per-horizon invariant: effective reserves (NaN = absent).
+        if use_reserve:
+            effective_all = np.where(
+                np.isnan(link_reserves), _NEGATIVE_INFINITY, link_reserves
+            )
+        else:
+            effective_all = np.full(rounds, _NEGATIVE_INFINITY)
+
+        skipped_rounds = exploratory_rounds = conservative_rounds = cuts_applied = 0
+        start = 0
+        block_size = self._BACKEND_BLOCK_START
+        while start < rounds:
+            stop = min(rounds, start + block_size)
+            block = features[start:stop]
+            ellipsoid = knowledge.ellipsoid
+            lower, upper = math_backend.block_support_intervals(
+                ellipsoid.center, ellipsoid.shape, block
+            )
+            effective = effective_all[start:stop]
+            skipped = effective >= upper + delta
+            width = upper - lower
+            active = ~skipped
+            exploratory = active & (width > epsilon)
+            price = np.where(
+                exploratory,
+                np.maximum(effective, 0.5 * (lower + upper)),
+                np.maximum(effective, lower - delta),
+            )
+            # The reference loop never evaluates the link on skipped rounds;
+            # zero out their placeholder prices so a non-linear link cannot
+            # overflow on values that are never posted.
+            safe_price = price if identity_link else np.where(active, price, 0.0)
+            posted = safe_price if identity_link else model.link_batch(safe_price)
+            accepted = active & (posted <= market_values[start:stop])
+
+            # First cut candidate that actually changes the ellipsoid.
+            candidates = active & (width > 1e-12)
+            if not allow_conservative_cuts:
+                candidates &= exploratory
+            limit = stop - start
+            applied = False
+            for offset_index in np.flatnonzero(candidates):
+                j = int(offset_index)
+                if accepted[j]:
+                    cut_offset, sign = price[j] - delta, -1.0  # keep 'geq'
+                else:
+                    cut_offset, sign = price[j] + delta, 1.0  # keep 'leq'
+                updated = math_backend.single_cut(
+                    ellipsoid.center, ellipsoid.shape, block[j], cut_offset, sign
+                )
+                if updated is not None:
+                    # The kernel re-symmetrises and returns fresh arrays, so
+                    # the in-place swap skips Ellipsoid.__init__ revalidation.
+                    ellipsoid.center, ellipsoid.shape = updated
+                    knowledge.cut_count += 1
+                    cuts_applied += 1
+                    limit = j + 1
+                    applied = True
+                    break
+
+            prefix = slice(start, start + limit)
+            live = active[:limit]
+            live_rows = start + np.flatnonzero(live)
+            link_prices[live_rows] = price[:limit][live]
+            posted_prices[live_rows] = posted[:limit][live]
+            sold_column[prefix] = accepted[:limit]
+            skipped_column[prefix] = skipped[:limit]
+            exploratory_column[prefix] = exploratory[:limit]
+            skipped_rounds += int(np.count_nonzero(skipped[:limit]))
+            exploratory_rounds += int(np.count_nonzero(exploratory[:limit]))
+            conservative_rounds += int(np.count_nonzero(live & ~exploratory[:limit]))
+            start += limit
+            block_size = (
+                self._BACKEND_BLOCK_START
+                if applied
+                else min(block_size * 2, self._BACKEND_BLOCK_MAX)
+            )
+
         self.skipped_rounds += skipped_rounds
         self.exploratory_rounds += exploratory_rounds
         self.conservative_rounds += conservative_rounds

@@ -26,6 +26,17 @@ from repro.engine.checkpoint import (
     save_result,
     serialize_state,
 )
+from repro.engine.equivalence import (
+    KNOWLEDGE_GEOMETRY,
+    REGRET_CURVES,
+    TRANSCRIPT_AGGREGATES,
+    TolerancePolicy,
+    assert_bit_exact,
+    assert_regret_curves_close,
+    assert_states_close,
+    assert_transcripts_close,
+    tier_for_backend,
+)
 from repro.engine.records import QueryArrival, RoundOutcome
 from repro.engine.reference import simulate_reference
 from repro.engine.results import SimulationResult
@@ -43,6 +54,15 @@ from repro.engine.transcript import Transcript, TranscriptRows
 __all__ = [
     "ArrivalBatch",
     "CheckpointError",
+    "KNOWLEDGE_GEOMETRY",
+    "REGRET_CURVES",
+    "TRANSCRIPT_AGGREGATES",
+    "TolerancePolicy",
+    "assert_bit_exact",
+    "assert_regret_curves_close",
+    "assert_states_close",
+    "assert_transcripts_close",
+    "tier_for_backend",
     "MaterializedArrivals",
     "MarketScenario",
     "PricerCheckpoint",

@@ -51,6 +51,7 @@ from repro.engine.runner import (
     _DECISION_COLUMNS,
     _dispatch,
     _market_fingerprint,
+    _validate_backend,
     run_batch_chunked,
     simulate,
 )
@@ -250,8 +251,15 @@ class RunMatrix:
         checkpoint_dir: Optional[str] = None,
         checkpoint_tag: Optional[str] = None,
         chunk_checkpoint_every: int = 1,
+        backend: Optional[str] = None,
     ) -> RunMatrixResult:
         """Execute every declared cell and return the result grid.
+
+        ``backend`` selects the math backend for every cell (see
+        :mod:`repro.engine.equivalence`): ``None`` / ``"reference"`` keep the
+        bit-exact tier, ``"batched"`` / ``"batched-torch"`` run the
+        relaxed-tier block-vectorised pricer paths.  The knob reaches every
+        executor, including sharded chunks and forked process workers.
 
         ``track_latency`` forces per-round timing, and with it the serial
         executor: the per-round wall-clock the paper reports (Section V-D)
@@ -294,6 +302,7 @@ class RunMatrix:
         if not self._cells:
             return RunMatrixResult({})
         self._validate_executor(executor)
+        _validate_backend(backend)
         if shard_rounds is not None and shard_rounds < 1:
             raise ValueError("shard_rounds must be at least 1, got %d" % shard_rounds)
         if chunk_checkpoint_every < 1:
@@ -342,6 +351,7 @@ class RunMatrix:
                                 cell, shard_rounds, checkpoint_dir
                             ),
                             chunk_checkpoint_every=chunk_checkpoint_every,
+                            backend=backend,
                         )
                         self._store(results, cell, result, checkpoint_dir)
             return RunMatrixResult({cell: results[cell] for cell in self._cells})
@@ -369,6 +379,7 @@ class RunMatrix:
                             cell, shard_rounds, checkpoint_dir
                         ),
                         chunk_checkpoint_every=chunk_checkpoint_every,
+                        backend=backend,
                     )
                     self._store(results, cell, result, checkpoint_dir)
                 return RunMatrixResult({cell: results[cell] for cell in self._cells})
@@ -390,6 +401,7 @@ class RunMatrix:
                             start,
                             stop,
                             blob,
+                            backend,
                         ),
                         rounds_of=lambda cell: prepared[cell.scenario][1].rounds,
                         transcript_for=lambda cell: Transcript.for_materialized(
@@ -401,7 +413,12 @@ class RunMatrix:
                 else:
                     futures = {
                         cell: pool.submit(
-                            self._run_cell, prepared[cell.scenario], cell, track_latency, None
+                            self._run_cell,
+                            prepared[cell.scenario],
+                            cell,
+                            track_latency,
+                            None,
+                            backend=backend,
                         )
                         for cell in pending
                     }
@@ -415,7 +432,7 @@ class RunMatrix:
         # registry is keyed per run, so overlapping runs (nested matrices,
         # threads) never clobber each other's state.
         token = "%d-%d" % (os.getpid(), next(_RUN_TOKENS))
-        _WORKER_STATES[token] = (prepared, dict(self._pricer_factories), track_latency)
+        _WORKER_STATES[token] = (prepared, dict(self._pricer_factories), track_latency, backend)
         try:
             context = multiprocessing.get_context("fork")
             workers = max_workers or min(len(pending), os.cpu_count() or 1)
@@ -620,6 +637,7 @@ class RunMatrix:
         shard_rounds: Optional[int] = None,
         chunk_checkpoint_path: Optional[str] = None,
         chunk_checkpoint_every: int = 1,
+        backend: Optional[str] = None,
     ) -> SimulationResult:
         scenario, materialized = prepared
         try:
@@ -632,6 +650,7 @@ class RunMatrix:
                         materialized=materialized,
                         chunk_size=shard_rounds,
                         pricer_name=cell.pricer,
+                        backend=backend,
                     )
                 try:
                     return run_batch_chunked(
@@ -644,6 +663,7 @@ class RunMatrix:
                         resume=True,
                         checkpoint_every=chunk_checkpoint_every,
                         checkpoint_final=False,
+                        backend=backend,
                     )
                 except checkpoint_store.CheckpointError:
                     # Stale or foreign chunk file (e.g. the workload changed
@@ -663,6 +683,7 @@ class RunMatrix:
                         checkpoint_path=chunk_checkpoint_path,
                         checkpoint_every=chunk_checkpoint_every,
                         checkpoint_final=False,
+                        backend=backend,
                     )
             return simulate(
                 scenario.model,
@@ -670,6 +691,7 @@ class RunMatrix:
                 materialized=materialized,
                 track_latency=track_latency,
                 pricer_name=cell.pricer,
+                backend=backend,
             )
         except RunCellError:
             raise
@@ -713,7 +735,7 @@ class _SeededBuilder:
 
 #: Per-run worker state, registered by :meth:`RunMatrix.run` immediately
 #: before forking process workers and removed when the run completes.
-_WORKER_STATES: Dict[str, Tuple[dict, dict, bool]] = {}
+_WORKER_STATES: Dict[str, Tuple[dict, dict, bool, Optional[str]]] = {}
 _RUN_TOKENS = itertools.count()
 
 
@@ -724,7 +746,7 @@ def _run_cell_in_worker(token: str, cell: RunCell) -> SimulationResult:
         raise RuntimeError(
             "run-matrix worker state %r missing (not forked from run()?)" % token
         )
-    prepared, factories, track_latency = state
+    prepared, factories, track_latency, backend = state
     scenario, materialized = prepared[cell.scenario]
     try:
         pricer = factories[cell.pricer](scenario)
@@ -734,6 +756,7 @@ def _run_cell_in_worker(token: str, cell: RunCell) -> SimulationResult:
             materialized=materialized,
             track_latency=track_latency,
             pricer_name=cell.pricer,
+            backend=backend,
         )
     except Exception as exc:
         # RunCellError pickles cleanly across the pool pipe (its args are the
@@ -753,8 +776,10 @@ def _run_chunk_in_worker(
         raise RuntimeError(
             "run-matrix worker state %r missing (not forked from run()?)" % token
         )
-    prepared, factories, _track_latency = state
-    return _run_chunk(prepared[cell.scenario], factories[cell.pricer], cell, start, stop, state_blob)
+    prepared, factories, _track_latency, backend = state
+    return _run_chunk(
+        prepared[cell.scenario], factories[cell.pricer], cell, start, stop, state_blob, backend
+    )
 
 
 def _run_chunk(
@@ -764,6 +789,7 @@ def _run_chunk(
     start: int,
     stop: int,
     state_blob: Optional[bytes],
+    backend: Optional[str] = None,
 ):
     """Run rounds ``[start, stop)`` of one cell from a serialised snapshot.
 
@@ -782,7 +808,7 @@ def _run_chunk(
             pricer.load_state(checkpoint_store.deserialize_state(state_blob))
         chunk = materialized.slice(start, stop)
         transcript = Transcript.for_materialized(chunk)
-        _dispatch(scenario.model, pricer, chunk, transcript)
+        _dispatch(scenario.model, pricer, chunk, transcript, backend=backend)
         columns = {name: getattr(transcript, name) for name in _DECISION_COLUMNS}
         return columns, checkpoint_store.serialize_state(pricer.state_dict()), type(pricer).__name__
     except Exception as exc:

@@ -60,6 +60,7 @@ def simulate(
     track_latency: bool = False,
     materialized: Optional[MaterializedArrivals] = None,
     pricer_name: Optional[str] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Simulate one pricer over a batch of arrivals (columnar engine).
 
@@ -80,7 +81,14 @@ def simulate(
         Pre-computed :class:`MaterializedArrivals`, shared across pricers by
         :func:`repro.core.simulation.compare_pricers` and the run-matrix
         executor.
+    backend:
+        Math-backend selector (see :mod:`repro.engine.equivalence`).
+        ``None`` / ``"reference"`` stay in the bit-exact tier; ``"batched"``
+        (numpy) and ``"batched-torch"`` run relaxed-tier block-vectorised
+        pricer paths.  Unknown names raise ``ValueError`` here, before any
+        round runs.  Latency tracking forces the sequential loop regardless.
     """
+    _validate_backend(backend)
     if materialized is None:
         if arrivals is None:
             raise ValueError("either arrivals or materialized must be provided")
@@ -91,7 +99,7 @@ def simulate(
     if track_latency:
         _run_loop(model, pricer, materialized, transcript, latency=latency)
     else:
-        _dispatch(model, pricer, materialized, transcript)
+        _dispatch(model, pricer, materialized, transcript, backend=backend)
 
     transcript.finalize_regrets()
     return SimulationResult(
@@ -114,6 +122,7 @@ def run_batch_chunked(
     resume: bool = False,
     checkpoint_every: int = 1,
     checkpoint_final: bool = True,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Execute one horizon as a sequence of chunks through checkpoints.
 
@@ -159,6 +168,7 @@ def run_batch_chunked(
     """
     from repro.engine import checkpoint as checkpoint_module
 
+    _validate_backend(backend)
     if chunk_size < 1:
         raise ValueError("chunk_size must be at least 1, got %d" % chunk_size)
     if checkpoint_every < 1:
@@ -204,7 +214,7 @@ def run_batch_chunked(
         stop = min(start + chunk_size, rounds)
         chunk = materialized.slice(start, stop)
         chunk_transcript = Transcript.for_materialized(chunk)
-        _dispatch(model, pricer, chunk, chunk_transcript)
+        _dispatch(model, pricer, chunk, chunk_transcript, backend=backend)
         for name in _DECISION_COLUMNS:
             getattr(transcript, name)[start:stop] = getattr(chunk_transcript, name)
         start = stop
@@ -263,11 +273,24 @@ def _market_fingerprint(materialized: MaterializedArrivals) -> str:
 # --------------------------------------------------------------------------- #
 
 
-def _dispatch(model, pricer, materialized: MaterializedArrivals, transcript: Transcript) -> None:
+def _validate_backend(backend: Optional[str]) -> None:
+    """Reject unknown ``backend=`` values before any round runs."""
+    from repro.engine.equivalence import tier_for_backend
+
+    tier_for_backend(backend)  # raises ValueError on unknown names
+
+
+def _dispatch(
+    model,
+    pricer,
+    materialized: MaterializedArrivals,
+    transcript: Transcript,
+    backend: Optional[str] = None,
+) -> None:
     """Strategy dispatch shared by :func:`simulate` and the chunked runner."""
     if getattr(pricer, "supports_batch_propose", False):
         _run_vectorized(model, pricer, materialized, transcript)
-    elif not pricer.run_batch(model, materialized, transcript):
+    elif not pricer.run_batch(model, materialized, transcript, backend=backend):
         _run_loop(model, pricer, materialized, transcript, latency=None)
 
 

@@ -37,6 +37,7 @@ includes queueing delay inside the window) and aggregated by the shared
 
 from __future__ import annotations
 
+import json
 import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field, replace
@@ -45,6 +46,8 @@ from typing import Callable, Deque, Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.core.base import BatchDecisions
+from repro.core.knowledge import EllipsoidKnowledge
+from repro.core.pricing import EllipsoidPricer
 from repro.exceptions import ServingError
 from repro.serving.registry import PricerRegistry, PricingSession
 from repro.serving.requests import FeedbackEvent, QuoteRequest, QuoteResponse
@@ -82,11 +85,45 @@ class ServiceStats:
     drains: int = 0
     batched_proposals: int = 0
     feedback_applied: int = 0
+    #: Stacked cross-session ellipsoid updates (one per backend kernel call;
+    #: each covers every batched session of one family in the window).
+    batched_updates: int = 0
+    #: Sessions whose feedback went through a stacked update.
+    batched_update_sessions: int = 0
     latency: OnlineLatencyTracker = field(default_factory=OnlineLatencyTracker)
 
     def latency_summary(self) -> LatencySummary:
         """p50/p99-style summary of the per-quote latencies."""
         return LatencySummary.from_seconds(self.latency.samples_seconds)
+
+
+def _needs_cut(decision, allow_conservative_cuts: bool) -> bool:
+    """Whether settling this pending decision would attempt a knowledge cut.
+
+    Mirrors the guards of :meth:`EllipsoidPricer.update` exactly (non-skipped
+    priced round, exploratory unless conservative cuts are enabled, and
+    non-degenerate width along the cut direction).
+    """
+    if decision.skipped or decision.price is None:
+        return False
+    if not (decision.exploratory or allow_conservative_cuts):
+        return False
+    return decision.width > 1e-12
+
+
+@dataclass
+class _BatchedCutEntry:
+    """One session's settled single-cut window, awaiting the stacked update."""
+
+    session: PricingSession
+    pricer: EllipsoidPricer
+    group_size: int
+    decision: object
+    accepted: bool
+    direction: np.ndarray
+    offset: float
+    sign: float
+    family: tuple
 
 
 class QuoteService:
@@ -105,6 +142,16 @@ class QuoteService:
         First quote id to assign.  A respawned shard worker is seeded past
         its dead predecessor's highest issued id, so a stale feedback event
         for a lost quote can never settle a fresh one by id collision.
+    backend:
+        Math-backend selector for the cross-session feedback fast path (see
+        :mod:`repro.engine.equivalence`).  ``None`` / ``"reference"`` keep
+        the bit-exact per-session update loop.  ``"batched"`` (numpy) /
+        ``"batched-torch"`` settle each micro-batch window's single-cut
+        ellipsoid sessions through **one** stacked Löwner–John update over
+        their slab rows (``materialize_rows`` → stacked kernel →
+        ``scatter_rows``) — relaxed-tier semantics.  Sessions that need
+        multiple sequential cuts in one window, or use other pricer
+        families, transparently fall back to the reference loop.
     """
 
     def __init__(
@@ -113,6 +160,7 @@ class QuoteService:
         config: Optional[MicroBatchConfig] = None,
         clock: Callable[[], float] = time.perf_counter,
         first_quote_id: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         if first_quote_id < 0:
             raise ValueError(
@@ -125,6 +173,15 @@ class QuoteService:
         self._outbox: List[QuoteResponse] = []
         self._next_quote_id = first_quote_id
         self.stats = ServiceStats()
+        self.backend = backend
+        if backend in (None, "reference"):
+            self._math_backend = None
+        else:
+            # Resolve eagerly: an unknown name or a missing optional
+            # dependency (torch) fails at construction, not mid-feedback.
+            from repro.core import batched_ellipsoid
+
+            self._math_backend = batched_ellipsoid.get_backend(backend)
 
     # ------------------------------------------------------------------ #
     # Quote path
@@ -265,7 +322,9 @@ class QuoteService:
         """Apply one accept/reject outcome to its session's pricer."""
         session = self._session_for_feedback(event.key)
         decision = self._settle(session, event)
+        cuts_before = getattr(session.pricer, "cuts_applied", None)
         session.pricer.update(decision, event.accepted)
+        self._note_scalar_update(session, cuts_before)
         self.registry.note_feedback(session)
         self.stats.feedback_applied += 1
 
@@ -275,11 +334,16 @@ class QuoteService:
         Stateless sessions take the whole group through one ``update_batch``
         call; learning sessions apply ordered per-decision ``update`` calls
         (order is semantics for them — each cut changes the next update's
-        knowledge state).
+        knowledge state).  With a relaxed-tier :attr:`backend`, ellipsoid
+        sessions whose window requires at most one cut are instead collected
+        **across sessions** and settled through one stacked Löwner–John
+        update per pricer family (cuts of *different* sessions touch
+        disjoint ellipsoids, so stacking them loses no ordering semantics).
         """
         groups: "OrderedDict" = OrderedDict()
         for event in events:
             groups.setdefault(event.key, []).append(event)
+        deferred: List[_BatchedCutEntry] = []
         for key, group in groups.items():
             session = self._session_for_feedback(key)
             pricer = session.pricer
@@ -307,14 +371,23 @@ class QuoteService:
                 pricer.update_batch(
                     batch, np.array([event.accepted for event in group], dtype=bool)
                 )
+                self.registry.mark_stale(session)
                 self.registry.note_feedback(session, count=len(group))
                 self.stats.feedback_applied += len(group)
-            else:
-                for event in group:
-                    decision = self._settle(session, event)
-                    pricer.update(decision, event.accepted)
-                self.registry.note_feedback(session, count=len(group))
-                self.stats.feedback_applied += len(group)
+                continue
+            entry = self._defer_for_batched_cut(session, group)
+            if entry is not None:
+                deferred.append(entry)
+                continue
+            cuts_before = getattr(pricer, "cuts_applied", None)
+            for event in group:
+                decision = self._settle(session, event)
+                pricer.update(decision, event.accepted)
+            self._note_scalar_update(session, cuts_before)
+            self.registry.note_feedback(session, count=len(group))
+            self.stats.feedback_applied += len(group)
+        if deferred:
+            self._apply_batched_feedback(deferred)
 
     def feedback_many(self, events: Iterable[FeedbackEvent]) -> List[Optional[Exception]]:
         """Apply a mixed window of outcomes with **per-event** results.
@@ -343,10 +416,148 @@ class QuoteService:
         return outcomes
 
     # ------------------------------------------------------------------ #
+    # Cross-session batched feedback (relaxed tier)
+    # ------------------------------------------------------------------ #
+
+    def _note_scalar_update(self, session, cuts_before) -> None:
+        """Flag the slab row stale when a scalar update changed pricer state.
+
+        Ellipsoid-family pricers expose ``cuts_applied`` — geometry changes
+        iff the counter moved, so no-op feedback stays cheap.  Pricers
+        without the counter (SGD and friends) mutate on every update; their
+        rows are flagged unconditionally.
+        """
+        if cuts_before is None or getattr(session.pricer, "cuts_applied", None) != cuts_before:
+            self.registry.mark_stale(session)
+
+    def _defer_for_batched_cut(self, session, group) -> Optional["_BatchedCutEntry"]:
+        """Settle one window group for the stacked update, if eligible.
+
+        Eligible means: a relaxed-tier backend is configured, the session's
+        pricer is an :class:`EllipsoidPricer` over ellipsoid knowledge, the
+        group covers *all* of the session's in-flight quotes (so pending is
+        empty after settling — the :meth:`scatter_rows` precondition), and
+        exactly one event requires a cut.  Zero-cut groups gain nothing from
+        the kernel and multi-cut groups are order-dependent within the
+        session; both run the reference loop.  Returns ``None`` (nothing
+        settled) when ineligible.
+        """
+        if self._math_backend is None:
+            return None
+        pricer = session.pricer
+        if not isinstance(pricer, EllipsoidPricer):
+            return None
+        if not isinstance(pricer.knowledge, EllipsoidKnowledge):
+            return None
+        if len(session.pending) != len(group):
+            return None
+        allow_conservative_cuts = pricer.config.allow_conservative_cuts
+        cut_events = [
+            event
+            for event in group
+            if _needs_cut(session.pending[event.quote_id], allow_conservative_cuts)
+        ]
+        if len(cut_events) != 1:
+            return None
+        cut_event = cut_events[0]
+        cut_decision = None
+        for event in group:
+            decision = self._settle(session, event)
+            if event is cut_event:
+                cut_decision = decision
+        delta = pricer.config.delta
+        if cut_event.accepted:
+            offset, sign = cut_decision.price - delta, -1.0  # keep 'geq'
+        else:
+            offset, sign = cut_decision.price + delta, 1.0  # keep 'leq'
+        return _BatchedCutEntry(
+            session=session,
+            pricer=pricer,
+            group_size=len(group),
+            decision=cut_decision,
+            accepted=cut_event.accepted,
+            direction=np.asarray(cut_decision.features, dtype=float),
+            offset=float(offset),
+            sign=sign,
+            family=(type(pricer).__name__, pricer.config.dimension),
+        )
+
+    def _apply_batched_feedback(self, entries: List["_BatchedCutEntry"]) -> None:
+        """One stacked Löwner–John update per pricer family.
+
+        Each entry is one session with exactly one settled cut-requiring
+        outcome.  Per family: gather the sessions' slab rows
+        (``materialize_rows(refresh="stale")`` — only rows diverged by a
+        scalar update pay the state round-trip), run the backend's stacked
+        kernel over all of them at once, propagate each updated item's new
+        geometry and cut counters onto its live pricer directly, and write
+        the rows back through ``scatter_rows(update_pricers=False)`` (slab
+        only — the live objects are already current), patching the updated
+        skeletons' cut counters on the way.  If a family's slab rows don't
+        have the expected ``(k, n)`` / ``(k, n, n)`` layout the family falls
+        back to per-session scalar updates.
+        """
+        families: "OrderedDict" = OrderedDict()
+        for entry in entries:
+            families.setdefault(entry.family, []).append(entry)
+        for family_entries in families.values():
+            keys = [entry.session.key for entry in family_entries]
+            dimension = family_entries[0].pricer.config.dimension
+            count = len(family_entries)
+            rows = self.materialize_rows(keys, refresh="stale")
+            if (
+                len(rows.arrays) != 2
+                or rows.arrays[0].shape != (count, dimension)
+                or rows.arrays[1].shape != (count, dimension, dimension)
+            ):
+                self._scalar_cut_fallback(family_entries)
+                continue
+            directions = np.stack([entry.direction for entry in family_entries])
+            offsets = np.array([entry.offset for entry in family_entries])
+            signs = np.array([entry.sign for entry in family_entries])
+            result = self._math_backend.batched_cut(
+                rows.arrays[0], rows.arrays[1], directions, offsets, signs
+            )
+            rows.arrays[0][...] = result.centers
+            rows.arrays[1][...] = result.shapes
+            for position in np.flatnonzero(result.updated):
+                skeleton = json.loads(rows.skeletons[position])
+                skeleton["cuts_applied"] += 1
+                skeleton["knowledge"]["cut_count"] += 1
+                rows.skeletons[position] = json.dumps(
+                    skeleton, separators=(",", ":")
+                )
+                pricer = family_entries[position].pricer
+                ellipsoid = pricer.knowledge.ellipsoid
+                # The kernel re-symmetrised these rows; copies detach them
+                # from the stacked result buffer.
+                ellipsoid.center = result.centers[position].copy()
+                ellipsoid.shape = result.shapes[position].copy()
+                pricer.knowledge.cut_count += 1
+                pricer.cuts_applied += 1
+            self.scatter_rows(rows, update_pricers=False)
+            self.stats.batched_updates += 1
+            self.stats.batched_update_sessions += count
+            # Write-behind accounting runs after the scatter, so a persist
+            # triggered here snapshots the post-cut state.
+            for entry in family_entries:
+                self.registry.note_feedback(entry.session, count=entry.group_size)
+                self.stats.feedback_applied += entry.group_size
+
+    def _scalar_cut_fallback(self, family_entries: List["_BatchedCutEntry"]) -> None:
+        """Reference-path updates for already-settled deferred entries."""
+        for entry in family_entries:
+            cuts_before = getattr(entry.pricer, "cuts_applied", None)
+            entry.pricer.update(entry.decision, entry.accepted)
+            self._note_scalar_update(entry.session, cuts_before)
+            self.registry.note_feedback(entry.session, count=entry.group_size)
+            self.stats.feedback_applied += entry.group_size
+
+    # ------------------------------------------------------------------ #
     # Contiguous row slices
     # ------------------------------------------------------------------ #
 
-    def materialize_rows(self, keys, refresh: bool = True):
+    def materialize_rows(self, keys, refresh=True):
         """Contiguous struct-of-arrays slices of same-family sessions.
 
         The columnar hand-off between a ``submit_many`` window and the
@@ -360,13 +571,15 @@ class QuoteService:
         """
         return self.registry.materialize_rows(keys, refresh=refresh)
 
-    def scatter_rows(self, materialized) -> int:
+    def scatter_rows(self, materialized, update_pricers: bool = True) -> int:
         """Write materialized slices back into slab rows and live pricers.
 
         Refuses sessions that picked up in-flight quotes since
         :meth:`materialize_rows`: their pending decisions were priced on
         the pre-batch state, and overwriting it would settle their feedback
-        against state they never saw.
+        against state they never saw.  ``update_pricers=False`` writes slab
+        rows only (the caller already propagated results onto the live
+        pricers).
         """
         for key in materialized.keys:
             session = self.registry.peek(key)
@@ -376,7 +589,7 @@ class QuoteService:
                     "quote(s); settle their feedback first"
                     % (key, len(session.pending))
                 )
-        return self.registry.scatter_rows(materialized)
+        return self.registry.scatter_rows(materialized, update_pricers=update_pricers)
 
     def _session_for_feedback(self, key) -> PricingSession:
         """Resolve a feedback target without creating (or LRU-thrashing) it.

@@ -1,0 +1,257 @@
+"""The stacked Löwner–John kernel vs the scalar reference cut."""
+
+import numpy as np
+import pytest
+
+from repro.core import batched_ellipsoid
+from repro.core.batched_ellipsoid import (
+    BACKEND_NAMES,
+    BackendUnavailableError,
+    HAS_TORCH,
+    batched_cut,
+    batched_support_intervals,
+    block_support_intervals,
+    get_backend,
+    keep_signs,
+    single_cut,
+)
+from repro.core.cuts import loewner_john_cut
+from repro.core.ellipsoid import Ellipsoid, random_ellipsoid
+
+
+def _random_batch(count, dimension, seed):
+    """Random ellipsoids + cut specs spanning every update regime."""
+    rng = np.random.default_rng(seed)
+    centers = np.empty((count, dimension))
+    shapes = np.empty((count, dimension, dimension))
+    ellipsoids = []
+    for index in range(count):
+        ellipsoid = random_ellipsoid(dimension, seed=seed * 1000 + index)
+        centers[index] = ellipsoid.center
+        shapes[index] = ellipsoid.shape
+        ellipsoids.append(ellipsoid)
+    directions = rng.standard_normal((count, dimension))
+    # Offsets spread around each support interval so the batch hits NOOP,
+    # shallow, central, deep, and collapse/infeasible alphas.
+    lowers, uppers = batched_support_intervals(centers, shapes, directions)
+    mix = rng.random(count) * 2.4 - 0.7  # in [-0.7, 1.7]
+    offsets = lowers + mix * (uppers - lowers)
+    signs = np.where(rng.random(count) < 0.5, 1.0, -1.0)
+    return ellipsoids, centers, shapes, directions, offsets, signs
+
+
+def _scalar_reference(ellipsoids, directions, offsets, signs):
+    centers, shapes, alphas, updated = [], [], [], []
+    for ellipsoid, direction, offset, sign in zip(
+        ellipsoids, directions, offsets, signs
+    ):
+        keep = "leq" if sign > 0 else "geq"
+        result = loewner_john_cut(
+            ellipsoid, direction, float(offset), keep=keep, on_infeasible="skip"
+        )
+        centers.append(result.ellipsoid.center)
+        shapes.append(result.ellipsoid.shape)
+        alphas.append(result.alpha)
+        updated.append(result.updated)
+    return (
+        np.array(centers),
+        np.array(shapes),
+        np.array(alphas),
+        np.array(updated, dtype=bool),
+    )
+
+
+class TestBatchedCutMatchesScalar:
+    @pytest.mark.parametrize("dimension", [2, 3, 6])
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_all_regimes(self, dimension, seed):
+        ellipsoids, centers, shapes, directions, offsets, signs = _random_batch(
+            40, dimension, seed
+        )
+        result = batched_cut(centers, shapes, directions, offsets, signs)
+        ref_centers, ref_shapes, ref_alphas, ref_updated = _scalar_reference(
+            ellipsoids, directions, offsets, signs
+        )
+        np.testing.assert_array_equal(result.updated, ref_updated)
+        np.testing.assert_allclose(result.alphas, ref_alphas, rtol=1e-12, atol=1e-12)
+        np.testing.assert_allclose(result.centers, ref_centers, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(result.shapes, ref_shapes, rtol=1e-10, atol=1e-12)
+
+    def test_keep_signs_mapping(self):
+        assert keep_signs("leq") == 1.0
+        assert keep_signs("geq") == -1.0
+        with pytest.raises(ValueError):
+            keep_signs("between")
+
+    def test_inputs_not_mutated(self):
+        _, centers, shapes, directions, offsets, signs = _random_batch(8, 3, 5)
+        centers_before = centers.copy()
+        shapes_before = shapes.copy()
+        batched_cut(centers, shapes, directions, offsets, signs)
+        np.testing.assert_array_equal(centers, centers_before)
+        np.testing.assert_array_equal(shapes, shapes_before)
+
+
+class TestSingleCut:
+    """The scalar k=1 fast path mirrors batched_cut item-wise."""
+
+    @pytest.mark.parametrize("dimension", [2, 4, 6])
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_matches_batched_kernel(self, dimension, seed):
+        _, centers, shapes, directions, offsets, signs = _random_batch(
+            30, dimension, seed
+        )
+        batch = batched_cut(centers, shapes, directions, offsets, signs)
+        for index in range(len(centers)):
+            scalar = single_cut(
+                centers[index],
+                shapes[index],
+                directions[index],
+                float(offsets[index]),
+                float(signs[index]),
+            )
+            if not batch.updated[index]:
+                assert scalar is None
+                continue
+            assert scalar is not None
+            new_center, new_shape = scalar
+            np.testing.assert_allclose(
+                new_center, batch.centers[index], rtol=1e-12, atol=1e-14
+            )
+            np.testing.assert_allclose(
+                new_shape, batch.shapes[index], rtol=1e-12, atol=1e-14
+            )
+            np.testing.assert_array_equal(new_shape, new_shape.T)
+
+    def test_degenerate_direction_is_none(self):
+        ellipsoid = random_ellipsoid(4, seed=17)
+        assert single_cut(ellipsoid.center, ellipsoid.shape, np.zeros(4), 0.1, 1.0) is None
+        denormal = np.full(4, 1e-170)
+        assert (
+            single_cut(ellipsoid.center, ellipsoid.shape, denormal, 0.1, 1.0) is None
+        )
+
+    def test_inputs_not_mutated(self):
+        ellipsoid = random_ellipsoid(3, seed=9)
+        center = ellipsoid.center.copy()
+        shape = ellipsoid.shape.copy()
+        direction = np.array([1.0, -0.5, 0.25])
+        middle = float(direction @ center)
+        result = single_cut(center, shape, direction, middle, 1.0)
+        assert result is not None
+        np.testing.assert_array_equal(center, ellipsoid.center)
+        np.testing.assert_array_equal(shape, ellipsoid.shape)
+
+
+class TestDegenerateDirections:
+    def test_zero_direction_is_noop_not_nan(self):
+        ellipsoid = random_ellipsoid(4, seed=11)
+        centers = ellipsoid.center[None, :]
+        shapes = ellipsoid.shape[None, :, :]
+        direction = np.zeros((1, 4))
+        result = batched_cut(centers, shapes, direction, np.array([0.3]), np.array([1.0]))
+        assert not result.updated[0]
+        assert np.isnan(result.alphas[0])
+        np.testing.assert_array_equal(result.centers[0], ellipsoid.center)
+        np.testing.assert_array_equal(result.shapes[0], ellipsoid.shape)
+        assert np.all(np.isfinite(result.centers))
+        assert np.all(np.isfinite(result.shapes))
+
+    def test_denormal_direction_is_noop_not_nan(self):
+        # x^T A x underflows to a denormal: positive, but 1/sqrt(gain)
+        # overflows — the historical NaN-cut bug class.
+        ellipsoid = random_ellipsoid(4, seed=12)
+        direction = np.full((1, 4), 1e-170)
+        result = batched_cut(
+            ellipsoid.center[None, :],
+            ellipsoid.shape[None, :, :],
+            direction,
+            np.array([0.0]),
+            np.array([-1.0]),
+        )
+        assert not result.updated[0]
+        assert np.all(np.isfinite(result.centers))
+        assert np.all(np.isfinite(result.shapes))
+
+    def test_mixed_batch_degenerate_rows_pass_through(self):
+        ellipsoids, centers, shapes, directions, offsets, signs = _random_batch(6, 3, 7)
+        directions[2] = 0.0
+        directions[4] = 1e-200
+        result = batched_cut(centers, shapes, directions, offsets, signs)
+        for index in (2, 4):
+            assert not result.updated[index]
+            np.testing.assert_array_equal(result.centers[index], centers[index])
+            np.testing.assert_array_equal(result.shapes[index], shapes[index])
+        assert np.all(np.isfinite(result.centers))
+        assert np.all(np.isfinite(result.shapes))
+
+
+class TestSupportIntervals:
+    def test_block_matches_scalar_support(self):
+        ellipsoid = random_ellipsoid(5, seed=3)
+        rng = np.random.default_rng(3)
+        features = rng.standard_normal((32, 5))
+        lowers, uppers = block_support_intervals(
+            ellipsoid.center, ellipsoid.shape, features
+        )
+        for index, row in enumerate(features):
+            lo, hi = ellipsoid.support_interval(row)
+            assert lowers[index] == pytest.approx(lo, rel=1e-10, abs=1e-12)
+            assert uppers[index] == pytest.approx(hi, rel=1e-10, abs=1e-12)
+
+    def test_batched_matches_scalar_support(self):
+        ellipsoids, centers, shapes, directions, _, _ = _random_batch(16, 4, 9)
+        lowers, uppers = batched_support_intervals(centers, shapes, directions)
+        for index, ellipsoid in enumerate(ellipsoids):
+            lo, hi = ellipsoid.support_interval(directions[index])
+            assert lowers[index] == pytest.approx(lo, rel=1e-10, abs=1e-12)
+            assert uppers[index] == pytest.approx(hi, rel=1e-10, abs=1e-12)
+
+    def test_degenerate_direction_zero_width(self):
+        ellipsoid = random_ellipsoid(3, seed=8)
+        lowers, uppers = block_support_intervals(
+            ellipsoid.center, ellipsoid.shape, np.zeros((1, 3))
+        )
+        assert lowers[0] == uppers[0]
+        assert np.isfinite(lowers[0])
+
+
+class TestBackendRegistry:
+    def test_numpy_backend_always_available(self):
+        backend = get_backend("batched")
+        assert backend.name == "batched"
+        assert backend.batched_cut is batched_cut
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("bogus")
+
+    def test_backend_names_cover_registry(self):
+        assert "batched" in BACKEND_NAMES
+        assert "batched-torch" in BACKEND_NAMES
+
+    @pytest.mark.skipif(HAS_TORCH, reason="torch present: unavailability not testable")
+    def test_torch_backend_unavailable_raises(self):
+        with pytest.raises(BackendUnavailableError):
+            get_backend("batched-torch")
+
+
+@pytest.mark.skipif(not HAS_TORCH, reason="torch not installed")
+class TestTorchBackend:
+    def test_torch_matches_numpy(self):
+        _, centers, shapes, directions, offsets, signs = _random_batch(24, 4, 13)
+        numpy_result = batched_cut(centers, shapes, directions, offsets, signs)
+        torch_result = batched_ellipsoid.batched_cut_torch(
+            centers, shapes, directions, offsets, signs
+        )
+        np.testing.assert_array_equal(torch_result.updated, numpy_result.updated)
+        np.testing.assert_allclose(
+            torch_result.centers, numpy_result.centers, rtol=1e-9, atol=1e-11
+        )
+        np.testing.assert_allclose(
+            torch_result.shapes, numpy_result.shapes, rtol=1e-9, atol=1e-11
+        )
+
+    def test_torch_backend_resolves(self):
+        backend = get_backend("batched-torch")
+        assert backend.name == "batched-torch"

@@ -171,3 +171,80 @@ class TestVolumeRatioBound:
     def test_bound_rejects_small_dimension(self):
         with pytest.raises(ValueError):
             volume_ratio_upper_bound(0.0, 1)
+
+
+class TestDegenerateDirections:
+    """Zero/denormal/NaN cut directions must never emit NaN cut parameters.
+
+    A denormal positive gain (``x^T A x`` underflowing below the smallest
+    normal double) passes a plain ``> 0`` check but overflows
+    ``1/sqrt(gain)`` — the historical bug this sweep fixes.
+    """
+
+    def test_zero_direction_raises_in_raise_mode(self, unit_ball_3d):
+        with pytest.raises(InvalidCutError):
+            loewner_john_cut(unit_ball_3d, np.zeros(3), 0.5, keep="leq")
+
+    def test_zero_direction_noop_in_skip_mode(self, unit_ball_3d):
+        result = loewner_john_cut(
+            unit_ball_3d, np.zeros(3), 0.5, keep="leq", on_infeasible="skip"
+        )
+        assert not result.updated
+        assert result.kind is CutKind.NOOP
+        assert math.isnan(result.alpha)
+        assert result.ellipsoid is unit_ball_3d
+
+    def test_denormal_direction_noop_in_skip_mode(self, unit_ball_3d):
+        direction = np.full(3, 1e-170)  # gain ~ 3e-340: denormal-underflow zone
+        result = loewner_john_cut(
+            unit_ball_3d, direction, 0.0, keep="geq", on_infeasible="skip"
+        )
+        assert not result.updated
+        assert np.all(np.isfinite(result.ellipsoid.center))
+        assert np.all(np.isfinite(result.ellipsoid.shape))
+
+    def test_denormal_direction_raises_in_raise_mode(self, unit_ball_3d):
+        with pytest.raises(InvalidCutError):
+            loewner_john_cut(unit_ball_3d, np.full(3, 1e-170), 0.0, keep="leq")
+
+    def test_cut_position_rejects_denormal_gain(self, unit_ball_3d):
+        with pytest.raises(InvalidCutError):
+            cut_position(unit_ball_3d, np.full(3, 1e-170), 0.0, keep="leq")
+
+    def test_support_interval_zero_width_for_denormal_direction(self):
+        ellipsoid = random_ellipsoid(4, seed=21)
+        lower, upper = ellipsoid.support_interval(np.full(4, 1e-170))
+        assert lower == upper
+        assert math.isfinite(lower)
+
+
+class TestDegenerateDirectionProperties:
+    """Property sweep over the tiny-direction scale ladder."""
+
+    def test_no_nan_for_any_tiny_scale(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        ellipsoid = random_ellipsoid(5, seed=33)
+        base = np.random.default_rng(33).standard_normal(5)
+
+        @settings(max_examples=60, deadline=None)
+        @given(
+            exponent=st.integers(min_value=-300, max_value=0),
+            keep=st.sampled_from(["leq", "geq"]),
+            offset=st.floats(-2.0, 2.0, allow_nan=False),
+        )
+        def check(exponent, keep, offset):
+            direction = base * (10.0 ** exponent)
+            result = loewner_john_cut(
+                ellipsoid, direction, offset, keep=keep, on_infeasible="skip"
+            )
+            assert np.all(np.isfinite(result.ellipsoid.center))
+            assert np.all(np.isfinite(result.ellipsoid.shape))
+            if result.updated:
+                assert math.isfinite(result.alpha)
+            # NOOP results must hand back the *same* knowledge set.
+            if not result.updated:
+                assert result.ellipsoid is ellipsoid
+
+        check()

@@ -1,0 +1,55 @@
+"""Knee detection of the serving bench's latency-vs-load sweep.
+
+The sweep runs offered rates low to high and marks each point sustained or
+not.  The old rule ("last sustained point wins") reported isolated sustained
+blips past saturation — measurement noise — as the service's capacity knee.
+``find_knee`` requires corroboration: the knee is the highest sustained rate
+whose immediate predecessor was also sustained (or the very first rate).
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_serving",
+    os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "..", "..", "scripts", "bench_serving.py"
+    ),
+)
+bench_serving = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_serving)
+
+T, F = True, False
+
+
+@pytest.mark.parametrize(
+    "sustained, expected",
+    [
+        # Blip at index 3 after saturation at 2: the knee is the corroborated
+        # prefix point, not the blip the old rule reported.
+        ([T, T, F, T, F], 1),
+        # Two consecutive sustained points past an early dropout corroborate
+        # each other — capacity recovered, the pair is believable.
+        ([T, F, T, T, F], 3),
+        ([F, T, T, F], 2),
+        ([T, T, T, F], 2),
+        # A lone blip with unsustained neighbours is never a knee.
+        ([F, T, F], None),
+        # A single swept rate needs no corroboration.
+        ([T], 0),
+        ([F], None),
+        ([], None),
+        ([T, T, T, T], 3),
+        ([F, F, F], None),
+    ],
+)
+def test_find_knee(sustained, expected):
+    assert bench_serving.find_knee(sustained) == expected
+
+
+def test_parse_sweep_shapes():
+    assert bench_serving.parse_sweep("1000:1000:1") == [1000.0]
+    rates = bench_serving.parse_sweep("1000:2000:3")
+    assert rates == [1000.0, 1500.0, 2000.0]

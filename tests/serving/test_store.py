@@ -524,3 +524,60 @@ def test_service_scatter_refuses_sessions_with_pending_quotes():
     service.feedback(
         FeedbackEvent(key=key, quote_id=response.quote_id, accepted=False)
     )
+
+
+def test_materialize_rows_without_refresh_leaves_accounting_untouched():
+    """A read-only materialize must not perturb stats, gauges, or clock bits."""
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+    registry = PricerRegistry(_factory(family, model, theta))
+    service = QuoteService(registry)
+    keys = [SessionKey("app", "acct%d" % i) for i in range(3)]
+    for key in keys:
+        _drive(service, key, materialized, 0, 4)
+
+    store = registry.store
+    stats_before = registry.stats.as_dict()
+    bits_before = [row.referenced for row in store._ring if row is not None]
+    hand_before = store._hand
+
+    rows = service.materialize_rows(keys, refresh=False)
+    assert len(rows) == 3
+
+    assert registry.stats.as_dict() == stats_before
+    assert [row.referenced for row in store._ring if row is not None] == bits_before
+    assert store._hand == hand_before
+    stats = registry.stats
+    assert stats.opened == stats.created + stats.hydrations
+
+
+def test_materialize_refresh_keeps_resident_bytes_gauge_fresh():
+    """A refresh-capture that migrates a row between family slabs (the state
+    layout grew) must leave ``resident_bytes`` equal to the recomputed sum."""
+    family = "ellipsoid-reserve"
+    model, materialized, theta = _market(family)
+
+    def factory(key):
+        pricer = golden_specs.build_pricer(family, theta)
+        pricer.knowledge = __import__(
+            "repro.core.knowledge", fromlist=["PolytopeKnowledge"]
+        ).PolytopeKnowledge.from_radius(theta.shape[0], 2.0 * np.sqrt(theta.shape[0]))
+        return model, pricer
+
+    registry = PricerRegistry(factory)
+    service = QuoteService(registry)
+    key = SessionKey("app", "grower")
+    _drive(service, key, materialized, 0, 2)
+
+    # Growing the constraint set changes the flattened array shapes, so the
+    # refresh-capture inside materialize_rows migrates the row to a new
+    # family slab.
+    _drive(service, key, materialized, 2, 6)
+    rows = registry.materialize_rows([key], refresh=True)
+    assert len(rows) == 1
+
+    store = registry.store
+    recomputed = int(
+        sum(slab.used * slab.row_nbytes for slab in store._slabs.values())
+    )
+    assert registry.stats.resident_bytes == recomputed
